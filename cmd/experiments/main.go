@@ -1,0 +1,137 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§VI). Each figure prints the same rows/series the
+// paper reports; see EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -all            # every figure and table, full scale
+//	experiments -fig 1          # one figure
+//	experiments -table 1        # Table I
+//	experiments -quick -all     # reduced scales (smoke test)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powl/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure to regenerate (1-6)")
+		table = flag.Int("table", 0, "table to regenerate (1)")
+		all   = flag.Bool("all", false, "regenerate everything")
+		quick = flag.Bool("quick", false, "reduced scales and repeats")
+		plot  = flag.Bool("plot", false, "also render ASCII charts of each figure")
+	)
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	if !*all && *fig == 0 && *table == 0 {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N or -table 1")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *all || *fig == 1 {
+		run("fig1", func() error {
+			rows, err := experiments.Fig1(scale)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig1(os.Stdout, rows)
+			if *plot {
+				experiments.PlotFig1(os.Stdout, rows)
+			}
+			return nil
+		})
+	}
+	if *all || *fig == 2 {
+		run("fig2", func() error {
+			rows, err := experiments.Fig2(scale)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig2(os.Stdout, rows)
+			if *plot {
+				experiments.PlotFig2(os.Stdout, rows)
+			}
+			return nil
+		})
+	}
+	if *all || *fig == 3 {
+		run("fig3", func() error {
+			rows, err := experiments.Fig3(scale)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig3(os.Stdout, rows)
+			if *plot {
+				experiments.PlotFig3(os.Stdout, rows)
+			}
+			return nil
+		})
+	}
+	if *all || *fig == 4 {
+		run("fig4", func() error {
+			res, err := experiments.Fig4(scale)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig4(os.Stdout, res)
+			if *plot {
+				experiments.PlotFig4(os.Stdout, res)
+			}
+			return nil
+		})
+	}
+	if *all || *fig == 5 {
+		run("fig5", func() error {
+			rows, err := experiments.Fig5(scale)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig5(os.Stdout, rows)
+			if *plot {
+				experiments.PlotFig5(os.Stdout, rows)
+			}
+			return nil
+		})
+	}
+	if *all || *fig == 6 {
+		run("fig6", func() error {
+			rows, err := experiments.Fig6(scale)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig6(os.Stdout, rows)
+			if *plot {
+				experiments.PlotFig6(os.Stdout, rows)
+			}
+			return nil
+		})
+	}
+	if *all || *table == 1 {
+		run("table1", func() error {
+			rows, err := experiments.Table1(scale)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable1(os.Stdout, rows)
+			return nil
+		})
+	}
+}

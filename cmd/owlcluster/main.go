@@ -1,0 +1,128 @@
+// Command owlcluster is the master of the shared-filesystem deployment (the
+// paper's own setup, §V): it compiles the ontology, partitions the data,
+// writes the work directory, and either prints the owlnode commands to run
+// on each cluster node or — with -run — spawns them as local processes and
+// merges their closures.
+//
+// Usage:
+//
+//	owlcluster -in lubm10.nt -k 4 -dir /sharedfs/job1            # prepare only
+//	owlcluster -in lubm10.nt -k 4 -dir work -run -o closure.nt   # run locally
+//
+// On a real cluster, point -dir at the shared filesystem and start one
+// `owlnode -id <i>` per machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"powl/internal/fscluster"
+	"powl/internal/gpart"
+	"powl/internal/ntriples"
+	"powl/internal/partition"
+	"powl/internal/rdf"
+	"powl/internal/rio"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input RDF file, .nt or .ttl (required)")
+		dir     = flag.String("dir", "powl-work", "shared work directory")
+		k       = flag.Int("k", 4, "number of cluster nodes")
+		policy  = flag.String("policy", "graph", "data partitioning policy: graph, hash")
+		seed    = flag.Int64("seed", 42, "partitioner seed")
+		run     = flag.Bool("run", false, "spawn owlnode processes locally and merge the closures")
+		nodeBin = flag.String("node-bin", "", "owlnode binary for -run ('' = go run ./cmd/owlnode)")
+		engine  = flag.String("engine", "forward", "engine passed to the nodes")
+		out     = flag.String("o", "", "merged closure output file (with -run)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "missing -in")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	n, err := rio.LoadFile(*in, dict, g)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d triples\n", n)
+
+	var pol partition.Policy
+	switch *policy {
+	case "graph":
+		pol = partition.GraphPolicy{Opts: gpart.Options{Seed: *seed}}
+	case "hash":
+		pol = partition.HashPolicy{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	m, err := fscluster.Prepare(*dir, dict, g, *k, pol)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "prepared %s in %v: bal=%.1f IR=%.3f nodes/part=%v\n",
+		*dir, time.Since(start).Round(time.Millisecond), m.Bal, m.IR, m.NodesPerPart)
+
+	if !*run {
+		fmt.Println("work directory ready; start one node per machine:")
+		for i := 0; i < *k; i++ {
+			fmt.Printf("  owlnode -dir %s -id %d -engine %s\n", *dir, i, *engine)
+		}
+		return
+	}
+
+	// Spawn the nodes as real OS processes.
+	procs := make([]*exec.Cmd, *k)
+	for i := 0; i < *k; i++ {
+		var cmd *exec.Cmd
+		if *nodeBin != "" {
+			cmd = exec.Command(*nodeBin, "-dir", *dir, "-id", fmt.Sprint(i), "-engine", *engine)
+		} else {
+			cmd = exec.Command("go", "run", "./cmd/owlnode", "-dir", *dir, "-id", fmt.Sprint(i), "-engine", *engine)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		procs[i] = cmd
+	}
+	for i, p := range procs {
+		if err := p.Wait(); err != nil {
+			fatal(fmt.Errorf("node %d: %w", i, err))
+		}
+	}
+
+	mdict, merged, err := fscluster.MergeClosures(*dir, *k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "merged closure: %d triples (%d inferred) in %v total\n",
+		merged.Len(), merged.Len()-n, time.Since(start).Round(time.Millisecond))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := ntriples.WriteGraph(f, mdict, merged); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

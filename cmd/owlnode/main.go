@@ -1,0 +1,71 @@
+// Command owlnode is one worker of the shared-filesystem cluster: it runs
+// Algorithm 3's round loop against the work directory owlcluster prepared,
+// synchronizing with its peers purely through files — the communication
+// mechanism of the paper's implementation (§V).
+//
+// Usage (one per cluster node):
+//
+//	owlnode -dir /sharedfs/job1 -id 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"powl/internal/fscluster"
+	"powl/internal/reason"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "powl-work", "shared work directory")
+		id      = flag.Int("id", -1, "this node's index (required)")
+		engine  = flag.String("engine", "forward", "rule engine: forward, rete, hybrid")
+		poll    = flag.Duration("poll", 20*time.Millisecond, "marker polling interval")
+		timeout = flag.Duration("timeout", 10*time.Minute, "per-round peer wait timeout")
+	)
+	flag.Parse()
+	if *id < 0 {
+		fmt.Fprintln(os.Stderr, "missing -id")
+		flag.Usage()
+		os.Exit(2)
+	}
+	k, err := fscluster.ClusterSize(*dir)
+	if err != nil {
+		fatal(fmt.Errorf("reading cluster size (did owlcluster prepare %s?): %w", *dir, err))
+	}
+	if *id >= k {
+		fatal(fmt.Errorf("id %d out of range for a %d-node cluster", *id, k))
+	}
+
+	var eng reason.Engine
+	switch *engine {
+	case "forward":
+		eng = reason.Forward{}
+	case "rete":
+		eng = reason.Rete{}
+	case "hybrid":
+		eng = reason.Hybrid{}
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	start := time.Now()
+	res, err := fscluster.RunNode(fscluster.NodeConfig{
+		ID: *id, K: k, Dir: *dir,
+		Engine: eng, Poll: *poll, Timeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "node %d: %d rounds, derived %d, sent %d, closure %d triples, %v\n",
+		*id, res.Rounds, res.Derived, res.Sent, res.Closure.Len(),
+		time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module powl
+
+go 1.22

@@ -1,0 +1,128 @@
+// Package asciiplot renders small line charts and bar charts as text, so
+// cmd/experiments can show the paper's figures as curves, not just tables.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	// Points are (x, y) pairs; x values should be shared across series.
+	X []float64
+	Y []float64
+}
+
+// Line renders series as an ASCII chart of the given size (columns × rows of
+// the plotting area, excluding axes). Each series is drawn with its own
+// glyph; a legend follows.
+func Line(title string, series []Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at 0
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxY <= minY {
+		return title + "\n(no data)\n"
+	}
+	spanX := maxX - minX
+	if spanX == 0 {
+		spanX = 1
+	}
+	spanY := maxY - minY
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, glyph byte) {
+		c := int(math.Round((x - minX) / spanX * float64(width-1)))
+		r := height - 1 - int(math.Round((y-minY)/spanY*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		grid[r][c] = glyph
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], g)
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for r, row := range grid {
+		yVal := maxY - float64(r)/float64(height-1)*spanY
+		fmt.Fprintf(&b, "%8.1f |%s\n", yVal, string(row))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "%9s %-8.3g%s%8.3g\n", "", minX,
+		strings.Repeat(" ", maxInt(1, width-16)), maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%11c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Bars renders labeled horizontal bars scaled to the largest value.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	wLabel := 0
+	for _, l := range labels {
+		if len(l) > wLabel {
+			wLabel = len(l)
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.2f\n", wLabel, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineRendersAllSeries(t *testing.T) {
+	out := Line("speedup", []Series{
+		{Name: "lubm", X: []float64{2, 4, 8, 16}, Y: []float64{2, 4, 9, 15}},
+		{Name: "uobm", X: []float64{2, 4, 8, 16}, Y: []float64{1, 1.3, 1.8, 2.8}},
+	}, 40, 10)
+	if !strings.Contains(out, "speedup") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* = lubm") || !strings.Contains(out, "o = uobm") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing from plot area")
+	}
+	if len(strings.Split(out, "\n")) < 12 {
+		t.Errorf("plot too short:\n%s", out)
+	}
+}
+
+func TestLineEmptyData(t *testing.T) {
+	out := Line("empty", nil, 20, 5)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot output: %q", out)
+	}
+	// All-zero series also degrade gracefully.
+	out = Line("zeros", []Series{{Name: "z", X: []float64{1, 2}, Y: []float64{0, 0}}}, 20, 5)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("zero plot output: %q", out)
+	}
+}
+
+func TestLineClampsTinySizes(t *testing.T) {
+	out := Line("tiny", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{1, 2}}}, 1, 1)
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestLineSinglePoint(t *testing.T) {
+	out := Line("point", []Series{{Name: "p", X: []float64{5}, Y: []float64{3}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("IR", []string{"graph", "domain", "hash"}, []float64{0.17, 0.01, 3.21}, 30)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("bar chart lines = %d:\n%s", len(lines), out)
+	}
+	// hash has the longest bar.
+	hashBars := strings.Count(lines[3], "█")
+	graphBars := strings.Count(lines[1], "█")
+	if hashBars <= graphBars {
+		t.Errorf("hash bar (%d) not longer than graph bar (%d)", hashBars, graphBars)
+	}
+	if !strings.Contains(lines[3], "3.21") {
+		t.Error("value label missing")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars("zeros", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "0.00") {
+		t.Errorf("zero bars output: %q", out)
+	}
+}

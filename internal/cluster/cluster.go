@@ -1,0 +1,466 @@
+// Package cluster implements the paper's generic parallel reasoning
+// algorithm (§IV, Algorithm 3). A master assigns each worker its base
+// tuples and rule set (produced by either partitioning approach); workers
+// then proceed in rounds: materialize locally to fixpoint, route newly
+// derived tuples to the workers that may need them, barrier, receive, and
+// repeat. The run terminates when a round ends with no tuples sent by any
+// worker and none in transit (the transports guarantee delivery before the
+// barrier completes, so "none in transit" is implied).
+//
+// Per-worker wall-clock time is split into the categories of the paper's
+// Figure 2: Reason (rule engine), IO (send + receive through the
+// transport), Sync (waiting on the barrier), and — on the master side —
+// Aggregate (unioning worker outputs).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"powl/internal/rdf"
+	"powl/internal/reason"
+	"powl/internal/rules"
+	"powl/internal/transport"
+)
+
+// Router decides where a newly derived triple must be sent. For the data
+// partitioning strategy this consults the ownership table; for rule
+// partitioning it matches the triple against the other partitions' rule
+// bodies.
+type Router interface {
+	Destinations(t rdf.Triple, from int) []int
+}
+
+// Assignment is one worker's slice of the problem.
+type Assignment struct {
+	// Base are the worker's initial tuples (its data partition plus the
+	// replicated schema closure).
+	Base []rdf.Triple
+	// Rules is the rule set the worker applies (the full compiled set for
+	// data partitioning; a subset for rule partitioning).
+	Rules []rules.Rule
+}
+
+// Mode selects how workers execute.
+type Mode int
+
+const (
+	// Concurrent runs one goroutine per worker with a real barrier — the
+	// deployment shape. Wall-clock speedups are only meaningful when the
+	// host has at least as many cores as workers.
+	Concurrent Mode = iota
+	// Simulated executes the workers' rounds sequentially on one core,
+	// measures each phase, and reports the parallel elapsed time as the
+	// sum over rounds of the slowest worker's phase times — the barrier
+	// semantics of Algorithm 3 evaluated analytically. This is how the
+	// speedup figures are reproduced on hosts with fewer cores than the
+	// paper's 16-node cluster (see DESIGN.md, substitutions). Per-worker
+	// Sync is the time the worker would have waited for the round's
+	// slowest peer.
+	Simulated
+)
+
+// Config configures a parallel run.
+type Config struct {
+	Engine    reason.Engine
+	Transport transport.Transport
+	Router    Router
+	Mode      Mode
+	// MaxRounds caps the number of rounds as a safety net; 0 means 1000.
+	MaxRounds int
+}
+
+// Timings is the per-worker cost breakdown.
+type Timings struct {
+	Reason    time.Duration
+	IO        time.Duration
+	Sync      time.Duration
+	Aggregate time.Duration // only set on the aggregated result
+	Rounds    int
+	// Derived counts the triples this worker derived (beyond its base),
+	// the per-processor term of the paper's OR metric.
+	Derived int
+	// Sent counts triples shipped to other workers.
+	Sent int
+}
+
+// Result of a parallel run.
+type Result struct {
+	// Graph is the union of all workers' final graphs (base + inferred).
+	Graph *rdf.Graph
+	// PerWorker holds each worker's timing breakdown.
+	PerWorker []Timings
+	// OutputSizes[i] is worker i's final local graph size.
+	OutputSizes []int
+	// Rounds is the number of rounds until global quiescence.
+	Rounds int
+	// Elapsed is the parallel elapsed time: wall-clock in Concurrent mode,
+	// the barrier-reconstructed time in Simulated mode. Aggregation is
+	// included in both.
+	Elapsed time.Duration
+	// RoundStats (Simulated mode only) records, per round, the maxima that
+	// determined the round's simulated duration.
+	RoundStats []RoundStat
+}
+
+// RoundStat is one round's cost profile in Simulated mode.
+type RoundStat struct {
+	// MaxWork is the slowest worker's reason+send time this round.
+	MaxWork time.Duration
+	// MaxRecv is the slowest receive.
+	MaxRecv time.Duration
+	// Sent is the total number of tuples shipped this round.
+	Sent int
+}
+
+// Run executes Algorithm 3 over the given assignments.
+func Run(cfg Config, assigns []Assignment) (*Result, error) {
+	k := len(assigns)
+	if k == 0 {
+		return nil, fmt.Errorf("cluster: no assignments")
+	}
+	if cfg.Engine == nil || cfg.Transport == nil || cfg.Router == nil {
+		return nil, fmt.Errorf("cluster: config requires Engine, Transport and Router")
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+
+	start := time.Now()
+	workers := make([]*worker, k)
+	for i := range workers {
+		g := rdf.NewGraph()
+		g.AddAll(assigns[i].Base)
+		workers[i] = &worker{
+			id:    i,
+			graph: g,
+			rules: assigns[i].Rules,
+			sent:  make(map[rdf.Triple]struct{}, len(assigns[i].Base)),
+		}
+		// Base tuples are known to every worker that should have them
+		// (the partitioner placed them); never re-ship them.
+		for _, t := range assigns[i].Base {
+			workers[i].sent[t] = struct{}{}
+		}
+	}
+
+	if cfg.Mode == Simulated {
+		return runSimulated(cfg, workers, maxRounds)
+	}
+
+	bar := newBarrier(k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	rounds := 0
+	var roundsMu sync.Mutex
+
+	for i := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			r, err := w.run(cfg, bar, maxRounds)
+			if err != nil {
+				errs[w.id] = err
+			}
+			roundsMu.Lock()
+			if r > rounds {
+				rounds = r
+			}
+			roundsMu.Unlock()
+		}(workers[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := aggregate(workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Rounds = rounds
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+type worker struct {
+	id    int
+	graph *rdf.Graph
+	rules []rules.Rule
+	sent  map[rdf.Triple]struct{} // triples already routed (or base)
+	tm    Timings
+	// materialized is set after the first full materialization; later
+	// rounds only need to close over the tuples received since.
+	materialized bool
+	// received holds the tuples absorbed in the previous round's receive
+	// phase — the seeds of the next incremental materialization.
+	received []rdf.Triple
+}
+
+// phaseReason runs the local materialization to fixpoint (Algorithm 3
+// step 3) and returns its duration. The first round materializes fully;
+// subsequent rounds exploit that the graph was at fixpoint before the
+// received tuples arrived: nothing received means nothing to do, and an
+// Incremental engine closes over just the received seeds.
+func (w *worker) phaseReason(cfg Config) time.Duration {
+	t0 := time.Now()
+	switch {
+	case !w.materialized:
+		w.tm.Derived += cfg.Engine.Materialize(w.graph, w.rules)
+		w.materialized = true
+	case len(w.received) == 0:
+		// Fixpoint unchanged since last round.
+	default:
+		if inc, ok := cfg.Engine.(reason.Incremental); ok {
+			w.tm.Derived += inc.MaterializeFrom(w.graph, w.rules, w.received)
+		} else {
+			w.tm.Derived += cfg.Engine.Materialize(w.graph, w.rules)
+		}
+	}
+	w.received = w.received[:0]
+	d := time.Since(t0)
+	w.tm.Reason += d
+	return d
+}
+
+// phaseSend routes every not-yet-shipped triple (step 4) and returns the
+// number sent and the phase duration.
+func (w *worker) phaseSend(cfg Config, round int) (int, time.Duration, error) {
+	t0 := time.Now()
+	outbox := map[int][]rdf.Triple{}
+	for _, t := range w.graph.Triples() {
+		if _, done := w.sent[t]; done {
+			continue
+		}
+		w.sent[t] = struct{}{}
+		for _, dst := range cfg.Router.Destinations(t, w.id) {
+			outbox[dst] = append(outbox[dst], t)
+		}
+	}
+	nSent := 0
+	for dst, ts := range outbox {
+		if err := cfg.Transport.Send(round, w.id, dst, ts); err != nil {
+			return 0, 0, fmt.Errorf("cluster: worker %d send: %w", w.id, err)
+		}
+		nSent += len(ts)
+	}
+	w.tm.Sent += nSent
+	d := time.Since(t0)
+	w.tm.IO += d
+	return nSent, d, nil
+}
+
+// phaseRecv absorbs the tuples other workers sent this round (step 5).
+func (w *worker) phaseRecv(cfg Config, round int) (time.Duration, error) {
+	t0 := time.Now()
+	in, err := cfg.Transport.Recv(round, w.id)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: worker %d recv: %w", w.id, err)
+	}
+	for _, t := range in {
+		// Received tuples are already global knowledge; absorbing one must
+		// not re-ship it.
+		w.sent[t] = struct{}{}
+		if w.graph.Add(t) {
+			w.received = append(w.received, t)
+		}
+	}
+	d := time.Since(t0)
+	w.tm.IO += d
+	return d, nil
+}
+
+// run is one worker's round loop in Concurrent mode.
+func (w *worker) run(cfg Config, bar *barrier, maxRounds int) (int, error) {
+	round := 0
+	for ; round < maxRounds; round++ {
+		w.phaseReason(cfg)
+
+		nSent, _, err := w.phaseSend(cfg, round)
+		if err != nil {
+			bar.abort()
+			return round, err
+		}
+
+		// Barrier with global sent-count reduction.
+		t0 := time.Now()
+		totalSent, ok := bar.sync(nSent)
+		w.tm.Sync += time.Since(t0)
+		if !ok {
+			return round, fmt.Errorf("cluster: aborted by peer failure")
+		}
+
+		if _, err := w.phaseRecv(cfg, round); err != nil {
+			bar.abort()
+			return round, err
+		}
+
+		// Termination: a full round in which nobody sent anything.
+		if totalSent == 0 {
+			round++
+			break
+		}
+	}
+	w.tm.Rounds = round
+	return round, nil
+}
+
+// runSimulated executes the round loop for all workers sequentially and
+// reconstructs the parallel elapsed time from per-phase measurements: each
+// round costs the maximum over workers of (reason + send), plus the maximum
+// receive time; per-worker Sync is the gap to the round's slowest worker
+// (the time it would have spent at the barrier).
+func runSimulated(cfg Config, workers []*worker, maxRounds int) (*Result, error) {
+	var simElapsed time.Duration
+	var roundStats []RoundStat
+	rounds := 0
+	for round := 0; round < maxRounds; round++ {
+		rounds = round + 1
+		work := make([]time.Duration, len(workers))
+		totalSent := 0
+		for i, w := range workers {
+			d := w.phaseReason(cfg)
+			n, sd, err := w.phaseSend(cfg, round)
+			if err != nil {
+				return nil, err
+			}
+			totalSent += n
+			work[i] = d + sd
+		}
+		var slowest time.Duration
+		for _, d := range work {
+			if d > slowest {
+				slowest = d
+			}
+		}
+		for i, w := range workers {
+			w.tm.Sync += slowest - work[i]
+		}
+		var slowestRecv time.Duration
+		for _, w := range workers {
+			rd, err := w.phaseRecv(cfg, round)
+			if err != nil {
+				return nil, err
+			}
+			if rd > slowestRecv {
+				slowestRecv = rd
+			}
+		}
+		simElapsed += slowest + slowestRecv
+		roundStats = append(roundStats, RoundStat{MaxWork: slowest, MaxRecv: slowestRecv, Sent: totalSent})
+		if totalSent == 0 {
+			break
+		}
+	}
+	for _, w := range workers {
+		w.tm.Rounds = rounds
+	}
+	res, err := aggregate(workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Rounds = rounds
+	res.RoundStats = roundStats
+	// Aggregation is real work on the master; include it at its measured
+	// cost on top of the reconstructed parallel time.
+	res.Elapsed = simElapsed + res.PerWorker[0].Aggregate
+	return res, nil
+}
+
+// aggregate merges the workers' outputs into the final result. The timed
+// aggregation step is the deduplicating merge of the per-worker result sets
+// — the master-side work the paper's Figure 2 reports as "aggregation"
+// (their implementation concatenated result files). Building the indexed
+// result Graph afterwards is load-into-a-store post-processing that a serial
+// run pays identically, so it is excluded from the timing.
+func aggregate(workers []*worker) (*Result, error) {
+	maxLen := 0
+	for _, w := range workers {
+		if w.graph.Len() > maxLen {
+			maxLen = w.graph.Len()
+		}
+	}
+	aggStart := time.Now()
+	merged := make(map[rdf.Triple]struct{}, maxLen*2)
+	res := &Result{
+		PerWorker:   make([]Timings, len(workers)),
+		OutputSizes: make([]int, len(workers)),
+	}
+	for i, w := range workers {
+		for _, t := range w.graph.Triples() {
+			merged[t] = struct{}{}
+		}
+		res.PerWorker[i] = w.tm
+		res.OutputSizes[i] = w.graph.Len()
+	}
+	agg := time.Since(aggStart)
+	for i := range res.PerWorker {
+		res.PerWorker[i].Aggregate = agg
+	}
+
+	union := rdf.NewGraphCap(len(merged))
+	for t := range merged {
+		union.Add(t)
+	}
+	res.Graph = union
+	return res, nil
+}
+
+// barrier is a reusable k-party barrier that also sums a per-round integer
+// contribution (the sent counts) and supports cooperative abort.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	k       int
+	waiting int
+	gen     int
+	sum     int
+	out     int
+	aborted bool
+}
+
+func newBarrier(k int) *barrier {
+	b := &barrier{k: k}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// sync blocks until all k parties arrive, returning the sum of their
+// contributions. ok is false if the barrier was aborted.
+func (b *barrier) sync(contribution int) (sum int, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return 0, false
+	}
+	gen := b.gen
+	b.sum += contribution
+	b.waiting++
+	if b.waiting == b.k {
+		b.out = b.sum
+		b.sum = 0
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.out, !b.aborted
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		return 0, false
+	}
+	return b.out, true
+}
+
+// abort releases all waiters with ok=false; subsequent syncs fail fast.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.aborted = true
+	b.cond.Broadcast()
+}

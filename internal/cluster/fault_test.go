@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"powl/internal/rdf"
+	"powl/internal/reason"
+	"powl/internal/transport"
+)
+
+// faultyTransport wraps a real transport and fails the nth Send or Recv.
+type faultyTransport struct {
+	transport.Transport
+	failSendAfter int
+	failRecvAfter int
+	sends         int
+	recvs         int
+}
+
+func (f *faultyTransport) Send(round, from, to int, ts []rdf.Triple) error {
+	f.sends++
+	if f.failSendAfter > 0 && f.sends >= f.failSendAfter {
+		return fmt.Errorf("injected send failure")
+	}
+	return f.Transport.Send(round, from, to, ts)
+}
+
+func (f *faultyTransport) Recv(round, to int) ([]rdf.Triple, error) {
+	f.recvs++
+	if f.failRecvAfter > 0 && f.recvs >= f.failRecvAfter {
+		return nil, fmt.Errorf("injected recv failure")
+	}
+	return f.Transport.Recv(round, to)
+}
+
+// TestSendFailureAbortsRun: a failing transport must surface its error and
+// not deadlock the barrier, in both modes.
+func TestSendFailureAbortsRun(t *testing.T) {
+	for _, mode := range []Mode{Concurrent, Simulated} {
+		f := newChainFixture(t, 12, 3)
+		tr := &faultyTransport{Transport: transport.NewMem(), failSendAfter: 1}
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(Config{
+				Engine:    reason.Forward{},
+				Transport: tr,
+				Router:    ownerRouter{f.owner},
+				Mode:      mode,
+			}, f.assignments(3))
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "injected send failure") {
+				t.Fatalf("mode=%v: expected injected failure, got %v", mode, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("mode=%v: run deadlocked after transport failure", mode)
+		}
+	}
+}
+
+// TestRecvFailureAbortsRun: same for the receive path.
+func TestRecvFailureAbortsRun(t *testing.T) {
+	for _, mode := range []Mode{Concurrent, Simulated} {
+		f := newChainFixture(t, 12, 3)
+		tr := &faultyTransport{Transport: transport.NewMem(), failRecvAfter: 2}
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(Config{
+				Engine:    reason.Forward{},
+				Transport: tr,
+				Router:    ownerRouter{f.owner},
+				Mode:      mode,
+			}, f.assignments(3))
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "injected recv failure") {
+				t.Fatalf("mode=%v: expected injected failure, got %v", mode, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("mode=%v: run deadlocked after transport failure", mode)
+		}
+	}
+}
+
+// slowRouter delays destinations computation to shake out races between
+// workers under the race detector.
+type slowRouter struct {
+	inner Router
+}
+
+func (r slowRouter) Destinations(t rdf.Triple, from int) []int {
+	time.Sleep(time.Microsecond)
+	return r.inner.Destinations(t, from)
+}
+
+func TestConcurrentWorkersUnderContention(t *testing.T) {
+	f := newChainFixture(t, 24, 6)
+	res, err := Run(Config{
+		Engine:    reason.Forward{},
+		Transport: transport.NewMem(),
+		Router:    slowRouter{ownerRouter{f.owner}},
+		Mode:      Concurrent,
+	}, f.assignments(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Graph.Equal(f.closed) {
+		t.Fatal("closure mismatch under contention")
+	}
+}

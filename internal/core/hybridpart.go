@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"powl/internal/cluster"
+	"powl/internal/datagen"
+	"powl/internal/gpart"
+	"powl/internal/owlhorst"
+	"powl/internal/partition"
+	"powl/internal/rdf"
+	"powl/internal/rulepart"
+)
+
+// HybridPartitioning is the combined strategy the paper lists as future
+// work (§VII, citing Shao/Bell/Hull's PDIS'91 hybrid decomposition): the
+// data is partitioned kd ways by resource ownership AND the rule base kr
+// ways by its dependency graph; worker (i, j) holds data slice i and rule
+// group j, so Workers = kd × kr.
+//
+// Correctness inherits from both parents: a single-join rule r in group j
+// joining tuples t1, t2 that share resource v fires on worker
+// (owner(v), j), which holds both tuples (data placement) and the rule
+// (rule placement). Derived tuples route to every (owner-of-endpoint,
+// consuming-group) pair.
+const HybridPartitioning Strategy = "hybrid"
+
+// hybridAssignments builds the kd×kr worker grid.
+func hybridAssignments(ds *datagen.Dataset, cfg Config, compiled *owlhorst.Compiled,
+	instance []rdf.Triple, res *Result) ([]cluster.Assignment, cluster.Router, error) {
+
+	kd, kr := factorWorkers(cfg.Workers, len(compiled.InstanceRules))
+	if kd*kr != cfg.Workers {
+		return nil, nil, fmt.Errorf("core: hybrid strategy cannot factor %d workers", cfg.Workers)
+	}
+
+	pol, err := policyFor(cfg, ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	in := &partition.Input{
+		Dict:     ds.Dict,
+		Instance: instance,
+		Skip:     owlhorst.SchemaElements(ds.Dict, compiled.Schema),
+	}
+	dres, err := partition.Partition(in, kd, pol)
+	if err != nil {
+		return nil, nil, err
+	}
+	rres, err := rulepart.Partition(compiled.InstanceRules, kr, rulepart.Options{
+		Gpart: gpart.Options{Seed: cfg.Seed},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.PartitionTime = dres.Elapsed + rres.Elapsed
+	m := partition.ComputeMetrics(in, dres)
+	res.Metrics = &m
+	res.RuleCut = rres.CutWeight
+
+	schema := compiled.Schema.Triples()
+	assigns := make([]cluster.Assignment, cfg.Workers)
+	for i := 0; i < kd; i++ {
+		for j := 0; j < kr; j++ {
+			base := make([]rdf.Triple, 0, len(dres.Parts[i])+len(schema))
+			base = append(base, dres.Parts[i]...)
+			base = append(base, schema...)
+			assigns[i*kr+j] = cluster.Assignment{
+				Base:  base,
+				Rules: subset(compiled.InstanceRules, rres.Groups[j]),
+			}
+		}
+	}
+	router := &hybridRouter{
+		kd:    kd,
+		kr:    kr,
+		owner: dres.Owner,
+		rules: rulepart.NewRouter(compiled.InstanceRules, rres),
+	}
+	return assigns, router, nil
+}
+
+// factorWorkers splits k into kd×kr with kr as small as possible (rule sets
+// are small, §VI-D) while kr > 1 whenever k is not prime and the rule count
+// allows it.
+func factorWorkers(k, nRules int) (kd, kr int) {
+	for _, cand := range []int{2, 3} {
+		if k%cand == 0 && k > cand && cand <= nRules {
+			return k / cand, cand
+		}
+	}
+	return k, 1
+}
+
+// hybridRouter sends a tuple to every (data-owner, rule-group) worker that
+// can both hold and consume it.
+type hybridRouter struct {
+	kd, kr int
+	owner  map[rdf.ID]int
+	rules  *rulepart.Router
+}
+
+// Destinations implements cluster.Router.
+func (r *hybridRouter) Destinations(t rdf.Triple, from int) []int {
+	var dataParts []int
+	if p, ok := r.owner[t.S]; ok {
+		dataParts = append(dataParts, p)
+	}
+	if q, ok := r.owner[t.O]; ok && (len(dataParts) == 0 || dataParts[0] != q) {
+		dataParts = append(dataParts, q)
+	}
+	// Rule groups that consume t anywhere. The rule router's `from` is a
+	// group index; pass an out-of-range group so no group is excluded.
+	groups := r.rules.Destinations(t, -1)
+	var out []int
+	for _, dp := range dataParts {
+		for _, g := range groups {
+			w := dp*r.kr + g
+			if w != from {
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The Quick scale keeps these end-to-end: every experiment must run, verify
+// its closures, and print non-empty series.
+
+func TestFig1Quick(t *testing.T) {
+	rows, err := Fig1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(Quick.Workers()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 {
+			t.Errorf("%s k=%d: non-positive speedup", r.Dataset, r.K)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig1(&buf, rows)
+	if !strings.Contains(buf.String(), "lubm") {
+		t.Error("printout missing dataset names")
+	}
+}
+
+func TestFig2Quick(t *testing.T) {
+	rows, err := Fig2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Quick.Workers()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Reason <= 0 {
+			t.Errorf("k=%d: zero reasoning time", r.K)
+		}
+		if r.IO <= 0 {
+			t.Errorf("k=%d: file transport should have measurable IO", r.K)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig2(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty printout")
+	}
+}
+
+func TestFig3And4Quick(t *testing.T) {
+	f4, err := Fig4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Coeffs) != 4 {
+		t.Fatalf("cubic fit has %d coefficients", len(f4.Coeffs))
+	}
+	if f4.RSquared < 0.9 {
+		t.Errorf("cubic fit R² = %f; the scaling curve should be smooth", f4.RSquared)
+	}
+	rows, err := Fig3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TheoreticalMax < 1 {
+			t.Errorf("k=%d: theoretical max %f < 1", r.K, r.TheoreticalMax)
+		}
+		if r.SlowestPartition < r.Measured {
+			t.Errorf("k=%d: slowest-partition speedup %f below overall %f", r.K, r.SlowestPartition, r.Measured)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig4(&buf, f4)
+	PrintFig3(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty printout")
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	rows, err := Fig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hash must replicate far more than graph at the same k.
+	var graphIR, hashIR float64
+	for _, r := range rows {
+		if r.K == Quick.Workers()[len(Quick.Workers())-1] {
+			switch r.Policy {
+			case "graph":
+				graphIR = r.IR
+			case "hash":
+				hashIR = r.IR
+			}
+		}
+	}
+	if hashIR <= graphIR {
+		t.Errorf("hash IR %.3f not above graph IR %.3f", hashIR, graphIR)
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty printout")
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	rows, err := Fig6(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(fig6Workers(Quick)) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty printout")
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	rows, err := Table1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(Quick.Workers()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.IR < 0 || r.OR < 0 {
+			t.Errorf("%s k=%d: negative replication", r.Policy, r.K)
+		}
+		if r.PartTime <= 0 {
+			t.Errorf("%s k=%d: zero partition time", r.Policy, r.K)
+		}
+	}
+	// Graph beats hash on IR at every k.
+	byK := map[int]map[string]float64{}
+	for _, r := range rows {
+		if byK[r.K] == nil {
+			byK[r.K] = map[string]float64{}
+		}
+		byK[r.K][r.Policy] = r.IR
+	}
+	for k, m := range byK {
+		if m["graph"] >= m["hash"] {
+			t.Errorf("k=%d: graph IR %.3f not below hash IR %.3f", k, m["graph"], m["hash"])
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty printout")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if median([]time.Duration{5}) != 5 {
+		t.Error("median of singleton")
+	}
+	if median([]time.Duration{3, 1, 2}) != 2 {
+		t.Error("median of three")
+	}
+	if median([]time.Duration{4, 1, 3, 2}) != 3 {
+		t.Error("upper median of four")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"powl/internal/cluster"
+	"powl/internal/core"
+)
+
+// Fig2Row is one bar group of Figure 2: the maximum over partitions of the
+// time each parallel sub-task consumed, for LUBM with the shared-filesystem
+// transport (the paper's implementation, §V).
+type Fig2Row struct {
+	K         int
+	Reason    time.Duration
+	IO        time.Duration
+	Sync      time.Duration
+	Aggregate time.Duration
+}
+
+// Fig2 reproduces Figure 2: "Overhead of various sub-tasks of parallel
+// processing for LUBM-10". Expected shape: reasoning shrinks with k while
+// the IO + synchronization share grows.
+func Fig2(scale Scale) ([]Fig2Row, error) {
+	ds := scale.Datasets()[0] // LUBM
+	var rows []Fig2Row
+	for _, k := range scale.Workers() {
+		res, err := medianRun(ds, core.Config{
+			Workers:   k,
+			Strategy:  core.DataPartitioning,
+			Policy:    core.GraphPolicy,
+			Engine:    core.HybridEngine,
+			Transport: core.FileTransport,
+			Simulate:  true,
+			Seed:      42,
+		}, scale.Repeats())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig2Row{
+			K:         k,
+			Reason:    maxWorker(res, func(tm cluster.Timings) time.Duration { return tm.Reason }),
+			IO:        maxWorker(res, func(tm cluster.Timings) time.Duration { return tm.IO }),
+			Sync:      maxWorker(res, func(tm cluster.Timings) time.Duration { return tm.Sync }),
+			Aggregate: res.PerWorker[0].Aggregate,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig2 renders the Figure 2 series.
+func PrintFig2(w io.Writer, rows []Fig2Row) {
+	fprintf(w, "Figure 2: max per-partition time per sub-task, LUBM, file transport\n")
+	fprintf(w, "%4s %12s %12s %12s %12s %9s\n", "k", "reason", "io", "sync", "aggregate", "io+sync%%")
+	for _, r := range rows {
+		total := r.Reason + r.IO + r.Sync + r.Aggregate
+		frac := 0.0
+		if total > 0 {
+			frac = 100 * float64(r.IO+r.Sync) / float64(total)
+		}
+		fprintf(w, "%4d %12v %12v %12v %12v %8.1f%%\n",
+			r.K, r.Reason.Round(time.Millisecond), r.IO.Round(time.Millisecond),
+			r.Sync.Round(time.Millisecond), r.Aggregate.Round(time.Millisecond), frac)
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"io"
+
+	"powl/internal/asciiplot"
+	"powl/internal/core"
+)
+
+// The Plot* helpers render each figure's series as ASCII charts, echoing the
+// paper's visual presentation; cmd/experiments shows them with -plot.
+
+// PlotFig1 draws the per-dataset speedup curves plus the linear reference.
+func PlotFig1(w io.Writer, rows []Fig1Row) {
+	byDS := map[string]*asciiplot.Series{}
+	var order []string
+	var ks []float64
+	for _, r := range rows {
+		s, ok := byDS[r.Dataset]
+		if !ok {
+			s = &asciiplot.Series{Name: r.Dataset}
+			byDS[r.Dataset] = s
+			order = append(order, r.Dataset)
+		}
+		s.X = append(s.X, float64(r.K))
+		s.Y = append(s.Y, r.Speedup)
+		if len(order) == 1 {
+			ks = append(ks, float64(r.K))
+		}
+	}
+	series := []asciiplot.Series{{Name: "linear", X: ks, Y: ks}}
+	for _, name := range order {
+		series = append(series, *byDS[name])
+	}
+	fprintf(w, "%s", asciiplot.Line("Figure 1: speedup vs processors (data partitioning)", series, 48, 14))
+}
+
+// PlotFig2 draws the per-k overhead composition as bars of the io+sync
+// share.
+func PlotFig2(w io.Writer, rows []Fig2Row) {
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = "k=" + itoa(r.K)
+		total := r.Reason + r.IO + r.Sync + r.Aggregate
+		if total > 0 {
+			values[i] = 100 * float64(r.IO+r.Sync) / float64(total)
+		}
+	}
+	fprintf(w, "%s", asciiplot.Bars("Figure 2: io+sync share of total time (%)", labels, values, 40))
+}
+
+// PlotFig3 draws measured vs theoretical-max speedup.
+func PlotFig3(w io.Writer, rows []Fig3Row) {
+	var ks, measured, slowest, theo []float64
+	for _, r := range rows {
+		ks = append(ks, float64(r.K))
+		measured = append(measured, r.Measured)
+		slowest = append(slowest, r.SlowestPartition)
+		theo = append(theo, r.TheoreticalMax)
+	}
+	fprintf(w, "%s", asciiplot.Line("Figure 3: measured vs theoretical max (LUBM)", []asciiplot.Series{
+		{Name: "measured", X: ks, Y: measured},
+		{Name: "slowest-partition", X: ks, Y: slowest},
+		{Name: "theoretical-max", X: ks, Y: theo},
+	}, 48, 14))
+}
+
+// PlotFig4 draws the measured serial times against the cubic model.
+func PlotFig4(w io.Writer, res *Fig4Result) {
+	var xs, measured, model []float64
+	for _, r := range res.Rows {
+		xs = append(xs, float64(r.Triples)/1000)
+		measured = append(measured, r.Measured.Seconds())
+		model = append(model, r.Model.Seconds())
+	}
+	fprintf(w, "%s", asciiplot.Line("Figure 4: serial reasoning time vs kilotriples", []asciiplot.Series{
+		{Name: "measured (s)", X: xs, Y: measured},
+		{Name: "cubic model (s)", X: xs, Y: model},
+	}, 48, 12))
+}
+
+// PlotFig5 draws the per-policy speedup curves.
+func PlotFig5(w io.Writer, rows []Fig5Row) {
+	byPol := map[core.PolicyKind]*asciiplot.Series{}
+	var order []core.PolicyKind
+	for _, r := range rows {
+		s, ok := byPol[r.Policy]
+		if !ok {
+			s = &asciiplot.Series{Name: string(r.Policy)}
+			byPol[r.Policy] = s
+			order = append(order, r.Policy)
+		}
+		s.X = append(s.X, float64(r.K))
+		s.Y = append(s.Y, r.Speedup)
+	}
+	var series []asciiplot.Series
+	for _, p := range order {
+		series = append(series, *byPol[p])
+	}
+	fprintf(w, "%s", asciiplot.Line("Figure 5: speedup per data-partitioning policy (LUBM)", series, 48, 12))
+}
+
+// PlotFig6 draws the rule-partitioning speedups per dataset.
+func PlotFig6(w io.Writer, rows []Fig6Row) {
+	byDS := map[string]*asciiplot.Series{}
+	var order []string
+	for _, r := range rows {
+		s, ok := byDS[r.Dataset]
+		if !ok {
+			s = &asciiplot.Series{Name: r.Dataset}
+			byDS[r.Dataset] = s
+			order = append(order, r.Dataset)
+		}
+		s.X = append(s.X, float64(r.K))
+		s.Y = append(s.Y, r.Speedup)
+	}
+	var series []asciiplot.Series
+	for _, name := range order {
+		series = append(series, *byDS[name])
+	}
+	fprintf(w, "%s", asciiplot.Line("Figure 6: rule-partitioning speedup", series, 40, 10))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"powl/internal/core"
+)
+
+func TestPlotFig1(t *testing.T) {
+	rows := []Fig1Row{
+		{Dataset: "lubm", K: 2, Speedup: 2.1},
+		{Dataset: "lubm", K: 4, Speedup: 4.5},
+		{Dataset: "uobm", K: 2, Speedup: 1.1},
+		{Dataset: "uobm", K: 4, Speedup: 1.4},
+	}
+	var buf bytes.Buffer
+	PlotFig1(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"linear", "lubm", "uobm", "Figure 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotFig2(t *testing.T) {
+	rows := []Fig2Row{
+		{K: 2, Reason: time.Second, IO: 100 * time.Millisecond, Sync: 50 * time.Millisecond},
+		{K: 4, Reason: 500 * time.Millisecond, IO: 100 * time.Millisecond, Sync: 100 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	PlotFig2(&buf, rows)
+	if !strings.Contains(buf.String(), "k=2") || !strings.Contains(buf.String(), "k=4") {
+		t.Errorf("bar labels missing:\n%s", buf.String())
+	}
+}
+
+func TestPlotFig3(t *testing.T) {
+	rows := []Fig3Row{
+		{K: 2, Measured: 2, SlowestPartition: 2.2, TheoreticalMax: 2.5},
+		{K: 4, Measured: 4, SlowestPartition: 4.4, TheoreticalMax: 5},
+	}
+	var buf bytes.Buffer
+	PlotFig3(&buf, rows)
+	if !strings.Contains(buf.String(), "theoretical-max") {
+		t.Errorf("legend missing:\n%s", buf.String())
+	}
+}
+
+func TestPlotFig4(t *testing.T) {
+	res := &Fig4Result{Rows: []Fig4Row{
+		{Universities: 1, Triples: 4000, Measured: 300 * time.Millisecond, Model: 310 * time.Millisecond},
+		{Universities: 2, Triples: 8000, Measured: 700 * time.Millisecond, Model: 690 * time.Millisecond},
+	}}
+	var buf bytes.Buffer
+	PlotFig4(&buf, res)
+	if !strings.Contains(buf.String(), "cubic model") {
+		t.Errorf("legend missing:\n%s", buf.String())
+	}
+}
+
+func TestPlotFig5And6(t *testing.T) {
+	var buf bytes.Buffer
+	PlotFig5(&buf, []Fig5Row{
+		{Policy: core.GraphPolicy, K: 2, Speedup: 2},
+		{Policy: core.HashPolicy, K: 2, Speedup: 0.7},
+	})
+	if !strings.Contains(buf.String(), "graph") || !strings.Contains(buf.String(), "hash") {
+		t.Errorf("fig5 legend missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	PlotFig6(&buf, []Fig6Row{
+		{Dataset: "lubm", K: 2, Speedup: 1.5},
+		{Dataset: "mdc", K: 2, Speedup: 1.2},
+	})
+	if !strings.Contains(buf.String(), "lubm") || !strings.Contains(buf.String(), "mdc") {
+		t.Errorf("fig6 legend missing:\n%s", buf.String())
+	}
+}
+
+func TestItoa(t *testing.T) {
+	if itoa(0) != "0" || itoa(42) != "42" || itoa(1600) != "1600" {
+		t.Error("itoa broken")
+	}
+}

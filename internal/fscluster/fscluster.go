@@ -1,0 +1,403 @@
+// Package fscluster implements the paper's actual deployment shape (§V): a
+// cluster of independent OS processes synchronizing through a shared file
+// system. The master lays out a work directory — one base-tuple file per
+// partition, the compiled rule file, and the resource ownership table — and
+// each node process runs Algorithm 3's round loop against it: materialize,
+// write outbox files, drop a done-marker, poll for every peer's marker,
+// absorb inboxes, repeat; global quiescence (zero tuples sent by anyone in
+// a round) terminates the run.
+//
+// cmd/owlcluster (master) and cmd/owlnode (worker) are thin wrappers; the
+// package itself is process-agnostic, so the integration tests run k nodes
+// as goroutines against one temp dir — the protocol on disk is identical.
+package fscluster
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"powl/internal/ntriples"
+	"powl/internal/owlhorst"
+	"powl/internal/partition"
+	"powl/internal/rdf"
+	"powl/internal/reason"
+	"powl/internal/rules"
+)
+
+// Layout names the files of a work directory.
+type Layout struct {
+	Dir string
+}
+
+// PartFile is the base-tuple file of node id.
+func (l Layout) PartFile(id int) string { return filepath.Join(l.Dir, fmt.Sprintf("part_%02d.nt", id)) }
+
+// RulesFile holds the compiled instance rules.
+func (l Layout) RulesFile() string { return filepath.Join(l.Dir, "rules.rules") }
+
+// OwnerFile holds the resource ownership table (term TAB partition).
+func (l Layout) OwnerFile() string { return filepath.Join(l.Dir, "owner.tsv") }
+
+// MsgFile is the round-r message file from node i to node j.
+func (l Layout) MsgFile(round, from, to int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("msg_r%03d_n%02d_to_n%02d.nt", round, from, to))
+}
+
+// MarkerFile is node i's end-of-round marker; its content is the number of
+// tuples the node sent this round.
+func (l Layout) MarkerFile(round, id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("done_r%03d_n%02d", round, id))
+}
+
+// ClosureFile is node i's final output.
+func (l Layout) ClosureFile(id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("closure_%02d.nt", id))
+}
+
+// MetaFile records the cluster size for the nodes.
+func (l Layout) MetaFile() string { return filepath.Join(l.Dir, "cluster.meta") }
+
+// Prepare is the master-side step: compile the ontology, partition the
+// instance data with the given policy, and write the work directory. It
+// returns the partitioning metrics for reporting.
+func Prepare(dir string, dict *rdf.Dict, g *rdf.Graph, k int, pol partition.Policy) (*partition.Metrics, error) {
+	l := Layout{Dir: dir}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	compiled := owlhorst.Compile(dict, g)
+	in := &partition.Input{
+		Dict:     dict,
+		Instance: owlhorst.SplitInstance(dict, g),
+		Skip:     owlhorst.SchemaElements(dict, compiled.Schema),
+	}
+	pres, err := partition.Partition(in, k, pol)
+	if err != nil {
+		return nil, err
+	}
+	m := partition.ComputeMetrics(in, pres)
+
+	// Base-tuple files: each node's slice plus the replicated schema.
+	schema := compiled.Schema.Triples()
+	for i := 0; i < k; i++ {
+		pg := rdf.NewGraphCap(len(pres.Parts[i]) + len(schema))
+		pg.AddAll(pres.Parts[i])
+		pg.AddAll(schema)
+		if err := writeGraphFile(l.PartFile(i), dict, pg); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rule file, in the parseable Jena-style syntax.
+	var rb strings.Builder
+	for _, r := range compiled.InstanceRules {
+		rb.WriteString(r.Format(dict))
+		rb.WriteByte('\n')
+	}
+	if err := os.WriteFile(l.RulesFile(), []byte(rb.String()), 0o644); err != nil {
+		return nil, err
+	}
+
+	// Ownership table.
+	var ob strings.Builder
+	for id, p := range pres.Owner {
+		ob.WriteString(dict.Term(id).String())
+		ob.WriteByte('\t')
+		ob.WriteString(strconv.Itoa(p))
+		ob.WriteByte('\n')
+	}
+	if err := os.WriteFile(l.OwnerFile(), []byte(ob.String()), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(l.MetaFile(), []byte(strconv.Itoa(k)+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ClusterSize reads k from the work directory.
+func ClusterSize(dir string) (int, error) {
+	b, err := os.ReadFile(Layout{Dir: dir}.MetaFile())
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(b)))
+}
+
+// NodeConfig configures one node process.
+type NodeConfig struct {
+	ID int
+	K  int
+	// Dir is the shared work directory.
+	Dir string
+	// Engine defaults to the forward engine.
+	Engine reason.Engine
+	// Poll is the marker-polling interval; 0 means 20ms.
+	Poll time.Duration
+	// Timeout bounds the wait for peers per round; 0 means 5 minutes.
+	Timeout time.Duration
+	// MaxRounds is a safety cap; 0 means 1000.
+	MaxRounds int
+}
+
+// NodeResult reports one node's run.
+type NodeResult struct {
+	Rounds  int
+	Derived int
+	Sent    int
+	// Closure is the node's final local graph (also written to disk).
+	Closure *rdf.Graph
+}
+
+// RunNode executes Algorithm 3's round loop for one node against the shared
+// directory, writing its closure file before returning.
+func RunNode(cfg NodeConfig) (*NodeResult, error) {
+	if cfg.Engine == nil {
+		cfg.Engine = reason.Forward{}
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 20 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 1000
+	}
+	l := Layout{Dir: cfg.Dir}
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	if err := readGraphFile(l.PartFile(cfg.ID), dict, g); err != nil {
+		return nil, fmt.Errorf("fscluster: node %d: %w", cfg.ID, err)
+	}
+	ruleSrc, err := os.ReadFile(l.RulesFile())
+	if err != nil {
+		return nil, err
+	}
+	rs, err := rules.Parse(string(ruleSrc), dict)
+	if err != nil {
+		return nil, fmt.Errorf("fscluster: node %d: rules: %w", cfg.ID, err)
+	}
+	owner, err := readOwnerTable(l.OwnerFile(), dict)
+	if err != nil {
+		return nil, fmt.Errorf("fscluster: node %d: %w", cfg.ID, err)
+	}
+
+	res := &NodeResult{}
+	sent := make(map[rdf.Triple]struct{}, g.Len())
+	for _, t := range g.Triples() {
+		sent[t] = struct{}{}
+	}
+	var received []rdf.Triple
+	materialized := false
+
+	for round := 0; round < cfg.MaxRounds; round++ {
+		res.Rounds = round + 1
+
+		// Reason.
+		switch {
+		case !materialized:
+			res.Derived += cfg.Engine.Materialize(g, rs)
+			materialized = true
+		case len(received) == 0:
+			// Still at fixpoint.
+		default:
+			if inc, ok := cfg.Engine.(reason.Incremental); ok {
+				res.Derived += inc.MaterializeFrom(g, rs, received)
+			} else {
+				res.Derived += cfg.Engine.Materialize(g, rs)
+			}
+		}
+		received = received[:0]
+
+		// Route: collect per-destination outboxes.
+		outbox := map[int][]rdf.Triple{}
+		nSent := 0
+		for _, t := range g.Triples() {
+			if _, done := sent[t]; done {
+				continue
+			}
+			sent[t] = struct{}{}
+			for _, dst := range destinations(owner, t, cfg.ID) {
+				outbox[dst] = append(outbox[dst], t)
+				nSent++
+			}
+		}
+		for dst, ts := range outbox {
+			og := rdf.NewGraphCap(len(ts))
+			og.AddAll(ts)
+			if err := writeGraphFile(l.MsgFile(round, cfg.ID, dst), dict, og); err != nil {
+				return nil, err
+			}
+		}
+		res.Sent += nSent
+
+		// Done marker with the sent count, then the shared-FS barrier: poll
+		// until every peer's marker for this round exists.
+		if err := writeAtomic(l.MarkerFile(round, cfg.ID), strconv.Itoa(nSent)); err != nil {
+			return nil, err
+		}
+		totalSent, err := awaitMarkers(l, round, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// Absorb inboxes.
+		for from := 0; from < cfg.K; from++ {
+			if from == cfg.ID {
+				continue
+			}
+			path := l.MsgFile(round, from, cfg.ID)
+			if _, statErr := os.Stat(path); statErr != nil {
+				continue // peer sent nothing to us this round
+			}
+			in := rdf.NewGraph()
+			if err := readGraphFile(path, dict, in); err != nil {
+				return nil, err
+			}
+			for _, t := range in.Triples() {
+				sent[t] = struct{}{}
+				if g.Add(t) {
+					received = append(received, t)
+				}
+			}
+		}
+
+		if totalSent == 0 {
+			break
+		}
+	}
+
+	if err := writeGraphFile(l.ClosureFile(cfg.ID), dict, g); err != nil {
+		return nil, err
+	}
+	res.Closure = g
+	return res, nil
+}
+
+// awaitMarkers polls for all k markers of the round and returns the summed
+// sent counts.
+func awaitMarkers(l Layout, round int, cfg NodeConfig) (int, error) {
+	deadline := time.Now().Add(cfg.Timeout)
+	for {
+		total := 0
+		missing := false
+		for i := 0; i < cfg.K; i++ {
+			b, err := os.ReadFile(l.MarkerFile(round, i))
+			if err != nil {
+				missing = true
+				break
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+			if err != nil {
+				return 0, fmt.Errorf("fscluster: bad marker %s: %w", l.MarkerFile(round, i), err)
+			}
+			total += n
+		}
+		if !missing {
+			return total, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("fscluster: node %d: timed out waiting for round %d markers", cfg.ID, round)
+		}
+		time.Sleep(cfg.Poll)
+	}
+}
+
+// destinations routes a derived tuple to the owners of its subject and
+// object (§IV); unowned (schema) endpoints route nowhere.
+func destinations(owner map[rdf.ID]int, t rdf.Triple, self int) []int {
+	var out []int
+	if p, ok := owner[t.S]; ok && p != self {
+		out = append(out, p)
+	}
+	if q, ok := owner[t.O]; ok && q != self && (len(out) == 0 || out[0] != q) {
+		out = append(out, q)
+	}
+	return out
+}
+
+// MergeClosures unions the k closure files into one graph.
+func MergeClosures(dir string, k int) (*rdf.Dict, *rdf.Graph, error) {
+	l := Layout{Dir: dir}
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	for i := 0; i < k; i++ {
+		if err := readGraphFile(l.ClosureFile(i), dict, g); err != nil {
+			return nil, nil, err
+		}
+	}
+	return dict, g, nil
+}
+
+func readOwnerTable(path string, dict *rdf.Dict) (map[rdf.ID]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	owner := map[rdf.ID]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		tab := strings.LastIndexByte(line, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("owner table line %d: no tab", lineNo)
+		}
+		term, err := ntriples.ParseTerm(line[:tab])
+		if err != nil {
+			return nil, fmt.Errorf("owner table line %d: %w", lineNo, err)
+		}
+		p, err := strconv.Atoi(line[tab+1:])
+		if err != nil {
+			return nil, fmt.Errorf("owner table line %d: %w", lineNo, err)
+		}
+		owner[dict.Intern(term)] = p
+	}
+	return owner, sc.Err()
+}
+
+func writeGraphFile(path string, dict *rdf.Dict, g *rdf.Graph) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := ntriples.WriteGraph(f, dict, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func writeAtomic(path, content string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readGraphFile(path string, dict *rdf.Dict, g *rdf.Graph) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = ntriples.ReadGraph(bufio.NewReader(f), dict, g)
+	return err
+}

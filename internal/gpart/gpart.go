@@ -1,0 +1,493 @@
+// Package gpart implements a multilevel k-way graph partitioner in the style
+// of METIS (Karypis & Kumar): heavy-edge-matching coarsening, greedy region
+// growing on the coarsest graph, and boundary Kernighan–Lin/FM refinement
+// during uncoarsening. The paper's graph-based data-partitioning policy and
+// its rule-dependency partitioning (Algorithms 1 and 2) both call into this
+// package.
+//
+// The objective is the standard one: minimize the weight of cut edges
+// subject to the per-part vertex-weight balance constraint
+// maxLoad ≤ (1+ε)·totalWeight/k.
+package gpart
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected graph with weighted vertices and edges, in CSR
+// (compressed adjacency) form. Build one with a Builder.
+type Graph struct {
+	n       int
+	vweight []int64
+	xadj    []int32 // len n+1; adjacency of v is adjncy[xadj[v]:xadj[v+1]]
+	adjncy  []int32
+	adjwgt  []int64
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// VWeight returns the weight of vertex v.
+func (g *Graph) VWeight(v int) int64 { return g.vweight[v] }
+
+// TotalVWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVWeight() int64 {
+	var s int64
+	for _, w := range g.vweight {
+		s += w
+	}
+	return s
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return int(g.xadj[v+1] - g.xadj[v]) }
+
+// ForEachNeighbor calls fn(u, w) for each neighbor u of v with edge weight w.
+func (g *Graph) ForEachNeighbor(v int, fn func(u int, w int64)) {
+	for i := g.xadj[v]; i < g.xadj[v+1]; i++ {
+		fn(int(g.adjncy[i]), g.adjwgt[i])
+	}
+}
+
+// Builder accumulates an undirected graph; parallel edges merge by summing
+// weights, and self-loops are dropped.
+type Builder struct {
+	vweight []int64
+	adj     []map[int32]int64
+}
+
+// NewBuilder returns a builder for a graph with n vertices of unit weight.
+func NewBuilder(n int) *Builder {
+	b := &Builder{vweight: make([]int64, n), adj: make([]map[int32]int64, n)}
+	for i := range b.vweight {
+		b.vweight[i] = 1
+	}
+	return b
+}
+
+// SetVWeight sets the weight of vertex v.
+func (b *Builder) SetVWeight(v int, w int64) { b.vweight[v] = w }
+
+// AddEdge adds an undirected edge {u, v} with weight w, merging with any
+// existing edge.
+func (b *Builder) AddEdge(u, v int, w int64) {
+	if u == v {
+		return
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = map[int32]int64{}
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = map[int32]int64{}
+	}
+	b.adj[u][int32(v)] += w
+	b.adj[v][int32(u)] += w
+}
+
+// Build finalizes the graph into CSR form.
+func (b *Builder) Build() *Graph {
+	n := len(b.vweight)
+	g := &Graph{n: n, vweight: b.vweight, xadj: make([]int32, n+1)}
+	total := 0
+	for _, m := range b.adj {
+		total += len(m)
+	}
+	g.adjncy = make([]int32, 0, total)
+	g.adjwgt = make([]int64, 0, total)
+	for v := 0; v < n; v++ {
+		g.xadj[v] = int32(len(g.adjncy))
+		// Deterministic neighbor order.
+		keys := make([]int32, 0, len(b.adj[v]))
+		for u := range b.adj[v] {
+			keys = append(keys, u)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, u := range keys {
+			g.adjncy = append(g.adjncy, u)
+			g.adjwgt = append(g.adjwgt, b.adj[v][u])
+		}
+	}
+	g.xadj[n] = int32(len(g.adjncy))
+	return g
+}
+
+// Options tunes the partitioner.
+type Options struct {
+	// Imbalance is ε in the balance constraint; 0 means the default 0.05.
+	Imbalance float64
+	// Seed seeds the (deterministic) pseudo-random choices.
+	Seed int64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices; 0 means max(24·k, 128).
+	CoarsenTo int
+	// RefinePasses bounds FM passes per level; 0 means 8.
+	RefinePasses int
+}
+
+func (o Options) withDefaults(k int) Options {
+	if o.Imbalance <= 0 {
+		o.Imbalance = 0.05
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 24 * k
+		if o.CoarsenTo < 128 {
+			o.CoarsenTo = 128
+		}
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 8
+	}
+	return o
+}
+
+// Partition divides g into k parts, returning part[v] ∈ [0,k) for each
+// vertex. It errors if k < 1 or k > g.N().
+func Partition(g *Graph, k int, opts Options) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gpart: k must be ≥ 1, got %d", k)
+	}
+	if g.n == 0 {
+		return nil, nil
+	}
+	if k > g.n {
+		return nil, fmt.Errorf("gpart: k=%d exceeds vertex count %d", k, g.n)
+	}
+	if k == 1 {
+		return make([]int, g.n), nil
+	}
+	opts = opts.withDefaults(k)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Coarsening phase.
+	levels := []*level{{g: g}}
+	for levels[len(levels)-1].g.n > opts.CoarsenTo {
+		cur := levels[len(levels)-1]
+		next, ok := coarsen(cur.g, rng)
+		if !ok {
+			break // matching stalled; give up shrinking
+		}
+		cur.matchMap = next.fineToCoarse
+		levels = append(levels, &level{g: next.g})
+	}
+
+	// Initial partition on the coarsest graph.
+	coarsest := levels[len(levels)-1]
+	part := growPartition(coarsest.g, k, rng)
+	refine(coarsest.g, part, k, opts)
+
+	// Uncoarsen + refine.
+	for i := len(levels) - 2; i >= 0; i-- {
+		fine := levels[i]
+		finePart := make([]int, fine.g.n)
+		for v := 0; v < fine.g.n; v++ {
+			finePart[v] = part[fine.matchMap[v]]
+		}
+		part = finePart
+		refine(fine.g, part, k, opts)
+	}
+	rebalance(g, part, k, opts)
+	return part, nil
+}
+
+// rebalance enforces a lower load bound at the finest level: FM refinement
+// keeps parts under the (1+ε) cap but can leave some parts starved, which
+// translates directly into idle processors. Greedily move the
+// cheapest-to-move boundary vertices from the heaviest parts into any part
+// below (1−ε)·average until no part is starved (or no legal move remains).
+func rebalance(g *Graph, part []int, k int, opts Options) {
+	loads := make([]int64, k)
+	for v := 0; v < g.n; v++ {
+		loads[part[v]] += g.vweight[v]
+	}
+	avg := float64(g.TotalVWeight()) / float64(k)
+	low := int64(avg * (1 - opts.Imbalance))
+	for iter := 0; iter < 4*g.n; iter++ {
+		// Find the most starved part.
+		dst := -1
+		for p := 0; p < k; p++ {
+			if loads[p] < low && (dst == -1 || loads[p] < loads[dst]) {
+				dst = p
+			}
+		}
+		if dst == -1 {
+			return
+		}
+		// Move the vertex with the smallest cut damage from any part above
+		// average into dst; prefer vertices adjacent to dst.
+		bestV, bestCost := -1, int64(1<<62)
+		for v := 0; v < g.n; v++ {
+			home := part[v]
+			if home == dst || float64(loads[home]-g.vweight[v]) < avg*(1-opts.Imbalance) {
+				continue
+			}
+			var internal, toDst int64
+			g.ForEachNeighbor(v, func(u int, w int64) {
+				switch part[u] {
+				case home:
+					internal += w
+				case dst:
+					toDst += w
+				}
+			})
+			cost := internal - toDst
+			if cost < bestCost {
+				bestV, bestCost = v, cost
+			}
+		}
+		if bestV == -1 {
+			return // nothing movable without starving the source
+		}
+		loads[part[bestV]] -= g.vweight[bestV]
+		loads[dst] += g.vweight[bestV]
+		part[bestV] = dst
+	}
+}
+
+type level struct {
+	g        *Graph
+	matchMap []int32 // fine vertex -> coarse vertex (set on all but coarsest)
+}
+
+type coarseResult struct {
+	g            *Graph
+	fineToCoarse []int32
+}
+
+// coarsen contracts a heavy-edge matching. It reports ok=false when the
+// graph barely shrinks (matching stalled, e.g. star graphs).
+func coarsen(g *Graph, rng *rand.Rand) (coarseResult, bool) {
+	match := make([]int32, g.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(g.n)
+	matched := 0
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		bestU, bestW := -1, int64(-1)
+		g.ForEachNeighbor(v, func(u int, w int64) {
+			if match[u] == -1 && w > bestW {
+				bestU, bestW = u, w
+			}
+		})
+		if bestU >= 0 {
+			match[v] = int32(bestU)
+			match[bestU] = int32(v)
+			matched += 2
+		} else {
+			match[v] = int32(v)
+		}
+	}
+	coarseN := g.n - matched/2
+	if float64(coarseN) > 0.95*float64(g.n) {
+		return coarseResult{}, false
+	}
+
+	fineToCoarse := make([]int32, g.n)
+	for i := range fineToCoarse {
+		fineToCoarse[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < g.n; v++ {
+		if fineToCoarse[v] != -1 {
+			continue
+		}
+		fineToCoarse[v] = next
+		if m := int(match[v]); m != v {
+			fineToCoarse[m] = next
+		}
+		next++
+	}
+
+	cb := NewBuilder(int(next))
+	for i := range cb.vweight {
+		cb.vweight[i] = 0
+	}
+	for v := 0; v < g.n; v++ {
+		cv := int(fineToCoarse[v])
+		cb.vweight[cv] += g.vweight[v]
+		g.ForEachNeighbor(v, func(u int, w int64) {
+			cu := int(fineToCoarse[u])
+			if cv < cu { // add each undirected edge once
+				cb.AddEdge(cv, cu, w)
+			}
+		})
+	}
+	return coarseResult{g: cb.Build(), fineToCoarse: fineToCoarse}, true
+}
+
+// growPartition produces an initial k-way partition by greedy region
+// growing: repeatedly seed an empty part and absorb the frontier vertex with
+// the strongest connection to the region until the part reaches its weight
+// target.
+func growPartition(g *Graph, k int, rng *rand.Rand) []int {
+	part := make([]int, g.n)
+	for i := range part {
+		part[i] = -1
+	}
+	target := g.TotalVWeight() / int64(k)
+	if target < 1 {
+		target = 1
+	}
+	order := rng.Perm(g.n)
+	oi := 0
+	nextSeed := func() int {
+		for oi < len(order) {
+			v := order[oi]
+			oi++
+			if part[v] == -1 {
+				return v
+			}
+		}
+		return -1
+	}
+	for p := 0; p < k; p++ {
+		seed := nextSeed()
+		if seed < 0 {
+			break
+		}
+		load := int64(0)
+		// conn[v] = total edge weight from v into the growing region.
+		conn := map[int]int64{seed: 1}
+		for load < target && len(conn) > 0 {
+			// Pick the frontier vertex with maximal connection
+			// (deterministic tie-break on index).
+			bestV, bestW := -1, int64(-1)
+			for v, w := range conn {
+				if w > bestW || (w == bestW && v < bestV) {
+					bestV, bestW = v, w
+				}
+			}
+			v := bestV
+			delete(conn, v)
+			if part[v] != -1 {
+				continue
+			}
+			part[v] = p
+			load += g.vweight[v]
+			g.ForEachNeighbor(v, func(u int, w int64) {
+				if part[u] == -1 {
+					conn[u] += w
+				}
+			})
+		}
+	}
+	// Leftovers (disconnected remainder or exhausted seeds): assign to the
+	// lightest part.
+	loads := make([]int64, k)
+	for v := 0; v < g.n; v++ {
+		if part[v] >= 0 {
+			loads[part[v]] += g.vweight[v]
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if part[v] == -1 {
+			best := 0
+			for p := 1; p < k; p++ {
+				if loads[p] < loads[best] {
+					best = p
+				}
+			}
+			part[v] = best
+			loads[best] += g.vweight[v]
+		}
+	}
+	return part
+}
+
+// refine runs boundary FM passes: move boundary vertices to the neighboring
+// part with the highest positive gain, subject to the balance constraint.
+// Each pass never increases the cut; passes stop at opts.RefinePasses or when
+// a pass makes no move.
+func refine(g *Graph, part []int, k int, opts Options) {
+	maxLoad := int64(float64(g.TotalVWeight())*(1+opts.Imbalance)/float64(k)) + 1
+	loads := make([]int64, k)
+	for v := 0; v < g.n; v++ {
+		loads[part[v]] += g.vweight[v]
+	}
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := 0
+		for v := 0; v < g.n; v++ {
+			home := part[v]
+			// Edge weight from v to each adjacent part.
+			var internal int64
+			ext := map[int]int64{}
+			g.ForEachNeighbor(v, func(u int, w int64) {
+				if part[u] == home {
+					internal += w
+				} else {
+					ext[part[u]] += w
+				}
+			})
+			bestP, bestGain := -1, int64(0)
+			for p, w := range ext {
+				gain := w - internal
+				if gain > bestGain && loads[p]+g.vweight[v] <= maxLoad {
+					bestP, bestGain = p, gain
+				}
+			}
+			// Also allow zero-gain moves that strictly improve balance;
+			// they reduce bal without hurting the cut.
+			if bestP == -1 {
+				for p, w := range ext {
+					if w-internal == 0 && loads[p]+g.vweight[v] < loads[home] {
+						bestP = p
+						break
+					}
+				}
+			}
+			if bestP >= 0 {
+				loads[home] -= g.vweight[v]
+				loads[bestP] += g.vweight[v]
+				part[v] = bestP
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// EdgeCut returns the total weight of edges whose endpoints lie in different
+// parts.
+func EdgeCut(g *Graph, part []int) int64 {
+	var cut int64
+	for v := 0; v < g.n; v++ {
+		g.ForEachNeighbor(v, func(u int, w int64) {
+			if u > v && part[u] != part[v] {
+				cut += w
+			}
+		})
+	}
+	return cut
+}
+
+// Loads returns the vertex-weight load of each part.
+func Loads(g *Graph, part []int, k int) []int64 {
+	loads := make([]int64, k)
+	for v := 0; v < g.n; v++ {
+		loads[part[v]] += g.vweight[v]
+	}
+	return loads
+}
+
+// Imbalance returns maxLoad·k/totalWeight − 1 (0 means perfectly balanced).
+func Imbalance(g *Graph, part []int, k int) float64 {
+	loads := Loads(g, part, k)
+	var max, total int64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max)*float64(k)/float64(total) - 1
+}

@@ -1,0 +1,64 @@
+package ntriples
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"powl/internal/rdf"
+)
+
+// FuzzReader checks the N-Triples parser never panics and that everything
+// it accepts survives a serialize→parse round trip.
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		"<http://x/s> <http://x/p> <http://x/o> .",
+		`_:b0 <http://x/p> "lit"@en .`,
+		`<http://x/s> <http://x/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		"# comment\n\n<http://x/s> <http://x/p> _:o .",
+		`<http://x/s> <http://x/p> "esc\"aped" .`,
+		"<> <http://x/p> <http://x/o> .",
+		"<http://x/s> <http://x/p>",
+		"\x00\x01\x02",
+		strings.Repeat("<http://x/s> <http://x/p> <http://x/o> .\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		dict := rdf.NewDict()
+		g := rdf.NewGraph()
+		if _, err := ReadGraph(strings.NewReader(src), dict, g); err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must round-trip.
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, dict, g); err != nil {
+			t.Fatalf("serialize failed on accepted input: %v", err)
+		}
+		g2 := rdf.NewGraph()
+		if _, err := ReadGraph(bytes.NewReader(buf.Bytes()), dict, g2); err != nil {
+			t.Fatalf("re-parse failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if !g.Equal(g2) {
+			t.Fatalf("round trip changed graph: %d vs %d triples", g.Len(), g2.Len())
+		}
+	})
+}
+
+// FuzzReaderNext drives the statement-level API directly.
+func FuzzReaderNext(f *testing.F) {
+	f.Add("<http://a> <http://b> <http://c> .\nbroken")
+	f.Fuzz(func(t *testing.T, src string) {
+		r := NewReader(strings.NewReader(src))
+		for i := 0; i < 100; i++ {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF && err.Error() == "" {
+					t.Fatal("empty error message")
+				}
+				return
+			}
+		}
+	})
+}

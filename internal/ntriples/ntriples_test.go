@@ -1,0 +1,194 @@
+package ntriples
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"powl/internal/rdf"
+)
+
+func TestReaderParsesBasicForms(t *testing.T) {
+	src := `
+# a comment
+<http://x/s> <http://x/p> <http://x/o> .
+_:b0 <http://x/p> "plain" .
+<http://x/s> <http://x/p> "typed"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/s> <http://x/p> "tagged"@en .
+<http://x/s> <http://x/p> "esc\"aped \\ value" .
+`
+	r := NewReader(strings.NewReader(src))
+	var got []Statement
+	for {
+		st, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, st)
+	}
+	if len(got) != 5 {
+		t.Fatalf("parsed %d statements, want 5", len(got))
+	}
+	if got[0].S != (rdf.Term{Kind: rdf.IRI, Value: "http://x/s"}) {
+		t.Errorf("subject = %v", got[0].S)
+	}
+	if got[1].S != (rdf.Term{Kind: rdf.Blank, Value: "b0"}) {
+		t.Errorf("blank subject = %v", got[1].S)
+	}
+	if got[2].O.Value != `"typed"^^<http://www.w3.org/2001/XMLSchema#integer>` {
+		t.Errorf("typed literal = %q", got[2].O.Value)
+	}
+	if got[3].O.Value != `"tagged"@en` {
+		t.Errorf("tagged literal = %q", got[3].O.Value)
+	}
+	if got[4].O.Value != `"esc\"aped \\ value"` {
+		t.Errorf("escaped literal = %q", got[4].O.Value)
+	}
+}
+
+func TestReaderRejectsMalformedLines(t *testing.T) {
+	bad := []string{
+		`<http://x/s> <http://x/p> <http://x/o>`,         // no dot
+		`<http://x/s> <http://x/p> .`,                    // missing object
+		`"lit" <http://x/p> <http://x/o> .`,              // literal subject
+		`<http://x/s> "lit" <http://x/o> .`,              // literal predicate
+		`<http://x/s> _:b <http://x/o> .`,                // blank predicate
+		`<http://x/s <http://x/p> <http://x/o> .`,        // unterminated IRI
+		`<http://x/s> <http://x/p> "unterminated .`,      // unterminated literal
+		`<http://x/s> <http://x/p> <http://x/o> . extra`, // trailing garbage
+		`<> <http://x/p> <http://x/o> .`,                 // empty IRI
+		`_: <http://x/p> <http://x/o> .`,                 // empty blank label
+	}
+	for _, line := range bad {
+		r := NewReader(strings.NewReader(line))
+		if _, err := r.Next(); err == nil || err == io.EOF {
+			t.Errorf("line %q parsed without error", line)
+		}
+	}
+}
+
+func TestReaderSkipsBlankAndCommentLines(t *testing.T) {
+	r := NewReader(strings.NewReader("\n\n# only comments\n\n"))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadGraphDeduplicates(t *testing.T) {
+	src := `<http://x/s> <http://x/p> <http://x/o> .
+<http://x/s> <http://x/p> <http://x/o> .`
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	n, err := ReadGraph(strings.NewReader(src), dict, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || g.Len() != 1 {
+		t.Fatalf("added %d triples, graph has %d; want 1", n, g.Len())
+	}
+}
+
+func TestReadGraphReportsLineNumber(t *testing.T) {
+	src := "<http://x/s> <http://x/p> <http://x/o> .\nbroken\n"
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	_, err := ReadGraph(strings.NewReader(src), dict, g)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v does not name line 2", err)
+	}
+}
+
+// TestRoundTrip checks parse∘serialize = identity on a generated graph.
+func TestRoundTrip(t *testing.T) {
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	s := dict.InternIRI("http://x/s")
+	p := dict.InternIRI("http://x/p")
+	for i, o := range []rdf.ID{
+		dict.InternIRI("http://x/o"),
+		dict.InternLiteral(`"v"`),
+		dict.InternLiteral(`"5"^^<http://www.w3.org/2001/XMLSchema#integer>`),
+		dict.InternBlank("node0"),
+	} {
+		g.Add(rdf.Triple{S: s, P: rdf.ID(int(p) + i%1), O: o})
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, dict, g); err != nil {
+		t.Fatal(err)
+	}
+	g2 := rdf.NewGraph()
+	if _, err := ReadGraph(bytes.NewReader(buf.Bytes()), dict, g2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(g2) {
+		t.Fatalf("round trip changed the graph:\n%s", buf.String())
+	}
+}
+
+// TestRoundTripProperty: serialize-then-parse preserves arbitrary IRI-only
+// triples (IRI charset restricted to avoid '>' which N-Triples cannot carry
+// unescaped).
+func TestRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		var b strings.Builder
+		b.WriteString("http://x/")
+		for _, r := range s {
+			if r > ' ' && r != '>' && r != '<' && r < 127 {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	f := func(subs, preds, objs []string) bool {
+		dict := rdf.NewDict()
+		g := rdf.NewGraph()
+		n := len(subs)
+		if len(preds) < n {
+			n = len(preds)
+		}
+		if len(objs) < n {
+			n = len(objs)
+		}
+		for i := 0; i < n; i++ {
+			g.Add(rdf.Triple{
+				S: dict.InternIRI(sanitize(subs[i])),
+				P: dict.InternIRI(sanitize(preds[i])),
+				O: dict.InternIRI(sanitize(objs[i])),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, dict, g); err != nil {
+			return false
+		}
+		g2 := rdf.NewGraph()
+		if _, err := ReadGraph(bytes.NewReader(buf.Bytes()), dict, g2); err != nil {
+			return false
+		}
+		return g.Equal(g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterWriteAll(t *testing.T) {
+	dict := rdf.NewDict()
+	a := dict.InternIRI("http://x/a")
+	var buf bytes.Buffer
+	w := NewWriter(&buf, dict)
+	if err := w.WriteAll([]rdf.Triple{{S: a, P: a, O: a}, {S: a, P: a, O: a}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}

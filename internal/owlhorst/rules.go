@@ -1,0 +1,66 @@
+// Package owlhorst implements the OWL-Horst (pD*) entailment regime of
+// ter Horst (ISWC 2005) as a datalog rule set, together with the
+// ontology-compilation step of the paper's §V: the schema (TBox) is closed
+// under the meta rules and then compiled into instance rules in which every
+// schema position is ground. The compiled rules are — with one documented
+// exception (intersectionOf) — single-join rules, which is the property the
+// paper's data-partitioning correctness argument rests on (§II, §III-A).
+package owlhorst
+
+import (
+	"powl/internal/rdf"
+	"powl/internal/rules"
+)
+
+// MetaRuleText is the OWL-Horst rule set over schema *and* instance triples,
+// in the package rules syntax. These rules are applied directly by the
+// generic forward engine, and drive the TBox closure during compilation.
+//
+// Deliberate omissions from full pD*: the reflexivity axioms (rdfs6/rdfs10,
+// rdfp5a/b) which only add x⊑x / x sameAs x noise, and the rules for
+// rdf:_n container membership properties. This matches what OWLIM and Jena's
+// default OWL-Horst configurations ship.
+const MetaRuleText = `
+@prefix rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+
+# --- RDFS entailment -------------------------------------------------------
+[rdfs2:  (?p rdfs:domain ?c) (?x ?p ?y) -> (?x rdf:type ?c)]
+[rdfs3:  (?p rdfs:range ?c)  (?x ?p ?y) -> (?y rdf:type ?c)]
+[rdfs5:  (?p rdfs:subPropertyOf ?q) (?q rdfs:subPropertyOf ?r) -> (?p rdfs:subPropertyOf ?r)]
+[rdfs7:  (?p rdfs:subPropertyOf ?q) (?x ?p ?y) -> (?x ?q ?y)]
+[rdfs9:  (?c rdfs:subClassOf ?d) (?x rdf:type ?c) -> (?x rdf:type ?d)]
+[rdfs11: (?c rdfs:subClassOf ?d) (?d rdfs:subClassOf ?e) -> (?c rdfs:subClassOf ?e)]
+
+# --- OWL property semantics (pD*) ------------------------------------------
+[rdfp1:  (?p rdf:type owl:FunctionalProperty) (?x ?p ?y) (?x ?p ?z) -> (?y owl:sameAs ?z)]
+[rdfp2:  (?p rdf:type owl:InverseFunctionalProperty) (?x ?p ?z) (?y ?p ?z) -> (?x owl:sameAs ?y)]
+[rdfp3:  (?p rdf:type owl:SymmetricProperty) (?x ?p ?y) -> (?y ?p ?x)]
+[rdfp4:  (?p rdf:type owl:TransitiveProperty) (?x ?p ?y) (?y ?p ?z) -> (?x ?p ?z)]
+[rdfp6:  (?x owl:sameAs ?y) -> (?y owl:sameAs ?x)]
+[rdfp7:  (?x owl:sameAs ?y) (?y owl:sameAs ?z) -> (?x owl:sameAs ?z)]
+[rdfp8a: (?p owl:inverseOf ?q) (?x ?p ?y) -> (?y ?q ?x)]
+[rdfp8b: (?p owl:inverseOf ?q) (?x ?q ?y) -> (?y ?p ?x)]
+[rdfp11s: (?x owl:sameAs ?x2) (?x ?p ?y) -> (?x2 ?p ?y)]
+[rdfp11o: (?y owl:sameAs ?y2) (?x ?p ?y) -> (?x ?p ?y2)]
+
+# --- class/property equivalence --------------------------------------------
+[rdfp12a: (?c owl:equivalentClass ?d) -> (?c rdfs:subClassOf ?d)]
+[rdfp12b: (?c owl:equivalentClass ?d) -> (?d rdfs:subClassOf ?c)]
+[rdfp12c: (?c rdfs:subClassOf ?d) (?d rdfs:subClassOf ?c) -> (?c owl:equivalentClass ?d)]
+[rdfp13a: (?p owl:equivalentProperty ?q) -> (?p rdfs:subPropertyOf ?q)]
+[rdfp13b: (?p owl:equivalentProperty ?q) -> (?q rdfs:subPropertyOf ?p)]
+[rdfp13c: (?p rdfs:subPropertyOf ?q) (?q rdfs:subPropertyOf ?p) -> (?p owl:equivalentProperty ?q)]
+
+# --- restrictions -----------------------------------------------------------
+[rdfp14a: (?r owl:hasValue ?v) (?r owl:onProperty ?p) (?x ?p ?v) -> (?x rdf:type ?r)]
+[rdfp14b: (?r owl:hasValue ?v) (?r owl:onProperty ?p) (?x rdf:type ?r) -> (?x ?p ?v)]
+[rdfp15:  (?r owl:someValuesFrom ?d) (?r owl:onProperty ?p) (?x ?p ?y) (?y rdf:type ?d) -> (?x rdf:type ?r)]
+[rdfp16:  (?r owl:allValuesFrom ?d) (?r owl:onProperty ?p) (?x rdf:type ?r) (?x ?p ?y) -> (?y rdf:type ?d)]
+`
+
+// MetaRules parses MetaRuleText against dict.
+func MetaRules(dict *rdf.Dict) []rules.Rule {
+	return rules.MustParse(MetaRuleText, dict)
+}

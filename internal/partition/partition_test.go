@@ -1,0 +1,332 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"powl/internal/rdf"
+)
+
+// clusteredInput builds nGroups locality groups of size groupSize with dense
+// intra-group edges and nCross random cross-group edges.
+func clusteredInput(nGroups, groupSize, nCross int, seed int64) *Input {
+	rng := rand.New(rand.NewSource(seed))
+	dict := rdf.NewDict()
+	p := dict.InternIRI("http://t/p")
+	in := &Input{Dict: dict}
+	seen := map[rdf.Triple]bool{}
+	add := func(tr rdf.Triple) {
+		if !seen[tr] {
+			seen[tr] = true
+			in.Instance = append(in.Instance, tr)
+		}
+	}
+	groups := make([][]rdf.ID, nGroups)
+	for g := 0; g < nGroups; g++ {
+		groups[g] = make([]rdf.ID, groupSize)
+		for i := range groups[g] {
+			groups[g][i] = dict.InternIRI(fmt.Sprintf("http://t/grp%d/n%d", g, i))
+		}
+		for i := 1; i < groupSize; i++ {
+			add(rdf.Triple{S: groups[g][i-1], P: p, O: groups[g][i]})
+			add(rdf.Triple{S: groups[g][0], P: p, O: groups[g][i]})
+		}
+	}
+	for i := 0; i < nCross; i++ {
+		a := groups[rng.Intn(nGroups)][rng.Intn(groupSize)]
+		b := groups[rng.Intn(nGroups)][rng.Intn(groupSize)]
+		add(rdf.Triple{S: a, P: p, O: b})
+	}
+	return in
+}
+
+func groupKey(t rdf.Term) string {
+	i := strings.Index(t.Value, "grp")
+	if i < 0 {
+		return ""
+	}
+	j := strings.IndexByte(t.Value[i:], '/')
+	if j < 0 {
+		return ""
+	}
+	return t.Value[i : i+j]
+}
+
+var policies = []Policy{
+	GraphPolicy{},
+	HashPolicy{},
+	DomainPolicy{KeyFunc: groupKey},
+}
+
+// TestOwnershipInvariants: every node owned exactly once, owners in range.
+func TestOwnershipInvariants(t *testing.T) {
+	in := clusteredInput(4, 16, 20, 1)
+	for _, pol := range policies {
+		for _, k := range []int{1, 2, 4, 8} {
+			owner, err := pol.Owners(in, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", pol.Name(), k, err)
+			}
+			nodes := in.Nodes()
+			if len(owner) != len(nodes) {
+				t.Fatalf("%s k=%d: %d owners for %d nodes", pol.Name(), k, len(owner), len(nodes))
+			}
+			for _, n := range nodes {
+				p, ok := owner[n]
+				if !ok {
+					t.Fatalf("%s k=%d: node %d unowned", pol.Name(), k, n)
+				}
+				if p < 0 || p >= k {
+					t.Fatalf("%s k=%d: owner %d out of range", pol.Name(), k, p)
+				}
+			}
+		}
+	}
+}
+
+// TestTripleAssignment: each triple appears on the owner of its subject and
+// the owner of its object, and nowhere else (≤2 partitions).
+func TestTripleAssignment(t *testing.T) {
+	in := clusteredInput(4, 12, 15, 2)
+	for _, pol := range policies {
+		res, err := Partition(in, 4, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locations := map[rdf.Triple]map[int]bool{}
+		for p, part := range res.Parts {
+			for _, tr := range part {
+				if locations[tr] == nil {
+					locations[tr] = map[int]bool{}
+				}
+				if locations[tr][p] {
+					t.Fatalf("%s: triple duplicated within partition %d", pol.Name(), p)
+				}
+				locations[tr][p] = true
+			}
+		}
+		for _, tr := range in.Instance {
+			locs := locations[tr]
+			if locs == nil {
+				t.Fatalf("%s: triple lost", pol.Name())
+			}
+			if len(locs) > 2 {
+				t.Fatalf("%s: triple on %d partitions", pol.Name(), len(locs))
+			}
+			if !locs[res.Owner[tr.S]] {
+				t.Errorf("%s: triple missing from subject owner", pol.Name())
+			}
+			if !locs[res.Owner[tr.O]] {
+				t.Errorf("%s: triple missing from object owner", pol.Name())
+			}
+		}
+	}
+}
+
+// TestSingleJoinCoLocation is the paper's correctness property (§III-A): any
+// two triples sharing a resource as subject/object are both present on that
+// resource's owner.
+func TestSingleJoinCoLocation(t *testing.T) {
+	in := clusteredInput(3, 10, 25, 3)
+	for _, pol := range policies {
+		res, err := Partition(in, 3, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onPart := make([]map[rdf.Triple]bool, res.K)
+		for p, part := range res.Parts {
+			onPart[p] = map[rdf.Triple]bool{}
+			for _, tr := range part {
+				onPart[p][tr] = true
+			}
+		}
+		for i, t1 := range in.Instance {
+			for j, t2 := range in.Instance {
+				if i >= j {
+					continue
+				}
+				for _, shared := range sharedResources(t1, t2) {
+					p := res.Owner[shared]
+					if !onPart[p][t1] || !onPart[p][t2] {
+						t.Fatalf("%s: triples sharing resource %d not co-located on its owner %d",
+							pol.Name(), shared, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func sharedResources(a, b rdf.Triple) []rdf.ID {
+	var out []rdf.ID
+	for _, x := range [2]rdf.ID{a.S, a.O} {
+		if x == b.S || x == b.O {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestGraphPolicyBeatsHashOnClusteredData reproduces the qualitative Table I
+// result: the graph policy's replication is far below hash's.
+func TestGraphPolicyBeatsHashOnClusteredData(t *testing.T) {
+	in := clusteredInput(8, 24, 30, 4)
+	irOf := func(pol Policy) float64 {
+		res, err := Partition(in, 4, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ComputeMetrics(in, res).IR
+	}
+	graphIR := irOf(GraphPolicy{})
+	hashIR := irOf(HashPolicy{})
+	domainIR := irOf(DomainPolicy{KeyFunc: groupKey})
+	t.Logf("IR: graph=%.3f domain=%.3f hash=%.3f", graphIR, domainIR, hashIR)
+	if graphIR >= hashIR/2 {
+		t.Errorf("graph IR %.3f not clearly below hash IR %.3f", graphIR, hashIR)
+	}
+	if domainIR >= hashIR/2 {
+		t.Errorf("domain IR %.3f not clearly below hash IR %.3f", domainIR, hashIR)
+	}
+}
+
+// TestDomainPolicyKeepsGroupsTogether: all nodes of one locality group land
+// on one partition.
+func TestDomainPolicyKeepsGroupsTogether(t *testing.T) {
+	in := clusteredInput(6, 10, 5, 5)
+	owner, err := (DomainPolicy{KeyFunc: groupKey}).Owners(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGroup := map[string]map[int]bool{}
+	for _, n := range in.Nodes() {
+		key := groupKey(in.Dict.Term(n))
+		if perGroup[key] == nil {
+			perGroup[key] = map[int]bool{}
+		}
+		perGroup[key][owner[n]] = true
+	}
+	for key, parts := range perGroup {
+		if len(parts) != 1 {
+			t.Errorf("group %s split across %d partitions", key, len(parts))
+		}
+	}
+}
+
+func TestDomainPolicyRequiresKeyFunc(t *testing.T) {
+	in := clusteredInput(2, 4, 0, 6)
+	if _, err := (DomainPolicy{}).Owners(in, 2); err == nil {
+		t.Fatal("nil KeyFunc accepted")
+	}
+}
+
+func TestPartitionValidatesK(t *testing.T) {
+	in := clusteredInput(2, 4, 0, 7)
+	if _, err := Partition(in, 0, HashPolicy{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSkipNodesAreNeverOwned(t *testing.T) {
+	in := clusteredInput(2, 8, 4, 8)
+	// Declare the hub node of group 0 a schema element.
+	hub := in.Instance[0].S
+	in.Skip = map[rdf.ID]struct{}{hub: {}}
+	for _, pol := range policies {
+		owner, err := pol.Owners(in, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := owner[hub]; ok {
+			t.Errorf("%s assigned an owner to a schema element", pol.Name())
+		}
+		res, err := Partition(in, 2, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Triples with the skipped subject still land somewhere (object
+		// owner).
+		count := 0
+		for _, part := range res.Parts {
+			for _, tr := range part {
+				if tr.S == hub || tr.O == hub {
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			t.Errorf("%s: triples touching the schema element vanished", pol.Name())
+		}
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	dict := rdf.NewDict()
+	p := dict.InternIRI("http://t/p")
+	a, b, c, d := dict.InternIRI("http://t/a"), dict.InternIRI("http://t/b"),
+		dict.InternIRI("http://t/c"), dict.InternIRI("http://t/d")
+	in := &Input{Dict: dict, Instance: []rdf.Triple{
+		{S: a, P: p, O: b},
+		{S: c, P: p, O: d},
+		{S: b, P: p, O: c}, // crosses the partition boundary below
+	}}
+	res := &Result{
+		K:     2,
+		Owner: map[rdf.ID]int{a: 0, b: 0, c: 1, d: 1},
+		Parts: [][]rdf.Triple{
+			{{S: a, P: p, O: b}, {S: b, P: p, O: c}},
+			{{S: c, P: p, O: d}, {S: b, P: p, O: c}},
+		},
+	}
+	m := ComputeMetrics(in, res)
+	// Partition 0 holds {a,b,c}, partition 1 {c,d,b}: 6 total for 4 nodes.
+	if m.NodesPerPart[0] != 3 || m.NodesPerPart[1] != 3 {
+		t.Fatalf("NodesPerPart = %v", m.NodesPerPart)
+	}
+	if ir := m.IR; ir < 0.49 || ir > 0.51 {
+		t.Fatalf("IR = %f, want 0.5", ir)
+	}
+	if m.Bal != 0 {
+		t.Fatalf("Bal = %f, want 0", m.Bal)
+	}
+}
+
+func TestOutputReplication(t *testing.T) {
+	if or := OutputReplication([]int{60, 50}, 100); or < 0.099 || or > 0.101 {
+		t.Fatalf("OR = %f, want 0.1", or)
+	}
+	if OutputReplication(nil, 0) != 0 {
+		t.Fatal("empty OR must be 0")
+	}
+}
+
+// TestPartitionProperty: for random inputs, no triple is ever lost and the
+// per-partition triple sets are consistent with the ownership table.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%6
+		in := clusteredInput(3, 6, 10, seed)
+		res, err := Partition(in, k, HashPolicy{})
+		if err != nil {
+			return false
+		}
+		found := map[rdf.Triple]bool{}
+		for _, part := range res.Parts {
+			for _, tr := range part {
+				found[tr] = true
+			}
+		}
+		for _, tr := range in.Instance {
+			if !found[tr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"powl/internal/ntriples"
+	"powl/internal/rdf"
+)
+
+const streamInput = `
+<http://x/grp0/a> <http://x/p> <http://x/grp0/b> .
+<http://x/grp0/b> <http://x/p> <http://x/grp0/c> .
+<http://x/grp1/a> <http://x/p> <http://x/grp1/b> .
+<http://x/grp1/b> <http://x/p> <http://x/grp0/a> .
+<http://x/grp0/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Thing> .
+<http://x/Thing> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://x/Top> .
+`
+
+func runStream(t *testing.T, k int, a StreamAssigner) (*StreamStats, []*bytes.Buffer) {
+	t.Helper()
+	bufs := make([]*bytes.Buffer, k)
+	ws := make([]io.Writer, k)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		ws[i] = bufs[i]
+	}
+	stats, err := StreamPartition(strings.NewReader(streamInput), k, a, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, bufs
+}
+
+func TestStreamHashCoversEverything(t *testing.T) {
+	stats, bufs := runStream(t, 3, HashAssigner{K: 3})
+	if stats.Total != 6 {
+		t.Fatalf("total = %d", stats.Total)
+	}
+	if stats.SchemaBroadcast != 1 {
+		t.Fatalf("schema broadcast = %d, want 1 (the subClassOf triple)", stats.SchemaBroadcast)
+	}
+	// Every instance triple must be parseable from some sink; the schema
+	// triple from every sink.
+	dict := rdf.NewDict()
+	union := rdf.NewGraph()
+	for _, buf := range bufs {
+		if _, err := ntriples.ReadGraph(bytes.NewReader(buf.Bytes()), dict, union); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if union.Len() != 6 {
+		t.Fatalf("union of sinks has %d triples, want 6", union.Len())
+	}
+	for _, buf := range bufs {
+		if !strings.Contains(buf.String(), "subClassOf") {
+			t.Error("schema triple missing from a sink")
+		}
+	}
+}
+
+func TestStreamDomainKeepsGroupsTogether(t *testing.T) {
+	key := func(term rdf.Term) string {
+		i := strings.Index(term.Value, "grp")
+		if i < 0 {
+			return ""
+		}
+		return term.Value[i : i+4]
+	}
+	a := NewDomainAssigner(2, key)
+	stats, bufs := runStream(t, 2, a)
+	// grp0 and grp1 resources land on different partitions (online LPT
+	// gives the first key partition 0, the second partition 1), and the one
+	// cross-group edge is the only replicated triple.
+	if stats.Replicated != 1 {
+		t.Fatalf("replicated = %d, want 1", stats.Replicated)
+	}
+	// The two groups' internal edges must live on different sinks.
+	g0Edge := "<http://x/grp0/a> <http://x/p> <http://x/grp0/b>"
+	g1Edge := "<http://x/grp1/a> <http://x/p> <http://x/grp1/b>"
+	var g0Sink, g1Sink int
+	for i, buf := range bufs {
+		if strings.Contains(buf.String(), g0Edge) {
+			g0Sink = i
+		}
+		if strings.Contains(buf.String(), g1Edge) {
+			g1Sink = i
+		}
+	}
+	if g0Sink == g1Sink {
+		t.Errorf("both groups' internal edges landed on sink %d", g0Sink)
+	}
+}
+
+func TestStreamTypeTriplesFollowSubject(t *testing.T) {
+	a := HashAssigner{K: 4}
+	_, bufs := runStream(t, 4, a)
+	// The rdf:type triple must appear exactly once, on the subject's owner.
+	count := 0
+	for _, buf := range bufs {
+		count += strings.Count(buf.String(), "22-rdf-syntax-ns#type")
+	}
+	if count != 1 {
+		t.Fatalf("type triple appears %d times, want 1", count)
+	}
+}
+
+func TestStreamValidatesSinks(t *testing.T) {
+	if _, err := StreamPartition(strings.NewReader(""), 2, HashAssigner{K: 2}, nil); err == nil {
+		t.Fatal("mismatched sink count accepted")
+	}
+}
+
+func TestStreamPropagatesParseErrors(t *testing.T) {
+	var b bytes.Buffer
+	_, err := StreamPartition(strings.NewReader("garbage\n"), 1, HashAssigner{K: 1}, []io.Writer{&b})
+	if err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}
+
+func TestDomainAssignerBalancesKeys(t *testing.T) {
+	a := NewDomainAssigner(2, func(term rdf.Term) string { return term.Value })
+	counts := make([]int, 2)
+	for _, key := range []string{"k1", "k2", "k3", "k4"} {
+		counts[a.Assign(rdf.Term{Kind: rdf.IRI, Value: key})]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("online LPT distribution = %v", counts)
+	}
+	// Repeat assignments are stable.
+	first := a.Assign(rdf.Term{Kind: rdf.IRI, Value: "k1"})
+	if again := a.Assign(rdf.Term{Kind: rdf.IRI, Value: "k1"}); again != first {
+		t.Fatal("assignment not stable")
+	}
+}

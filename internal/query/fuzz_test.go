@@ -1,0 +1,53 @@
+package query
+
+import (
+	"testing"
+
+	"powl/internal/rdf"
+)
+
+// FuzzParse checks the query parser never panics; accepted queries must
+// solve without panicking against a small graph.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT ?x WHERE { ?x ?p ?o . }",
+		"PREFIX s: <http://s/>\nSELECT DISTINCT ?x ?y WHERE { ?x s:p ?y . ?y a s:T . } LIMIT 3",
+		"SELECT * WHERE { ?x ?p \"lit\" . }",
+		"select ?x where { ?x <http://p> ?y }",
+		"SELECT", "{}", "SELECT ?x WHERE { ?x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	dictTemplate := func() (*rdf.Dict, *rdf.Graph) {
+		dict := rdf.NewDict()
+		g := rdf.NewGraph()
+		a := dict.InternIRI("http://s/a")
+		p := dict.InternIRI("http://s/p")
+		b := dict.InternIRI("http://s/b")
+		g.Add(rdf.Triple{S: a, P: p, O: b})
+		g.Add(rdf.Triple{S: b, P: p, O: a})
+		return dict, g
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		dict, g := dictTemplate()
+		q, err := Parse(src, dict)
+		if err != nil {
+			return
+		}
+		res := q.Solve(g)
+		if q.Limit > 0 && len(res.Rows) > q.Limit {
+			t.Fatalf("LIMIT %d violated: %d rows", q.Limit, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if len(row) != len(res.Vars) {
+				t.Fatal("row width mismatch")
+			}
+			for _, id := range row {
+				if id == 0 {
+					t.Fatal("unbound projected variable in result row")
+				}
+			}
+		}
+	})
+}

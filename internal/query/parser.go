@@ -1,0 +1,280 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"powl/internal/rdf"
+	"powl/internal/vocab"
+)
+
+type qparser struct {
+	src      string
+	i        int
+	dict     *rdf.Dict
+	prefixes map[string]string
+}
+
+func (p *qparser) parse() (*Query, error) {
+	q := &Query{}
+	for {
+		p.skipWS()
+		if !p.hasKeyword("PREFIX") {
+			break
+		}
+		p.i += len("PREFIX")
+		if err := p.prefixDecl(); err != nil {
+			return nil, err
+		}
+	}
+	p.skipWS()
+	if !p.hasKeyword("SELECT") {
+		return nil, p.errf("expected SELECT")
+	}
+	p.i += len("SELECT")
+	p.skipWS()
+	if p.hasKeyword("DISTINCT") {
+		p.i += len("DISTINCT")
+		q.Distinct = true
+	}
+	for {
+		p.skipWS()
+		if p.i < len(p.src) && p.src[p.i] == '*' {
+			p.i++
+			q.star = true
+			break
+		}
+		if p.i >= len(p.src) || p.src[p.i] != '?' {
+			break
+		}
+		p.i++
+		name := p.name()
+		if name == "" {
+			return nil, p.errf("empty variable name")
+		}
+		q.Vars = append(q.Vars, name)
+	}
+	if !q.star && len(q.Vars) == 0 {
+		return nil, p.errf("SELECT needs variables or *")
+	}
+	p.skipWS()
+	if !p.hasKeyword("WHERE") {
+		return nil, p.errf("expected WHERE")
+	}
+	p.i += len("WHERE")
+	p.skipWS()
+	if p.i >= len(p.src) || p.src[p.i] != '{' {
+		return nil, p.errf("expected '{'")
+	}
+	p.i++
+	for {
+		p.skipWS()
+		if p.i >= len(p.src) {
+			return nil, p.errf("unterminated WHERE block")
+		}
+		if p.src[p.i] == '}' {
+			p.i++
+			break
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+		p.skipWS()
+		if p.i < len(p.src) && p.src[p.i] == '.' {
+			p.i++
+		}
+	}
+	p.skipWS()
+	if p.hasKeyword("LIMIT") {
+		p.i += len("LIMIT")
+		p.skipWS()
+		n := 0
+		start := p.i
+		for p.i < len(p.src) && p.src[p.i] >= '0' && p.src[p.i] <= '9' {
+			n = n*10 + int(p.src[p.i]-'0')
+			p.i++
+		}
+		if p.i == start {
+			return nil, p.errf("LIMIT needs a number")
+		}
+		q.Limit = n
+	}
+	p.skipWS()
+	if p.i != len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.i:])
+	}
+	if len(q.Patterns) == 0 {
+		return nil, p.errf("empty WHERE block")
+	}
+	if q.star {
+		seen := map[string]bool{}
+		for _, pat := range q.Patterns {
+			for _, t := range []PatternTerm{pat.S, pat.P, pat.O} {
+				if t.IsVar && !seen[t.Var] {
+					seen[t.Var] = true
+					q.Vars = append(q.Vars, t.Var)
+				}
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *qparser) pattern() (Pattern, error) {
+	s, err := p.term(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	pr, err := p.term(true)
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := p.term(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{S: s, P: pr, O: o}, nil
+}
+
+// term parses one pattern position; predicate position accepts the `a`
+// shorthand for rdf:type.
+func (p *qparser) term(predicate bool) (PatternTerm, error) {
+	p.skipWS()
+	if p.i >= len(p.src) {
+		return PatternTerm{}, p.errf("unexpected end of query")
+	}
+	switch c := p.src[p.i]; {
+	case c == '?':
+		p.i++
+		name := p.name()
+		if name == "" {
+			return PatternTerm{}, p.errf("empty variable name")
+		}
+		return PatternTerm{IsVar: true, Var: name}, nil
+	case c == '<':
+		end := strings.IndexByte(p.src[p.i:], '>')
+		if end < 0 {
+			return PatternTerm{}, p.errf("unterminated IRI")
+		}
+		iri := p.src[p.i+1 : p.i+end]
+		p.i += end + 1
+		return PatternTerm{ID: p.dict.InternIRI(iri)}, nil
+	case c == '"':
+		lex, err := p.literalLex()
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{ID: p.dict.InternLiteral(lex)}, nil
+	default:
+		word := p.name()
+		if word == "" {
+			return PatternTerm{}, p.errf("unexpected character %q", c)
+		}
+		if predicate && word == "a" {
+			return PatternTerm{ID: p.dict.InternIRI(vocab.RDFType)}, nil
+		}
+		colon := strings.IndexByte(word, ':')
+		if colon < 0 {
+			return PatternTerm{}, p.errf("expected prefixed name, got %q", word)
+		}
+		ns, ok := p.prefixes[word[:colon]]
+		if !ok {
+			return PatternTerm{}, p.errf("unknown prefix %q", word[:colon])
+		}
+		return PatternTerm{ID: p.dict.InternIRI(ns + word[colon+1:])}, nil
+	}
+}
+
+func (p *qparser) prefixDecl() error {
+	p.skipWS()
+	start := p.i
+	for p.i < len(p.src) && p.src[p.i] != ':' {
+		p.i++
+	}
+	if p.i >= len(p.src) {
+		return p.errf("malformed PREFIX")
+	}
+	name := strings.TrimSpace(p.src[start:p.i])
+	p.i++
+	p.skipWS()
+	if p.i >= len(p.src) || p.src[p.i] != '<' {
+		return p.errf("PREFIX needs <iri>")
+	}
+	end := strings.IndexByte(p.src[p.i:], '>')
+	if end < 0 {
+		return p.errf("unterminated IRI in PREFIX")
+	}
+	p.prefixes[name] = p.src[p.i+1 : p.i+end]
+	p.i += end + 1
+	return nil
+}
+
+func (p *qparser) literalLex() (string, error) {
+	start := p.i
+	p.i++
+	for p.i < len(p.src) {
+		switch p.src[p.i] {
+		case '\\':
+			p.i += 2
+			if p.i > len(p.src) {
+				p.i = len(p.src)
+				return "", p.errf("dangling escape in literal")
+			}
+		case '"':
+			p.i++
+			return p.src[start:p.i], nil
+		default:
+			p.i++
+		}
+	}
+	return "", p.errf("unterminated literal")
+}
+
+func (p *qparser) name() string {
+	start := p.i
+	for p.i < len(p.src) {
+		c := p.src[p.i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '_' || c == '-' || c == ':' || c == '/' || c == '#' || c == '.' {
+			p.i++
+			continue
+		}
+		break
+	}
+	// A trailing '.' is the pattern separator, not part of the name.
+	for p.i > start && p.src[p.i-1] == '.' {
+		p.i--
+	}
+	return p.src[start:p.i]
+}
+
+func (p *qparser) skipWS() {
+	for p.i < len(p.src) {
+		c := p.src[p.i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.i++
+			continue
+		}
+		if c == '#' {
+			for p.i < len(p.src) && p.src[p.i] != '\n' {
+				p.i++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (p *qparser) hasKeyword(kw string) bool {
+	if len(p.src)-p.i < len(kw) {
+		return false
+	}
+	return strings.EqualFold(p.src[p.i:p.i+len(kw)], kw)
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.i], "\n")
+	return fmt.Errorf("query: line %d: %s", line, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,242 @@
+// Package query implements a small SPARQL-subset query engine over
+// materialized graphs: basic graph patterns (BGP) with SELECT/DISTINCT/
+// LIMIT. Materialized knowledge bases exist to make queries cheap (the
+// trade-off the paper's introduction motivates: reasoning is paid at load
+// time so queries need no inference); this package is the consumer side of
+// that trade-off and is used by the examples and tests to interrogate
+// closures.
+//
+// Supported syntax:
+//
+//	PREFIX ub: <http://benchmark.powl/lubm#>
+//	SELECT DISTINCT ?x ?d WHERE {
+//	    ?x a ub:Professor .
+//	    ?x ub:worksFor ?d .
+//	} LIMIT 10
+//
+// `a` abbreviates rdf:type. SELECT * selects all variables in order of
+// first appearance.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powl/internal/rdf"
+	"powl/internal/vocab"
+)
+
+// Query is a parsed SELECT query.
+type Query struct {
+	// Vars are the projected variable names (without '?'), in SELECT order.
+	Vars []string
+	// Distinct deduplicates result rows.
+	Distinct bool
+	// Limit caps the number of rows; 0 means unlimited.
+	Limit int
+	// Patterns is the BGP.
+	Patterns []Pattern
+	star     bool
+}
+
+// Pattern is one triple pattern; a position is either a variable name or a
+// constant ID.
+type Pattern struct {
+	S, P, O PatternTerm
+}
+
+// PatternTerm is one position of a pattern.
+type PatternTerm struct {
+	IsVar bool
+	Var   string
+	ID    rdf.ID
+}
+
+// Result holds the rows produced by Solve.
+type Result struct {
+	// Vars names the columns.
+	Vars []string
+	// Rows hold one ID per column.
+	Rows [][]rdf.ID
+}
+
+// Parse reads the SPARQL-subset text, interning constants into dict.
+func Parse(src string, dict *rdf.Dict) (*Query, error) {
+	p := &qparser{src: src, dict: dict, prefixes: map[string]string{
+		"rdf":  vocab.RDF,
+		"rdfs": vocab.RDFS,
+		"owl":  vocab.OWL,
+		"xsd":  vocab.XSD,
+	}}
+	return p.parse()
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(src string, dict *rdf.Dict) *Query {
+	q, err := Parse(src, dict)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Solve evaluates the query against g. Patterns are joined in a greedy
+// selectivity order: at each step the pattern with the smallest estimated
+// extent under the current bindings runs next.
+func (q *Query) Solve(g *rdf.Graph) *Result {
+	res := &Result{Vars: q.Vars}
+	if len(q.Patterns) == 0 {
+		return res
+	}
+	slots := map[string]int{}
+	collect := func(t PatternTerm) {
+		if t.IsVar {
+			if _, ok := slots[t.Var]; !ok {
+				slots[t.Var] = len(slots)
+			}
+		}
+	}
+	for _, pat := range q.Patterns {
+		collect(pat.S)
+		collect(pat.P)
+		collect(pat.O)
+	}
+	for _, v := range q.Vars {
+		if _, ok := slots[v]; !ok {
+			// Projected variable not bound by any pattern: always empty.
+			return res
+		}
+	}
+
+	env := make([]rdf.ID, len(slots))
+	remaining := make([]Pattern, len(q.Patterns))
+	copy(remaining, q.Patterns)
+	seen := map[string]struct{}{}
+
+	var walk func(rem []Pattern) bool // returns false to stop (limit hit)
+	walk = func(rem []Pattern) bool {
+		if len(rem) == 0 {
+			row := make([]rdf.ID, len(q.Vars))
+			for i, v := range q.Vars {
+				row[i] = env[slots[v]]
+			}
+			if q.Distinct {
+				key := rowKey(row)
+				if _, dup := seen[key]; dup {
+					return true
+				}
+				seen[key] = struct{}{}
+			}
+			res.Rows = append(res.Rows, row)
+			return q.Limit == 0 || len(res.Rows) < q.Limit
+		}
+		// Pick the most selective pattern under current bindings.
+		best, bestCount := 0, -1
+		for i, pat := range rem {
+			s, p, o := resolveTerm(pat.S, env, slots), resolveTerm(pat.P, env, slots), resolveTerm(pat.O, env, slots)
+			n := g.CountMatch(s, p, o)
+			if bestCount < 0 || n < bestCount {
+				best, bestCount = i, n
+			}
+		}
+		pat := rem[best]
+		rest := make([]Pattern, 0, len(rem)-1)
+		rest = append(rest, rem[:best]...)
+		rest = append(rest, rem[best+1:]...)
+
+		s, p, o := resolveTerm(pat.S, env, slots), resolveTerm(pat.P, env, slots), resolveTerm(pat.O, env, slots)
+		cont := true
+		g.ForEachMatch(s, p, o, func(t rdf.Triple) bool {
+			bound, ok := bindPattern(pat, t, env, slots)
+			if ok {
+				cont = walk(rest)
+			}
+			for _, b := range bound {
+				env[b] = 0
+			}
+			return cont
+		})
+		return cont
+	}
+	walk(remaining)
+	return res
+}
+
+func rowKey(row []rdf.ID) string {
+	var b strings.Builder
+	for _, id := range row {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+func resolveTerm(t PatternTerm, env []rdf.ID, slots map[string]int) rdf.ID {
+	if !t.IsVar {
+		return t.ID
+	}
+	return env[slots[t.Var]]
+}
+
+func bindPattern(pat Pattern, t rdf.Triple, env []rdf.ID, slots map[string]int) ([]int, bool) {
+	var bound []int
+	undo := func() {
+		for _, b := range bound {
+			env[b] = 0
+		}
+	}
+	for _, pv := range [3]struct {
+		term PatternTerm
+		val  rdf.ID
+	}{{pat.S, t.S}, {pat.P, t.P}, {pat.O, t.O}} {
+		if !pv.term.IsVar {
+			if pv.term.ID != pv.val {
+				undo()
+				return nil, false
+			}
+			continue
+		}
+		slot := slots[pv.term.Var]
+		if cur := env[slot]; cur != 0 {
+			if cur != pv.val {
+				undo()
+				return nil, false
+			}
+			continue
+		}
+		env[slot] = pv.val
+		bound = append(bound, slot)
+	}
+	return bound, true
+}
+
+// SortRows orders the result rows lexicographically, for deterministic
+// output in examples and tests.
+func (r *Result) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// Format renders the result as an aligned text table using dict.
+func (r *Result) Format(dict *rdf.Dict) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Vars, "\t"))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		for i, id := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(dict.Term(id).String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

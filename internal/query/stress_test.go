@@ -1,0 +1,108 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"powl/internal/rdf"
+)
+
+// starGraph builds hubCount hubs each with fanout spokes over two
+// predicates, a shape where join order matters enormously.
+func starGraph(hubCount, fanout int) (*rdf.Dict, *rdf.Graph) {
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	owns := dict.InternIRI("http://s/owns")
+	tagged := dict.InternIRI("http://s/tagged")
+	rare := dict.InternIRI("http://s/rareTag")
+	for h := 0; h < hubCount; h++ {
+		hub := dict.InternIRI(fmt.Sprintf("http://s/hub%d", h))
+		for i := 0; i < fanout; i++ {
+			item := dict.InternIRI(fmt.Sprintf("http://s/hub%d/item%d", h, i))
+			g.Add(rdf.Triple{S: hub, P: owns, O: item})
+			g.Add(rdf.Triple{S: item, P: tagged, O: dict.InternIRI(fmt.Sprintf("http://s/tag%d", i%7))})
+		}
+	}
+	// Exactly one rare item.
+	g.Add(rdf.Triple{S: dict.InternIRI("http://s/hub0/item0"), P: tagged, O: rare})
+	return dict, g
+}
+
+// TestSelectiveJoinOrder: the greedy planner must start from the rare
+// pattern; a correct result in reasonable work is asserted by the test
+// simply completing fast with the right single answer.
+func TestSelectiveJoinOrder(t *testing.T) {
+	dict, g := starGraph(50, 40)
+	q := MustParse(`
+PREFIX s: <http://s/>
+SELECT ?hub WHERE {
+  ?hub s:owns ?item .
+  ?item s:tagged s:rareTag .
+}`, dict)
+	res := q.Solve(g)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rare-tag join returned %d rows, want 1", len(res.Rows))
+	}
+	hub0, _ := dict.Lookup(rdf.Term{Kind: rdf.IRI, Value: "http://s/hub0"})
+	if res.Rows[0][0] != hub0 {
+		t.Fatalf("wrong hub: %v", dict.Term(res.Rows[0][0]))
+	}
+}
+
+// TestFourWayJoin: longer BGPs still produce exactly the expected matches.
+func TestFourWayJoin(t *testing.T) {
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	p := dict.InternIRI("http://s/p")
+	// A diamond a->b->d, a->c->d plus noise.
+	a := dict.InternIRI("http://s/a")
+	bn := dict.InternIRI("http://s/b")
+	c := dict.InternIRI("http://s/c")
+	d := dict.InternIRI("http://s/d")
+	for _, tr := range []rdf.Triple{{S: a, P: p, O: bn}, {S: a, P: p, O: c}, {S: bn, P: p, O: d}, {S: c, P: p, O: d}} {
+		g.Add(tr)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		g.Add(rdf.Triple{
+			S: dict.InternIRI(fmt.Sprintf("http://s/n%d", rng.Intn(50))),
+			P: p,
+			O: dict.InternIRI(fmt.Sprintf("http://s/n%d", rng.Intn(50))),
+		})
+	}
+	q := MustParse(`
+PREFIX s: <http://s/>
+SELECT DISTINCT ?x ?w WHERE {
+  ?x s:p ?y .
+  ?x s:p ?z .
+  ?y s:p ?w .
+  ?z s:p ?w .
+}`, dict)
+	res := q.Solve(g)
+	// The diamond (x=a, w=d) must be among the results; with y=z
+	// permitted, self-pairs also appear — verify a,d present.
+	found := false
+	for _, row := range res.Rows {
+		if row[0] == a && row[1] == d {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("diamond match missing")
+	}
+}
+
+// TestLimitShortCircuits: with LIMIT 1 on a huge extent, evaluation stops
+// early (observable as a fast test rather than a hang on adversarial data).
+func TestLimitShortCircuits(t *testing.T) {
+	dict, g := starGraph(100, 100)
+	q := MustParse(`
+PREFIX s: <http://s/>
+SELECT ?h ?i WHERE { ?h s:owns ?i . } LIMIT 1
+`, dict)
+	res := q.Solve(g)
+	if len(res.Rows) != 1 {
+		t.Fatalf("LIMIT 1 returned %d rows", len(res.Rows))
+	}
+}

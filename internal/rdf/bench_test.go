@@ -1,0 +1,91 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int) (*Graph, []Triple) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraphCap(n)
+	ts := make([]Triple, 0, n)
+	for len(ts) < n {
+		t := Triple{
+			S: ID(1 + rng.Intn(n/4+1)),
+			P: ID(1 + rng.Intn(16)),
+			O: ID(1 + rng.Intn(n/4+1)),
+		}
+		if g.Add(t) {
+			ts = append(ts, t)
+		}
+	}
+	return g, ts
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	_, ts := benchGraph(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraphCap(len(ts))
+		for _, t := range ts {
+			g.Add(t)
+		}
+	}
+	b.ReportMetric(float64(len(ts)), "triples/op")
+}
+
+func BenchmarkGraphMatchSP(b *testing.B) {
+	g, ts := benchGraph(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		n := 0
+		g.ForEachMatch(t.S, t.P, Wildcard, func(Triple) bool {
+			n++
+			return true
+		})
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkGraphMatchPO(b *testing.B) {
+	g, ts := benchGraph(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		n := 0
+		g.ForEachMatch(Wildcard, t.P, t.O, func(Triple) bool {
+			n++
+			return true
+		})
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkDictIntern(b *testing.B) {
+	d := NewDict()
+	terms := make([]Term, 4096)
+	for i := range terms {
+		terms[i] = Term{Kind: IRI, Value: fmt.Sprintf("http://bench/x%d", i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Intern(terms[i%len(terms)])
+	}
+}
+
+func BenchmarkGraphUnion(b *testing.B) {
+	g1, _ := benchGraph(20000)
+	g2, _ := benchGraph(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NewGraphCap(g1.Len() + g2.Len())
+		u.Union(g1)
+		u.Union(g2)
+	}
+}

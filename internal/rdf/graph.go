@@ -1,0 +1,226 @@
+package rdf
+
+import "sort"
+
+// Graph is an in-memory triple store with set semantics and indexes for the
+// access patterns rule engines need: by subject, predicate, object, and the
+// composite (subject, predicate) and (predicate, object) keys.
+//
+// Graph is not safe for concurrent mutation; in powl each cluster worker owns
+// its graph exclusively and exchanges triples by value.
+type Graph struct {
+	set  map[Triple]struct{}
+	byS  map[ID][]Triple
+	byP  map[ID][]Triple
+	byO  map[ID][]Triple
+	bySP map[[2]ID][]ID // objects for (s, p)
+	byPO map[[2]ID][]ID // subjects for (p, o)
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return NewGraphCap(0) }
+
+// NewGraphCap returns an empty graph pre-sized for about n triples, which
+// avoids rehashing when bulk-loading (e.g. when aggregating worker outputs).
+func NewGraphCap(n int) *Graph {
+	return &Graph{
+		set:  make(map[Triple]struct{}, n),
+		byS:  make(map[ID][]Triple, n/4+1),
+		byP:  make(map[ID][]Triple, 64),
+		byO:  make(map[ID][]Triple, n/4+1),
+		bySP: make(map[[2]ID][]ID, n),
+		byPO: make(map[[2]ID][]ID, n/2+1),
+	}
+}
+
+// Add inserts t and reports whether it was not already present.
+func (g *Graph) Add(t Triple) bool {
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	g.byS[t.S] = append(g.byS[t.S], t)
+	g.byP[t.P] = append(g.byP[t.P], t)
+	g.byO[t.O] = append(g.byO[t.O], t)
+	g.bySP[[2]ID{t.S, t.P}] = append(g.bySP[[2]ID{t.S, t.P}], t.O)
+	g.byPO[[2]ID{t.P, t.O}] = append(g.byPO[[2]ID{t.P, t.O}], t.S)
+	return true
+}
+
+// AddAll inserts every triple in ts and returns the number newly added.
+func (g *Graph) AddAll(ts []Triple) int {
+	n := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether t is in the graph.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len reports the number of triples.
+func (g *Graph) Len() int { return len(g.set) }
+
+// Triples returns all triples in unspecified order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, len(g.set))
+	for t := range g.set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SortedTriples returns all triples ordered by (S, P, O), for deterministic
+// output.
+func (g *Graph) SortedTriples() []Triple {
+	out := g.Triples()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for t := range g.set {
+		c.Add(t)
+	}
+	return c
+}
+
+// ForEachMatch calls fn for every triple matching the pattern, where Wildcard
+// in any position matches all terms. Iteration stops early if fn returns
+// false. The graph must not be mutated during iteration.
+func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
+	switch {
+	case s != Wildcard && p != Wildcard && o != Wildcard:
+		t := Triple{s, p, o}
+		if g.Has(t) {
+			fn(t)
+		}
+	case s != Wildcard && p != Wildcard:
+		for _, obj := range g.bySP[[2]ID{s, p}] {
+			if !fn(Triple{s, p, obj}) {
+				return
+			}
+		}
+	case p != Wildcard && o != Wildcard:
+		for _, subj := range g.byPO[[2]ID{p, o}] {
+			if !fn(Triple{subj, p, o}) {
+				return
+			}
+		}
+	case s != Wildcard && o != Wildcard:
+		for _, t := range g.byS[s] {
+			if t.O == o && !fn(t) {
+				return
+			}
+		}
+	case s != Wildcard:
+		for _, t := range g.byS[s] {
+			if !fn(t) {
+				return
+			}
+		}
+	case p != Wildcard:
+		for _, t := range g.byP[p] {
+			if !fn(t) {
+				return
+			}
+		}
+	case o != Wildcard:
+		for _, t := range g.byO[o] {
+			if !fn(t) {
+				return
+			}
+		}
+	default:
+		for t := range g.set {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Match returns all triples matching the pattern as a slice.
+func (g *Graph) Match(s, p, o ID) []Triple {
+	var out []Triple
+	g.ForEachMatch(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// CountMatch returns the number of triples matching the pattern without
+// materializing them.
+func (g *Graph) CountMatch(s, p, o ID) int {
+	n := 0
+	g.ForEachMatch(s, p, o, func(Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Resources returns the set of IDs that appear as subject or object of some
+// triple (the nodes of the RDF graph, excluding predicates).
+func (g *Graph) Resources() map[ID]struct{} {
+	res := make(map[ID]struct{})
+	for t := range g.set {
+		res[t.S] = struct{}{}
+		res[t.O] = struct{}{}
+	}
+	return res
+}
+
+// Subjects returns the set of IDs appearing in subject position.
+func (g *Graph) Subjects() map[ID]struct{} {
+	res := make(map[ID]struct{})
+	for t := range g.set {
+		res[t.S] = struct{}{}
+	}
+	return res
+}
+
+// Union adds every triple of other into g and returns the number newly added.
+func (g *Graph) Union(other *Graph) int {
+	n := 0
+	for t := range other.set {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether g and other contain exactly the same triples.
+func (g *Graph) Equal(other *Graph) bool {
+	if g.Len() != other.Len() {
+		return false
+	}
+	for t := range g.set {
+		if !other.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the triples present in g but not in other, sorted.
+func (g *Graph) Diff(other *Graph) []Triple {
+	var out []Triple
+	for t := range g.set {
+		if !other.Has(t) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

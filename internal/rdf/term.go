@@ -1,0 +1,83 @@
+// Package rdf provides the core RDF data model used throughout powl: interned
+// terms, triples, and an indexed in-memory triple store.
+//
+// Terms (IRIs, literals, blank nodes) are interned into a Dict, which maps
+// each distinct term to a dense uint32 ID. All higher layers (rule engines,
+// partitioners, transports) operate on IDs; the Dict is consulted only at
+// the edges (parsing, serialization, display).
+package rdf
+
+import "fmt"
+
+// ID is a dense identifier for an interned term. The zero ID is reserved and
+// never names a term; pattern-matching APIs use it as a wildcard.
+type ID uint32
+
+// Wildcard is the reserved ID used by Graph.Match to mean "any term".
+const Wildcard ID = 0
+
+// TermKind distinguishes the three syntactic categories of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI is an absolute IRI reference, e.g. <http://example.org/a>.
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) literal. The Value
+	// holds the full lexical surface including quotes and any suffix, e.g.
+	// `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`.
+	Literal
+	// Blank is a blank node label, e.g. _:b0.
+	Blank
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	case Blank:
+		return "Blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is the decoded form of an interned term.
+type Term struct {
+	Kind TermKind
+	// Value is the term's text without the kind-specific delimiters for
+	// IRIs (no angle brackets) and blank nodes (no "_:" prefix). For
+	// literals it is the full N-Triples lexical form including quotes,
+	// so typed and language-tagged literals round-trip exactly.
+	Value string
+}
+
+// String renders the term in N-Triples surface syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		return t.Value
+	}
+}
+
+// Triple is a subject–predicate–object statement over interned term IDs.
+type Triple struct {
+	S, P, O ID
+}
+
+// Less orders triples lexicographically by (S, P, O); used for deterministic
+// output.
+func (t Triple) Less(u Triple) bool {
+	if t.S != u.S {
+		return t.S < u.S
+	}
+	if t.P != u.P {
+		return t.P < u.P
+	}
+	return t.O < u.O
+}

@@ -1,0 +1,147 @@
+// Package reason provides the two rule engines behind powl's reasoning, both
+// operating on datalog rules over RDF triples:
+//
+//   - Forward: semi-naive bottom-up evaluation to fixpoint. Fast, and the
+//     reference implementation the parallel results are checked against.
+//   - Hybrid: the strategy of the paper's §V — the ontology is first
+//     compiled into instance rules (package owlhorst), then a tabled SLD
+//     backward engine materializes the KB by issuing one "all statements
+//     about this resource" query per resource, exactly as Jena's hybrid
+//     reasoner does. Its per-query cost grows with the size of the searched
+//     partition, which is what produces the paper's super-linear speedups.
+//
+// Both engines compute the same closure (tested); they differ only in cost
+// profile.
+package reason
+
+import (
+	"powl/internal/rdf"
+	"powl/internal/rules"
+)
+
+// Engine materializes the closure of a graph under a rule set.
+type Engine interface {
+	// Name identifies the engine in reports ("forward", "hybrid").
+	Name() string
+	// Materialize adds all derivable triples to g and returns the number of
+	// triples added.
+	Materialize(g *rdf.Graph, rs []rules.Rule) int
+}
+
+// slotTerm is a body/head position in compiled form: either a constant ID or
+// a variable slot index.
+type slotTerm struct {
+	isVar bool
+	id    rdf.ID
+	slot  int
+}
+
+type cAtom struct {
+	s, p, o slotTerm
+}
+
+type cRule struct {
+	name  string
+	body  []cAtom
+	head  []cAtom
+	nslot int
+}
+
+// compileRules lowers parsed rules into slot-indexed form. Variable names are
+// assigned dense slots per rule.
+func compileRules(rs []rules.Rule) []cRule {
+	out := make([]cRule, 0, len(rs))
+	for _, r := range rs {
+		slots := map[string]int{}
+		lower := func(t rules.TermSpec) slotTerm {
+			if !t.IsVar {
+				return slotTerm{id: t.ID}
+			}
+			s, ok := slots[t.Var]
+			if !ok {
+				s = len(slots)
+				slots[t.Var] = s
+			}
+			return slotTerm{isVar: true, slot: s}
+		}
+		lowerAtom := func(a rules.Atom) cAtom {
+			return cAtom{s: lower(a.S), p: lower(a.P), o: lower(a.O)}
+		}
+		cr := cRule{name: r.Name}
+		for _, a := range r.Body {
+			cr.body = append(cr.body, lowerAtom(a))
+		}
+		for _, a := range r.Head {
+			cr.head = append(cr.head, lowerAtom(a))
+		}
+		cr.nslot = len(slots)
+		out = append(out, cr)
+	}
+	return out
+}
+
+// env is a per-rule binding environment: env[slot] == 0 means unbound
+// (term IDs are always ≥ 1).
+type env []rdf.ID
+
+// resolve returns the pattern ID for a position under e: the constant, the
+// bound value, or Wildcard.
+func (e env) resolve(t slotTerm) rdf.ID {
+	if !t.isVar {
+		return t.id
+	}
+	return e[t.slot]
+}
+
+// bindTriple attempts to extend e so that atom a matches triple t. It
+// returns the slots newly bound (for undoing) and whether the match is
+// consistent.
+func (e env) bindTriple(a cAtom, t rdf.Triple) ([]int, bool) {
+	var bound []int
+	undo := func() {
+		for _, s := range bound {
+			e[s] = 0
+		}
+	}
+	for _, pv := range [3]struct {
+		term slotTerm
+		val  rdf.ID
+	}{{a.s, t.S}, {a.p, t.P}, {a.o, t.O}} {
+		if !pv.term.isVar {
+			if pv.term.id != pv.val {
+				undo()
+				return nil, false
+			}
+			continue
+		}
+		if cur := e[pv.term.slot]; cur != 0 {
+			if cur != pv.val {
+				undo()
+				return nil, false
+			}
+			continue
+		}
+		e[pv.term.slot] = pv.val
+		bound = append(bound, pv.term.slot)
+	}
+	return bound, true
+}
+
+// unbind clears the given slots.
+func (e env) unbind(slots []int) {
+	for _, s := range slots {
+		e[s] = 0
+	}
+}
+
+// instantiate builds the triple for a fully-bound head atom.
+func (e env) instantiate(a cAtom) rdf.Triple {
+	return rdf.Triple{S: e.resolve(a.s), P: e.resolve(a.p), O: e.resolve(a.o)}
+}
+
+// grounded reports whether every variable of a is bound in e.
+func (e env) grounded(a cAtom) bool {
+	return e.resolve(a.s) != rdf.Wildcard &&
+		e.resolve(a.p) != rdf.Wildcard &&
+		e.resolve(a.o) != rdf.Wildcard
+}

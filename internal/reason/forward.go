@@ -1,0 +1,142 @@
+package reason
+
+import (
+	"powl/internal/rdf"
+	"powl/internal/rules"
+)
+
+// Forward is the semi-naive bottom-up datalog engine. Each round joins the
+// previous round's delta against the full graph, so every derivation is
+// performed once; rounds continue until no new triples appear.
+type Forward struct{}
+
+// Name implements Engine.
+func (Forward) Name() string { return "forward" }
+
+// trigger marks that a delta triple with a given predicate may instantiate
+// body atom atomIdx of rule.
+type trigger struct {
+	rule    *cRule
+	atomIdx int
+}
+
+// Materialize implements Engine.
+func (f Forward) Materialize(g *rdf.Graph, rs []rules.Rule) int {
+	return f.materialize(g, rs, g.Triples())
+}
+
+// materialize runs semi-naive evaluation with the given initial delta.
+func (Forward) materialize(g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) int {
+	crs := compileRules(rs)
+
+	// Index body atoms by their predicate constant so that a delta triple
+	// only visits rules it can trigger. Atoms with a variable predicate go
+	// into the wildcard list.
+	byPred := map[rdf.ID][]trigger{}
+	var anyPred []trigger
+	for i := range crs {
+		r := &crs[i]
+		for j, a := range r.body {
+			if a.p.isVar {
+				anyPred = append(anyPred, trigger{r, j})
+			} else {
+				byPred[a.p.id] = append(byPred[a.p.id], trigger{r, j})
+			}
+		}
+	}
+
+	added := 0
+	for len(delta) > 0 {
+		pending := map[rdf.Triple]struct{}{}
+		emit := func(t rdf.Triple) {
+			if !g.Has(t) {
+				pending[t] = struct{}{}
+			}
+		}
+		for _, t := range delta {
+			for _, tr := range byPred[t.P] {
+				fireOn(g, tr, t, emit)
+			}
+			for _, tr := range anyPred {
+				fireOn(g, tr, t, emit)
+			}
+		}
+		delta = delta[:0]
+		for t := range pending {
+			if g.Add(t) {
+				delta = append(delta, t)
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// fireOn seeds rule tr.rule with delta triple t at body position tr.atomIdx,
+// joins the remaining body atoms against the full graph, and emits every
+// resulting head instantiation.
+func fireOn(g *rdf.Graph, tr trigger, t rdf.Triple, emit func(rdf.Triple)) {
+	r := tr.rule
+	e := make(env, r.nslot)
+	bound, ok := e.bindTriple(r.body[tr.atomIdx], t)
+	if !ok {
+		return
+	}
+	_ = bound
+	rest := make([]int, 0, len(r.body)-1)
+	for i := range r.body {
+		if i != tr.atomIdx {
+			rest = append(rest, i)
+		}
+	}
+	joinRest(g, r, rest, e, func() {
+		for _, h := range r.head {
+			emit(e.instantiate(h))
+		}
+	})
+}
+
+// joinRest extends e over the body atoms listed in rest (indices into
+// r.body), calling yield for every complete assignment. At each step it
+// greedily picks the most-bound remaining atom, which keeps the join cheap
+// for the ≤4-atom OWL-Horst bodies.
+func joinRest(g *rdf.Graph, r *cRule, rest []int, e env, yield func()) {
+	if len(rest) == 0 {
+		yield()
+		return
+	}
+	best, bestScore := 0, -1
+	for i, ai := range rest {
+		score := 0
+		a := r.body[ai]
+		for _, t := range [3]slotTerm{a.s, a.p, a.o} {
+			if e.resolve(t) != rdf.Wildcard {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	ai := rest[best]
+	remaining := make([]int, 0, len(rest)-1)
+	remaining = append(remaining, rest[:best]...)
+	remaining = append(remaining, rest[best+1:]...)
+
+	a := r.body[ai]
+	g.ForEachMatch(e.resolve(a.s), e.resolve(a.p), e.resolve(a.o), func(t rdf.Triple) bool {
+		if bound, ok := e.bindTriple(a, t); ok {
+			joinRest(g, r, remaining, e, yield)
+			e.unbind(bound)
+		}
+		return true
+	})
+}
+
+// Closure is a convenience wrapper: it clones g, materializes it under rs
+// with the forward engine, and returns the closed graph, leaving g intact.
+func Closure(g *rdf.Graph, rs []rules.Rule) *rdf.Graph {
+	c := g.Clone()
+	Forward{}.Materialize(c, rs)
+	return c
+}

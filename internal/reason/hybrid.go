@@ -1,0 +1,286 @@
+package reason
+
+import (
+	"sort"
+
+	"powl/internal/rdf"
+	"powl/internal/rules"
+)
+
+// Hybrid materializes a KB the way the paper's §V describes Jena doing it:
+// for each resource in the graph it issues the query "all triples with this
+// resource as subject" against a tabled SLD backward engine, and stores the
+// answers. Rule bodies are evaluated strictly left-to-right (SLD order,
+// no boundness reordering), so rules whose leading body atom is unbound by
+// the goal — e.g. the compiled allValuesFrom rule — scan a predicate extent
+// of the whole partition. That per-query work grows with partition size,
+// which is exactly the worst-case behaviour the paper observed on LUBM and
+// MDC and exploited for super-linear speedups (§VI-A).
+//
+// Subgoals are tabled with Tarjan-style SCC completion: mutually recursive
+// subgoals (e.g. transitive chains) are closed together by iterating their
+// strongly connected component to fixpoint, then marked complete. By
+// default the table is reset between resource queries (matching Jena's
+// per-query tabling); SharedTable keeps one table for the whole
+// materialization, removing most re-derivation — the ablation benchmark
+// BenchmarkAblation_Tabling quantifies the difference.
+type Hybrid struct {
+	// SharedTable shares the subgoal table across all per-resource queries.
+	SharedTable bool
+	// FrontierDelta makes MaterializeFrom close deltas with frontier-guided
+	// backward queries instead of delegating to the forward engine; see
+	// that method's documentation.
+	FrontierDelta bool
+}
+
+// Name implements Engine.
+func (h Hybrid) Name() string {
+	if h.SharedTable {
+		return "hybrid-shared"
+	}
+	return "hybrid"
+}
+
+// Materialize implements Engine.
+func (h Hybrid) Materialize(g *rdf.Graph, rs []rules.Rule) int {
+	crs := compileRules(rs)
+
+	// Query plan: every resource appearing as subject or object, in ID
+	// order for determinism. Inference cannot invent constants, so every
+	// closure triple's subject is already in this set.
+	resSet := g.Resources()
+	resources := make([]rdf.ID, 0, len(resSet))
+	for r := range resSet {
+		resources = append(resources, r)
+	}
+	sort.Slice(resources, func(i, j int) bool { return resources[i] < resources[j] })
+
+	added := 0
+	var s *solver
+	var pending []rdf.Triple
+	for _, r := range resources {
+		if s == nil || !h.SharedTable {
+			s = newSolver(g, crs)
+		}
+		goal := rdf.Triple{S: r, P: rdf.Wildcard, O: rdf.Wildcard}
+		e := s.solve(goal)
+		pending = pending[:0]
+		for t := range e.answers {
+			if !g.Has(t) {
+				// Defer insertion: the solver's base-fact scans iterate g.
+				pending = append(pending, t)
+			}
+		}
+		for _, t := range pending {
+			if g.Add(t) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// tableEntry is the memo record for one subgoal pattern.
+type tableEntry struct {
+	goal     rdf.Triple
+	answers  map[rdf.Triple]struct{}
+	active   bool // on the SLD stack (its SCC is still being computed)
+	complete bool // answers are final
+	depth    int  // Tarjan DFS index
+	low      int  // Tarjan lowlink
+}
+
+// headRef locates one head atom of one rule.
+type headRef struct {
+	rule *cRule
+	head int
+}
+
+type solver struct {
+	g     *rdf.Graph
+	rules []cRule
+	table map[rdf.Triple]*tableEntry
+	total int // total answers across all entries, for fixpoint detection
+	stack []*tableEntry
+	depth int
+	// byHeadPred indexes head atoms by their constant predicate;
+	// anyHeadPred lists heads with a variable predicate. Subgoals with a
+	// bound predicate only resolve against heads that can produce it.
+	byHeadPred  map[rdf.ID][]headRef
+	anyHeadPred []headRef
+}
+
+func newSolver(g *rdf.Graph, crs []cRule) *solver {
+	s := &solver{g: g, rules: crs, table: map[rdf.Triple]*tableEntry{},
+		byHeadPred: map[rdf.ID][]headRef{}}
+	for ri := range crs {
+		r := &crs[ri]
+		for hi, h := range r.head {
+			if h.p.isVar {
+				s.anyHeadPred = append(s.anyHeadPred, headRef{r, hi})
+			} else {
+				s.byHeadPred[h.p.id] = append(s.byHeadPred[h.p.id], headRef{r, hi})
+			}
+		}
+	}
+	return s
+}
+
+func (s *solver) entry(goal rdf.Triple) *tableEntry {
+	e := s.table[goal]
+	if e == nil {
+		e = &tableEntry{goal: goal, answers: map[rdf.Triple]struct{}{}}
+		s.table[goal] = e
+	}
+	return e
+}
+
+// solve evaluates the subgoal pattern to completion unless it participates
+// in an SCC still open higher up the stack, in which case the current
+// partial answers are returned and the SCC leader finishes the job.
+func (s *solver) solve(goal rdf.Triple) *tableEntry {
+	e := s.entry(goal)
+	if e.complete || e.active {
+		return e
+	}
+	e.active = true
+	s.depth++
+	e.depth = s.depth
+	e.low = e.depth
+	s.stack = append(s.stack, e)
+	stackPos := len(s.stack) - 1
+
+	// Local fixpoint for this goal.
+	for {
+		before := s.total
+		s.evaluateOnce(e)
+		if s.total == before {
+			break
+		}
+	}
+
+	if e.low == e.depth {
+		// e is its SCC's leader: close the whole component by iterating
+		// every member until no member gains an answer, then complete them.
+		scc := s.stack[stackPos:]
+		if len(scc) > 1 {
+			for {
+				before := s.total
+				for _, m := range scc {
+					s.evaluateOnce(m)
+				}
+				if s.total == before {
+					break
+				}
+			}
+		}
+		for _, m := range scc {
+			m.complete = true
+			m.active = false
+		}
+		s.stack = s.stack[:stackPos]
+	}
+	return e
+}
+
+// evaluateOnce runs one resolution pass for e's goal: base facts plus every
+// rule whose head unifies, with bodies evaluated left-to-right.
+func (s *solver) evaluateOnce(e *tableEntry) {
+	goal := e.goal
+	s.g.ForEachMatch(goal.S, goal.P, goal.O, func(t rdf.Triple) bool {
+		s.addAnswer(e, t)
+		return true
+	})
+	resolve := func(ref headRef) {
+		r := ref.rule
+		hAtom := r.head[ref.head]
+		env := make(env, r.nslot)
+		if !unifyGoal(hAtom, goal, env) {
+			return
+		}
+		s.evalBody(e, r, 0, env, func() {
+			t := env.instantiate(hAtom)
+			if matchesGoal(t, goal) {
+				s.addAnswer(e, t)
+			}
+		})
+	}
+	if goal.P != rdf.Wildcard {
+		for _, ref := range s.byHeadPred[goal.P] {
+			resolve(ref)
+		}
+		for _, ref := range s.anyHeadPred {
+			resolve(ref)
+		}
+		return
+	}
+	for ri := range s.rules {
+		r := &s.rules[ri]
+		for hi := range r.head {
+			resolve(headRef{r, hi})
+		}
+	}
+}
+
+func (s *solver) addAnswer(e *tableEntry, t rdf.Triple) {
+	if _, ok := e.answers[t]; !ok {
+		e.answers[t] = struct{}{}
+		s.total++
+	}
+}
+
+// evalBody runs the rule body strictly left-to-right (SLD order) under env,
+// calling yield for each complete derivation. Lowlinks propagate from
+// subgoals still on the stack, so mutually recursive goals end up in one
+// SCC.
+func (s *solver) evalBody(e *tableEntry, r *cRule, i int, en env, yield func()) {
+	if i == len(r.body) {
+		yield()
+		return
+	}
+	a := r.body[i]
+	sub := rdf.Triple{S: en.resolve(a.s), P: en.resolve(a.p), O: en.resolve(a.o)}
+	se := s.solve(sub)
+	if se.active && se.low < e.low {
+		e.low = se.low
+	}
+	// Recursive solve calls underneath may grow se.answers while we range
+	// over it; Go permits that (new entries may or may not be visited), and
+	// the enclosing fixpoint loops pick up any answers missed here.
+	for t := range se.answers {
+		if bound, ok := en.bindTriple(a, t); ok {
+			s.evalBody(e, r, i+1, en, yield)
+			en.unbind(bound)
+		}
+	}
+}
+
+// unifyGoal binds head-atom variables from the goal's bound positions and
+// checks constants; it reports whether the head can produce goal matches.
+func unifyGoal(h cAtom, goal rdf.Triple, e env) bool {
+	for _, pv := range [3]struct {
+		term slotTerm
+		val  rdf.ID
+	}{{h.s, goal.S}, {h.p, goal.P}, {h.o, goal.O}} {
+		if pv.val == rdf.Wildcard {
+			continue
+		}
+		if !pv.term.isVar {
+			if pv.term.id != pv.val {
+				return false
+			}
+			continue
+		}
+		if cur := e[pv.term.slot]; cur != 0 && cur != pv.val {
+			return false
+		}
+		e[pv.term.slot] = pv.val
+	}
+	return true
+}
+
+func matchesGoal(t, goal rdf.Triple) bool {
+	return (goal.S == rdf.Wildcard || goal.S == t.S) &&
+		(goal.P == rdf.Wildcard || goal.P == t.P) &&
+		(goal.O == rdf.Wildcard || goal.O == t.O)
+}

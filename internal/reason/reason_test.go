@@ -1,0 +1,372 @@
+package reason
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powl/internal/rdf"
+	"powl/internal/rules"
+)
+
+// env/test fixtures -----------------------------------------------------
+
+type fx struct {
+	dict *rdf.Dict
+	g    *rdf.Graph
+}
+
+func newFx() *fx { return &fx{dict: rdf.NewDict(), g: rdf.NewGraph()} }
+
+func (f *fx) id(s string) rdf.ID { return f.dict.InternIRI("http://t/" + s) }
+func (f *fx) add(s, p, o rdf.ID) { f.g.Add(rdf.Triple{S: s, P: p, O: o}) }
+func (f *fx) parse(src string) []rules.Rule {
+	return rules.MustParse("@prefix t: <http://t/> .\n"+src, f.dict)
+}
+
+var engines = []Engine{Forward{}, Hybrid{}, Hybrid{SharedTable: true}}
+
+// checkAllEngines materializes clones of g under rs with every engine and
+// requires identical results; returns the closure.
+func checkAllEngines(t *testing.T, f *fx, rs []rules.Rule) *rdf.Graph {
+	t.Helper()
+	var ref *rdf.Graph
+	for _, e := range engines {
+		g := f.g.Clone()
+		e.Materialize(g, rs)
+		if ref == nil {
+			ref = g
+			continue
+		}
+		if !g.Equal(ref) {
+			t.Fatalf("engine %s disagrees: %d vs %d triples; missing=%v extra=%v",
+				e.Name(), g.Len(), ref.Len(), ref.Diff(g), g.Diff(ref))
+		}
+	}
+	return ref
+}
+
+// ------------------------------------------------------------------------
+
+func TestTransitiveClosureChain(t *testing.T) {
+	f := newFx()
+	p := f.id("p")
+	const n = 12
+	ids := make([]rdf.ID, n)
+	for i := range ids {
+		ids[i] = f.id("n" + string(rune('a'+i)))
+	}
+	for i := 0; i+1 < n; i++ {
+		f.add(ids[i], p, ids[i+1])
+	}
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	closed := checkAllEngines(t, f, rs)
+	// Closure of a chain of n nodes has n(n-1)/2 edges.
+	want := n * (n - 1) / 2
+	if closed.Len() != want {
+		t.Fatalf("closure has %d triples, want %d", closed.Len(), want)
+	}
+}
+
+func TestTransitiveClosureCycle(t *testing.T) {
+	f := newFx()
+	p := f.id("p")
+	a, b, c := f.id("a"), f.id("b"), f.id("c")
+	f.add(a, p, b)
+	f.add(b, p, c)
+	f.add(c, p, a)
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	closed := checkAllEngines(t, f, rs)
+	// A 3-cycle closes to the complete relation on {a,b,c}: 9 edges.
+	if closed.Len() != 9 {
+		t.Fatalf("cycle closure has %d triples, want 9", closed.Len())
+	}
+}
+
+func TestSymmetricAndSubProperty(t *testing.T) {
+	f := newFx()
+	a, b := f.id("a"), f.id("b")
+	f.add(a, f.id("knows"), b)
+	rs := f.parse(`
+[sym: (?x t:knows ?y) -> (?y t:knows ?x)]
+[sub: (?x t:knows ?y) -> (?x t:acquainted ?y)]
+`)
+	closed := checkAllEngines(t, f, rs)
+	if !closed.Has(rdf.Triple{S: b, P: f.id("knows"), O: a}) {
+		t.Error("symmetric derivation missing")
+	}
+	if !closed.Has(rdf.Triple{S: b, P: f.id("acquainted"), O: a}) {
+		t.Error("chained derivation through symmetric missing")
+	}
+}
+
+func TestVariablePredicateRule(t *testing.T) {
+	f := newFx()
+	same := f.id("same")
+	a, b, c := f.id("a"), f.id("b"), f.id("c")
+	p := f.id("p")
+	f.add(a, same, b)
+	f.add(a, p, c)
+	rs := f.parse(`[subst: (?x t:same ?y) (?x ?q ?z) -> (?y ?q ?z)]`)
+	closed := checkAllEngines(t, f, rs)
+	if !closed.Has(rdf.Triple{S: b, P: p, O: c}) {
+		t.Error("variable-predicate substitution missing")
+	}
+	// The rule also applies to the same triple itself: (b same b).
+	if !closed.Has(rdf.Triple{S: b, P: same, O: b}) {
+		t.Error("self-application through substitution missing")
+	}
+}
+
+func TestRepeatedVariableAtom(t *testing.T) {
+	f := newFx()
+	p, q := f.id("p"), f.id("q")
+	a, b := f.id("a"), f.id("b")
+	f.add(a, p, a) // reflexive: matches (?x p ?x)
+	f.add(a, p, b) // not reflexive
+	rs := f.parse(`[refl: (?x t:p ?x) -> (?x t:q ?x)]`)
+	closed := checkAllEngines(t, f, rs)
+	if !closed.Has(rdf.Triple{S: a, P: q, O: a}) {
+		t.Error("reflexive match missing")
+	}
+	if closed.Has(rdf.Triple{S: a, P: q, O: b}) || closed.Has(rdf.Triple{S: b, P: q, O: b}) {
+		t.Error("repeated-variable atom matched non-reflexive triple")
+	}
+}
+
+func TestThreeAtomBody(t *testing.T) {
+	// The generic forward engine must handle >2-atom bodies (meta rules
+	// have up to 4). The hybrid engine sees only compiled (≤2-atom+n-ary
+	// intersection) rules in production but must still be correct.
+	f := newFx()
+	p, q, r, out := f.id("p"), f.id("q"), f.id("r"), f.id("out")
+	a, b, c, d := f.id("a"), f.id("b"), f.id("c"), f.id("d")
+	f.add(a, p, b)
+	f.add(b, q, c)
+	f.add(c, r, d)
+	rs := f.parse(`[j3: (?w t:p ?x) (?x t:q ?y) (?y t:r ?z) -> (?w t:out ?z)]`)
+	closed := checkAllEngines(t, f, rs)
+	if !closed.Has(rdf.Triple{S: a, P: out, O: d}) {
+		t.Error("3-way join missing")
+	}
+}
+
+func TestNoDerivationWithoutMatch(t *testing.T) {
+	f := newFx()
+	f.add(f.id("a"), f.id("p"), f.id("b"))
+	rs := f.parse(`[r: (?x t:q ?y) -> (?y t:q ?x)]`)
+	closed := checkAllEngines(t, f, rs)
+	if closed.Len() != 1 {
+		t.Fatalf("engine invented triples: %d", closed.Len())
+	}
+}
+
+func TestEmptyGraphAndEmptyRules(t *testing.T) {
+	f := newFx()
+	rs := f.parse(`[r: (?x t:p ?y) -> (?y t:p ?x)]`)
+	for _, e := range engines {
+		g := rdf.NewGraph()
+		if n := e.Materialize(g, rs); n != 0 || g.Len() != 0 {
+			t.Errorf("%s on empty graph added %d", e.Name(), n)
+		}
+	}
+	f.add(f.id("a"), f.id("p"), f.id("b"))
+	for _, e := range engines {
+		g := f.g.Clone()
+		if n := e.Materialize(g, nil); n != 0 {
+			t.Errorf("%s with no rules added %d", e.Name(), n)
+		}
+	}
+}
+
+func TestMaterializeReturnsAddedCount(t *testing.T) {
+	f := newFx()
+	a, b, c := f.id("a"), f.id("b"), f.id("c")
+	p := f.id("p")
+	f.add(a, p, b)
+	f.add(b, p, c)
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	for _, e := range engines {
+		g := f.g.Clone()
+		if n := e.Materialize(g, rs); n != 1 {
+			t.Errorf("%s reported %d added, want 1", e.Name(), n)
+		}
+	}
+}
+
+func TestClosureLeavesInputIntact(t *testing.T) {
+	f := newFx()
+	a, b, c := f.id("a"), f.id("b"), f.id("c")
+	p := f.id("p")
+	f.add(a, p, b)
+	f.add(b, p, c)
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	before := f.g.Len()
+	closed := Closure(f.g, rs)
+	if f.g.Len() != before {
+		t.Fatal("Closure mutated its input")
+	}
+	if closed.Len() != before+1 {
+		t.Fatalf("closure size %d", closed.Len())
+	}
+}
+
+// randomRuleSet builds a small random single-join rule universe over nPreds
+// predicates: transitivity, symmetry, and renaming rules.
+func randomRuleSet(f *fx, rng *rand.Rand, nPreds int) []rules.Rule {
+	var rs []rules.Rule
+	preds := make([]rdf.ID, nPreds)
+	for i := range preds {
+		preds[i] = f.id("pred" + string(rune('A'+i)))
+	}
+	x, y, z := rules.Var("x"), rules.Var("y"), rules.Var("z")
+	for i, p := range preds {
+		pc := rules.Const(p)
+		switch rng.Intn(3) {
+		case 0:
+			rs = append(rs, rules.Rule{
+				Name: "tr" + string(rune('A'+i)),
+				Body: []rules.Atom{{S: x, P: pc, O: y}, {S: y, P: pc, O: z}},
+				Head: []rules.Atom{{S: x, P: pc, O: z}},
+			})
+		case 1:
+			rs = append(rs, rules.Rule{
+				Name: "sym" + string(rune('A'+i)),
+				Body: []rules.Atom{{S: x, P: pc, O: y}},
+				Head: []rules.Atom{{S: y, P: pc, O: x}},
+			})
+		default:
+			q := rules.Const(preds[rng.Intn(nPreds)])
+			rs = append(rs, rules.Rule{
+				Name: "ren" + string(rune('A'+i)),
+				Body: []rules.Atom{{S: x, P: pc, O: y}},
+				Head: []rules.Atom{{S: x, P: q, O: y}},
+			})
+		}
+	}
+	return rs
+}
+
+// TestEnginesAgreeProperty: on random graphs and random single-join rule
+// sets, forward and hybrid produce identical closures.
+func TestEnginesAgreeProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := newFx()
+		nPreds := 2 + rng.Intn(3)
+		rs := randomRuleSet(f, rng, nPreds)
+		nNodes := 4 + rng.Intn(8)
+		nodes := make([]rdf.ID, nNodes)
+		for i := range nodes {
+			nodes[i] = f.id("n" + string(rune('0'+i)))
+		}
+		for i := 0; i < 3*nNodes; i++ {
+			f.add(nodes[rng.Intn(nNodes)],
+				f.id("pred"+string(rune('A'+rng.Intn(nPreds)))),
+				nodes[rng.Intn(nNodes)])
+		}
+		fw := f.g.Clone()
+		Forward{}.Materialize(fw, rs)
+		hy := f.g.Clone()
+		Hybrid{}.Materialize(hy, rs)
+		hs := f.g.Clone()
+		Hybrid{SharedTable: true}.Materialize(hs, rs)
+		return fw.Equal(hy) && fw.Equal(hs)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalMatchesFull: closing an already-materialized graph over
+// seed tuples gives the same result as re-materializing from scratch, for
+// both incremental implementations.
+func TestIncrementalMatchesFull(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := newFx()
+		rs := randomRuleSet(f, rng, 3)
+		nNodes := 5 + rng.Intn(6)
+		nodes := make([]rdf.ID, nNodes)
+		for i := range nodes {
+			nodes[i] = f.id("n" + string(rune('0'+i)))
+		}
+		mk := func() rdf.Triple {
+			return rdf.Triple{
+				S: nodes[rng.Intn(nNodes)],
+				P: f.id("pred" + string(rune('A'+rng.Intn(3)))),
+				O: nodes[rng.Intn(nNodes)],
+			}
+		}
+		for i := 0; i < 2*nNodes; i++ {
+			f.g.Add(mk())
+		}
+		var seeds []rdf.Triple
+		for i := 0; i < 3; i++ {
+			seeds = append(seeds, mk())
+		}
+
+		// Reference: full closure over base+seeds.
+		ref := f.g.Clone()
+		for _, s := range seeds {
+			ref.Add(s)
+		}
+		Forward{}.Materialize(ref, rs)
+
+		for _, inc := range []Incremental{Forward{}, Hybrid{}, Hybrid{FrontierDelta: true}} {
+			g := f.g.Clone()
+			Forward{}.Materialize(g, rs) // fixpoint before the seeds arrive
+			var fresh []rdf.Triple
+			for _, s := range seeds {
+				if g.Add(s) {
+					fresh = append(fresh, s)
+				}
+			}
+			inc.MaterializeFrom(g, rs, fresh)
+			if !g.Equal(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializeFromEmptySeeds(t *testing.T) {
+	f := newFx()
+	f.add(f.id("a"), f.id("p"), f.id("b"))
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	for _, inc := range []Incremental{Forward{}, Hybrid{}, Hybrid{FrontierDelta: true}} {
+		g := f.g.Clone()
+		if n := inc.MaterializeFrom(g, rs, nil); n != 0 {
+			t.Errorf("empty seeds derived %d", n)
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if (Forward{}).Name() != "forward" {
+		t.Error("forward name")
+	}
+	if (Hybrid{}).Name() != "hybrid" {
+		t.Error("hybrid name")
+	}
+	if (Hybrid{SharedTable: true}).Name() != "hybrid-shared" {
+		t.Error("hybrid-shared name")
+	}
+}
+
+// TestMultiHeadRule: rules with several head atoms instantiate all of them.
+func TestMultiHeadRule(t *testing.T) {
+	f := newFx()
+	a, b := f.id("a"), f.id("b")
+	f.add(a, f.id("p"), b)
+	rs := f.parse(`[mh: (?x t:p ?y) -> (?x t:q ?y) (?y t:r ?x)]`)
+	closed := checkAllEngines(t, f, rs)
+	if !closed.Has(rdf.Triple{S: a, P: f.id("q"), O: b}) ||
+		!closed.Has(rdf.Triple{S: b, P: f.id("r"), O: a}) {
+		t.Error("multi-head instantiation incomplete")
+	}
+}

@@ -1,0 +1,159 @@
+package reason
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powl/internal/rdf"
+)
+
+func TestReteMatchesForwardOnBasics(t *testing.T) {
+	f := newFx()
+	p := f.id("p")
+	a, b, c := f.id("a"), f.id("b"), f.id("c")
+	f.add(a, p, b)
+	f.add(b, p, c)
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	fw := f.g.Clone()
+	Forward{}.Materialize(fw, rs)
+	rt := f.g.Clone()
+	Rete{}.Materialize(rt, rs)
+	if !rt.Equal(fw) {
+		t.Fatalf("rete %d != forward %d", rt.Len(), fw.Len())
+	}
+}
+
+func TestReteTransitiveCycle(t *testing.T) {
+	f := newFx()
+	p := f.id("p")
+	a, b, c := f.id("a"), f.id("b"), f.id("c")
+	f.add(a, p, b)
+	f.add(b, p, c)
+	f.add(c, p, a)
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	g := f.g.Clone()
+	Rete{}.Materialize(g, rs)
+	if g.Len() != 9 {
+		t.Fatalf("cycle closure has %d triples, want 9", g.Len())
+	}
+}
+
+func TestReteVariablePredicateAndMultiHead(t *testing.T) {
+	f := newFx()
+	same := f.id("same")
+	a, b, c := f.id("a"), f.id("b"), f.id("c")
+	p := f.id("p")
+	f.add(a, same, b)
+	f.add(a, p, c)
+	rs := f.parse(`
+[subst: (?x t:same ?y) (?x ?q ?z) -> (?y ?q ?z)]
+[mh: (?x t:p ?y) -> (?x t:q ?y) (?y t:r ?x)]
+`)
+	fw := f.g.Clone()
+	Forward{}.Materialize(fw, rs)
+	rt := f.g.Clone()
+	Rete{}.Materialize(rt, rs)
+	if !rt.Equal(fw) {
+		t.Fatalf("rete disagrees: missing=%v extra=%v", fw.Diff(rt), rt.Diff(fw))
+	}
+}
+
+func TestReteThreeAtomBody(t *testing.T) {
+	f := newFx()
+	p, q, r, out := f.id("p"), f.id("q"), f.id("r"), f.id("out")
+	a, b, c, d := f.id("a"), f.id("b"), f.id("c"), f.id("d")
+	f.add(a, p, b)
+	f.add(b, q, c)
+	f.add(c, r, d)
+	rs := f.parse(`[j3: (?w t:p ?x) (?x t:q ?y) (?y t:r ?z) -> (?w t:out ?z)]`)
+	g := f.g.Clone()
+	Rete{}.Materialize(g, rs)
+	if !g.Has(rdf.Triple{S: a, P: out, O: d}) {
+		t.Error("3-way join missing")
+	}
+}
+
+// TestReteAssertionOrderIrrelevant: the memories make joins retroactive, so
+// any assertion order yields the same closure.
+func TestReteAssertionOrderIrrelevant(t *testing.T) {
+	f := newFx()
+	p := f.id("p")
+	nodes := make([]rdf.ID, 8)
+	for i := range nodes {
+		nodes[i] = f.id("n" + string(rune('0'+i)))
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		f.add(nodes[i], p, nodes[i+1])
+	}
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	want := f.g.Clone()
+	Rete{}.Materialize(want, rs)
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		ts := f.g.Triples()
+		rng.Shuffle(len(ts), func(i, j int) { ts[i], ts[j] = ts[j], ts[i] })
+		g := rdf.NewGraph()
+		g.AddAll(ts)
+		Rete{}.Materialize(g, rs)
+		if !g.Equal(want) {
+			t.Fatalf("trial %d: order-dependent closure", trial)
+		}
+	}
+}
+
+func TestReteIncrementalMatchesFull(t *testing.T) {
+	f := newFx()
+	p := f.id("p")
+	a, b, c, d := f.id("a"), f.id("b"), f.id("c"), f.id("d")
+	f.add(a, p, b)
+	f.add(b, p, c)
+	rs := f.parse(`[tr: (?x t:p ?y) (?y t:p ?z) -> (?x t:p ?z)]`)
+	g := f.g.Clone()
+	Rete{}.Materialize(g, rs)
+	seed := rdf.Triple{S: c, P: p, O: d}
+	g.Add(seed)
+	Rete{}.MaterializeFrom(g, rs, []rdf.Triple{seed})
+
+	ref := f.g.Clone()
+	ref.Add(seed)
+	Forward{}.Materialize(ref, rs)
+	if !g.Equal(ref) {
+		t.Fatalf("incremental rete %d != reference %d; missing=%v", g.Len(), ref.Len(), ref.Diff(g))
+	}
+}
+
+// TestReteAgreesProperty: random graphs and rule sets, rete vs forward.
+func TestReteAgreesProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := newFx()
+		nPreds := 2 + rng.Intn(3)
+		rs := randomRuleSet(f, rng, nPreds)
+		nNodes := 4 + rng.Intn(8)
+		nodes := make([]rdf.ID, nNodes)
+		for i := range nodes {
+			nodes[i] = f.id("n" + string(rune('0'+i)))
+		}
+		for i := 0; i < 3*nNodes; i++ {
+			f.add(nodes[rng.Intn(nNodes)],
+				f.id("pred"+string(rune('A'+rng.Intn(nPreds)))),
+				nodes[rng.Intn(nNodes)])
+		}
+		fw := f.g.Clone()
+		Forward{}.Materialize(fw, rs)
+		rt := f.g.Clone()
+		Rete{}.Materialize(rt, rs)
+		return fw.Equal(rt)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReteName(t *testing.T) {
+	if (Rete{}).Name() != "rete" {
+		t.Error("rete name")
+	}
+}

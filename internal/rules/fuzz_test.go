@@ -1,0 +1,41 @@
+package rules
+
+import (
+	"testing"
+
+	"powl/internal/rdf"
+)
+
+// FuzzParse checks the rule parser never panics; accepted rules must be
+// safe, printable, and have non-empty bodies or heads as the grammar
+// guarantees.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"@prefix t: <http://t/> .\n[r: (?x t:p ?y) -> (?y t:p ?x)]",
+		"[r: (?x <http://p> ?y) (?y <http://p> ?z) -> (?x <http://p> ?z)]",
+		`[r: (?x <http://p> "lit") -> (?x <http://q> "lit")]`,
+		"# comment\n[a: (?x <http://p> ?y) -> (?x <http://q> ?y)]\n[b: (?x <http://q> ?y) -> (?x <http://p> ?y)]",
+		"[r: (?x ?p ?y) -> (?y ?p ?x)]",
+		"[[[", "@prefix", "[r: -> ]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := Parse(src, rdf.NewDict())
+		if err != nil {
+			return
+		}
+		for _, r := range rs {
+			if len(r.Head) == 0 {
+				t.Fatalf("accepted rule with empty head: %v", r)
+			}
+			if !r.IsSafe() {
+				t.Fatalf("accepted unsafe rule: %v", r)
+			}
+			if r.String() == "" {
+				t.Fatal("empty String()")
+			}
+		}
+	})
+}

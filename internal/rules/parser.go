@@ -1,0 +1,300 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"powl/internal/rdf"
+)
+
+// Parse reads a rule text in the Jena-style syntax and interns constants
+// into dict. The syntax is:
+//
+//	# comment
+//	@prefix ex: <http://example.org/> .
+//	[ruleName: (?a ex:brotherOf ?b) (?b ex:brotherOf ?c) -> (?a ex:brotherOf ?c)]
+//
+// Terms inside atoms are variables (?x), full IRIs (<...>), prefixed names
+// (pfx:local), or literals ("..." with optional @lang / ^^<dt> suffix).
+func Parse(src string, dict *rdf.Dict) ([]Rule, error) {
+	p := &parser{src: src, dict: dict, prefixes: map[string]string{}}
+	var out []Rule
+	for {
+		p.skipWS()
+		if p.i >= len(p.src) {
+			return out, nil
+		}
+		switch {
+		case p.peek('@'):
+			if err := p.prefixDecl(); err != nil {
+				return nil, err
+			}
+		case p.peek('['):
+			r, err := p.rule()
+			if err != nil {
+				return nil, err
+			}
+			if !r.IsSafe() {
+				return nil, fmt.Errorf("rules: line %d: rule %q is unsafe (head variable not bound in body)", p.line(), r.Name)
+			}
+			out = append(out, r)
+		default:
+			return nil, fmt.Errorf("rules: line %d: expected '@prefix' or '[', got %q", p.line(), p.src[p.i])
+		}
+	}
+}
+
+// MustParse is Parse but panics on error; for package-internal rule texts
+// that are compile-time constants.
+func MustParse(src string, dict *rdf.Dict) []Rule {
+	rs, err := Parse(src, dict)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+type parser struct {
+	src      string
+	i        int
+	dict     *rdf.Dict
+	prefixes map[string]string
+}
+
+func (p *parser) line() int { return 1 + strings.Count(p.src[:p.i], "\n") }
+
+func (p *parser) skipWS() {
+	for p.i < len(p.src) {
+		c := p.src[p.i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',':
+			p.i++
+		case c == '#':
+			for p.i < len(p.src) && p.src[p.i] != '\n' {
+				p.i++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek(c byte) bool { return p.i < len(p.src) && p.src[p.i] == c }
+
+func (p *parser) expect(c byte) error {
+	p.skipWS()
+	if !p.peek(c) {
+		return fmt.Errorf("rules: line %d: expected %q", p.line(), string(c))
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) prefixDecl() error {
+	if !strings.HasPrefix(p.src[p.i:], "@prefix") {
+		return fmt.Errorf("rules: line %d: expected '@prefix'", p.line())
+	}
+	p.i += len("@prefix")
+	p.skipWS()
+	start := p.i
+	for p.i < len(p.src) && p.src[p.i] != ':' {
+		p.i++
+	}
+	if p.i >= len(p.src) {
+		return fmt.Errorf("rules: line %d: malformed prefix declaration", p.line())
+	}
+	name := strings.TrimSpace(p.src[start:p.i])
+	p.i++ // ':'
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	if err := p.expect('.'); err != nil {
+		return err
+	}
+	p.prefixes[name] = iri
+	return nil
+}
+
+func (p *parser) iriRef() (string, error) {
+	if !p.peek('<') {
+		return "", fmt.Errorf("rules: line %d: expected '<'", p.line())
+	}
+	p.i++
+	end := strings.IndexByte(p.src[p.i:], '>')
+	if end < 0 {
+		return "", fmt.Errorf("rules: line %d: unterminated IRI", p.line())
+	}
+	iri := p.src[p.i : p.i+end]
+	p.i += end + 1
+	return iri, nil
+}
+
+func (p *parser) rule() (Rule, error) {
+	p.i++ // '['
+	p.skipWS()
+	start := p.i
+	for p.i < len(p.src) && p.src[p.i] != ':' {
+		if p.src[p.i] == '(' || p.src[p.i] == ']' {
+			return Rule{}, fmt.Errorf("rules: line %d: rule must start with 'name:'", p.line())
+		}
+		p.i++
+	}
+	if p.i >= len(p.src) {
+		return Rule{}, fmt.Errorf("rules: line %d: unterminated rule", p.line())
+	}
+	name := strings.TrimSpace(p.src[start:p.i])
+	if name == "" {
+		return Rule{}, fmt.Errorf("rules: line %d: empty rule name", p.line())
+	}
+	p.i++ // ':'
+
+	var body, head []Atom
+	cur := &body
+	for {
+		p.skipWS()
+		if p.i >= len(p.src) {
+			return Rule{}, fmt.Errorf("rules: line %d: unterminated rule %q", p.line(), name)
+		}
+		switch {
+		case p.peek(']'):
+			p.i++
+			if cur == &body {
+				return Rule{}, fmt.Errorf("rules: line %d: rule %q has no '->'", p.line(), name)
+			}
+			if len(head) == 0 {
+				return Rule{}, fmt.Errorf("rules: line %d: rule %q has empty head", p.line(), name)
+			}
+			return Rule{Name: name, Body: body, Head: head}, nil
+		case p.peek('('):
+			a, err := p.atom()
+			if err != nil {
+				return Rule{}, err
+			}
+			*cur = append(*cur, a)
+		case strings.HasPrefix(p.src[p.i:], "->"):
+			if cur == &head {
+				return Rule{}, fmt.Errorf("rules: line %d: duplicate '->' in rule %q", p.line(), name)
+			}
+			p.i += 2
+			cur = &head
+		default:
+			return Rule{}, fmt.Errorf("rules: line %d: unexpected %q in rule %q", p.line(), p.src[p.i], name)
+		}
+	}
+}
+
+func (p *parser) atom() (Atom, error) {
+	p.i++ // '('
+	s, err := p.term()
+	if err != nil {
+		return Atom{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Atom{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Atom{}, err
+	}
+	if err := p.expect(')'); err != nil {
+		return Atom{}, err
+	}
+	return Atom{S: s, P: pr, O: o}, nil
+}
+
+func (p *parser) term() (TermSpec, error) {
+	p.skipWS()
+	if p.i >= len(p.src) {
+		return TermSpec{}, fmt.Errorf("rules: line %d: unexpected end of input in atom", p.line())
+	}
+	switch c := p.src[p.i]; {
+	case c == '?':
+		p.i++
+		start := p.i
+		for p.i < len(p.src) && isNameChar(p.src[p.i]) {
+			p.i++
+		}
+		if p.i == start {
+			return TermSpec{}, fmt.Errorf("rules: line %d: empty variable name", p.line())
+		}
+		return Var(p.src[start:p.i]), nil
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return TermSpec{}, err
+		}
+		return Const(p.dict.InternIRI(iri)), nil
+	case c == '"':
+		lex, err := p.literalLex()
+		if err != nil {
+			return TermSpec{}, err
+		}
+		return Const(p.dict.InternLiteral(lex)), nil
+	case c == '_' && p.i+1 < len(p.src) && p.src[p.i+1] == ':':
+		// Blank node constant (restriction nodes from Turtle ontologies
+		// survive rule serialization as _:labels).
+		p.i += 2
+		start := p.i
+		for p.i < len(p.src) && isNameChar(p.src[p.i]) {
+			p.i++
+		}
+		if p.i == start {
+			return TermSpec{}, fmt.Errorf("rules: line %d: empty blank node label", p.line())
+		}
+		return Const(p.dict.InternBlank(p.src[start:p.i])), nil
+	default:
+		start := p.i
+		for p.i < len(p.src) && (isNameChar(p.src[p.i]) || p.src[p.i] == ':') {
+			p.i++
+		}
+		word := p.src[start:p.i]
+		colon := strings.IndexByte(word, ':')
+		if colon < 0 {
+			return TermSpec{}, fmt.Errorf("rules: line %d: expected prefixed name, got %q", p.line(), word)
+		}
+		ns, ok := p.prefixes[word[:colon]]
+		if !ok {
+			return TermSpec{}, fmt.Errorf("rules: line %d: unknown prefix %q", p.line(), word[:colon])
+		}
+		return Const(p.dict.InternIRI(ns + word[colon+1:])), nil
+	}
+}
+
+func (p *parser) literalLex() (string, error) {
+	start := p.i
+	p.i++
+	for p.i < len(p.src) {
+		switch p.src[p.i] {
+		case '\\':
+			p.i += 2
+			if p.i > len(p.src) {
+				p.i = len(p.src)
+				return "", fmt.Errorf("rules: line %d: dangling escape in literal", p.line())
+			}
+		case '"':
+			p.i++
+			if p.i+1 < len(p.src) && p.src[p.i] == '^' && p.src[p.i+1] == '^' {
+				p.i += 2
+				if _, err := p.iriRef(); err != nil {
+					return "", err
+				}
+			} else if p.i < len(p.src) && p.src[p.i] == '@' {
+				for p.i < len(p.src) && (isNameChar(p.src[p.i]) || p.src[p.i] == '@' || p.src[p.i] == '-') {
+					p.i++
+				}
+			}
+			return p.src[start:p.i], nil
+		default:
+			p.i++
+		}
+	}
+	return "", fmt.Errorf("rules: line %d: unterminated literal", p.line())
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.' || c == '/' || c == '#'
+}

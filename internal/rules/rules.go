@@ -1,0 +1,253 @@
+// Package rules provides the datalog rule model used by the OWL-Horst
+// reasoners: atoms over variables and interned constants, a Jena-style text
+// rule parser, single-join classification, and the rule dependency graph
+// used by the rule-partitioning strategy (paper §III-B).
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powl/internal/rdf"
+)
+
+// TermSpec is one position of an atom: either a named variable or an
+// interned constant.
+type TermSpec struct {
+	IsVar bool
+	ID    rdf.ID // valid when !IsVar
+	Var   string // valid when IsVar
+}
+
+// Var returns a variable TermSpec.
+func Var(name string) TermSpec { return TermSpec{IsVar: true, Var: name} }
+
+// Const returns a constant TermSpec.
+func Const(id rdf.ID) TermSpec { return TermSpec{ID: id} }
+
+func (t TermSpec) String() string {
+	if t.IsVar {
+		return "?" + t.Var
+	}
+	return fmt.Sprintf("#%d", t.ID)
+}
+
+// Format renders the term using dict for constants.
+func (t TermSpec) Format(dict *rdf.Dict) string {
+	if t.IsVar {
+		return "?" + t.Var
+	}
+	return dict.Term(t.ID).String()
+}
+
+// Atom is a triple pattern (s, p, o) over TermSpecs.
+type Atom struct {
+	S, P, O TermSpec
+}
+
+func (a Atom) String() string {
+	return "(" + a.S.String() + " " + a.P.String() + " " + a.O.String() + ")"
+}
+
+// Format renders the atom using dict for constants.
+func (a Atom) Format(dict *rdf.Dict) string {
+	return "(" + a.S.Format(dict) + " " + a.P.Format(dict) + " " + a.O.Format(dict) + ")"
+}
+
+// Vars returns the variable names of the atom in position order.
+func (a Atom) Vars() []string {
+	var vs []string
+	for _, t := range []TermSpec{a.S, a.P, a.O} {
+		if t.IsVar {
+			vs = append(vs, t.Var)
+		}
+	}
+	return vs
+}
+
+// Rule is a datalog rule: Head ← Body. OWL-Horst rules have a single head
+// atom; the slice form also accommodates authored multi-head rules, which
+// the engines treat as one rule per head atom.
+type Rule struct {
+	Name string
+	Body []Atom
+	Head []Atom
+}
+
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteString(r.Name)
+	b.WriteString(": ")
+	for i, a := range r.Body {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(" -> ")
+	for i, a := range r.Head {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Format renders the rule using dict for constants.
+func (r Rule) Format(dict *rdf.Dict) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteString(r.Name)
+	b.WriteString(": ")
+	for i, a := range r.Body {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Format(dict))
+	}
+	b.WriteString(" -> ")
+	for i, a := range r.Head {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Format(dict))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// BodyVars returns the sorted set of variable names occurring in the body.
+func (r Rule) BodyVars() []string {
+	set := map[string]struct{}{}
+	for _, a := range r.Body {
+		for _, v := range a.Vars() {
+			set[v] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsSafe reports whether every head variable occurs in the body, the datalog
+// safety condition required for bottom-up evaluation.
+func (r Rule) IsSafe() bool {
+	body := map[string]struct{}{}
+	for _, v := range r.BodyVars() {
+		body[v] = struct{}{}
+	}
+	for _, a := range r.Head {
+		for _, v := range a.Vars() {
+			if _, ok := body[v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSingleJoin reports whether the rule is a single-join rule in the paper's
+// sense (§II): at most two body atoms, and if there are two they share at
+// least one variable. The data-partitioning correctness argument (ownership
+// of the shared join resource) applies exactly to this class.
+func (r Rule) IsSingleJoin() bool {
+	switch len(r.Body) {
+	case 0, 1:
+		return true
+	case 2:
+		v0 := r.Body[0].Vars()
+		v1 := map[string]struct{}{}
+		for _, v := range r.Body[1].Vars() {
+			v1[v] = struct{}{}
+		}
+		for _, v := range v0 {
+			if _, ok := v1[v]; ok {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// unifies reports whether atoms a and b can match the same triple: each
+// position unifies when either side is a variable or the constants agree.
+func unifies(a, b Atom) bool {
+	pairs := [3][2]TermSpec{{a.S, b.S}, {a.P, b.P}, {a.O, b.O}}
+	for _, p := range pairs {
+		if !p[0].IsVar && !p[1].IsVar && p[0].ID != p[1].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesTriple reports whether the atom's constant positions agree with t.
+func (a Atom) MatchesTriple(t rdf.Triple) bool {
+	if !a.S.IsVar && a.S.ID != t.S {
+		return false
+	}
+	if !a.P.IsVar && a.P.ID != t.P {
+		return false
+	}
+	if !a.O.IsVar && a.O.ID != t.O {
+		return false
+	}
+	return true
+}
+
+// DepEdge is a directed, weighted edge of the rule dependency graph: a triple
+// produced by rule From may feed a body atom of rule To.
+type DepEdge struct {
+	From, To int
+	Weight   int
+}
+
+// DependencyGraph computes the rule dependency graph of Algorithm 2: a vertex
+// per rule and an edge (r1 → r2) whenever some head atom of r1 unifies with
+// some body atom of r2. Edge weight counts the number of such head/body atom
+// pairs; callers with predicate statistics can reweigh via ScaleDepWeights.
+func DependencyGraph(rs []Rule) []DepEdge {
+	var edges []DepEdge
+	for i, r1 := range rs {
+		for j, r2 := range rs {
+			w := 0
+			for _, h := range r1.Head {
+				for _, b := range r2.Body {
+					if unifies(h, b) {
+						w++
+					}
+				}
+			}
+			if w > 0 {
+				edges = append(edges, DepEdge{From: i, To: j, Weight: w})
+			}
+		}
+	}
+	return edges
+}
+
+// ScaleDepWeights multiplies each dependency edge's weight by the estimated
+// productivity of its source rule, supplied as produced[i] = expected number
+// of triples rule i derives (e.g. from predicate frequency statistics of the
+// data set). Edges from more productive rules then cost more to cut, as the
+// paper suggests for improving rule partitions.
+func ScaleDepWeights(edges []DepEdge, produced []int) []DepEdge {
+	out := make([]DepEdge, len(edges))
+	for i, e := range edges {
+		w := e.Weight
+		if e.From < len(produced) && produced[e.From] > 0 {
+			w *= produced[e.From]
+		}
+		out[i] = DepEdge{From: e.From, To: e.To, Weight: w}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPolyFitExactCubic(t *testing.T) {
+	// y = 2 + 3x − x² + 0.5x³ sampled exactly must be recovered exactly.
+	want := []float64{2, 3, -1, 0.5}
+	var xs, ys []float64
+	for x := 0.0; x < 8; x++ {
+		xs = append(xs, x)
+		ys = append(ys, PolyEval(want, x))
+	}
+	got, err := PolyFit(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !approx(got[i], want[i], 1e-6) {
+			t.Fatalf("coefficient %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if r2 := RSquared(got, xs, ys); !approx(r2, 1, 1e-9) {
+		t.Fatalf("R² = %g, want 1", r2)
+	}
+}
+
+func TestPolyFitLeastSquares(t *testing.T) {
+	// Noisy linear data: degree-1 fit should recover slope≈2, intercept≈1.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{1.1, 2.9, 5.2, 6.8, 9.1, 10.9}
+	c, err := PolyFit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(c[1], 2, 0.1) || !approx(c[0], 1, 0.3) {
+		t.Fatalf("fit = %v", c)
+	}
+	if r2 := RSquared(c, xs, ys); r2 < 0.99 {
+		t.Fatalf("R² = %g", r2)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, 2); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative degree accepted")
+	}
+	// Singular: all x identical cannot determine a slope.
+	if _, err := PolyFit([]float64{3, 3, 3}, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestPolyFitDegreeZero(t *testing.T) {
+	c, err := PolyFit([]float64{1, 2, 3}, []float64{4, 6, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(c[0], 6, 1e-9) {
+		t.Fatalf("mean fit = %v, want [6]", c)
+	}
+}
+
+// TestPolyFitInterpolationProperty: for any degree-2 polynomial and ≥3
+// distinct sample points, the fit reproduces the values.
+func TestPolyFitInterpolationProperty(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		coef := []float64{float64(a), float64(b), float64(c)}
+		xs := []float64{-2, -1, 0, 1, 2, 3}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = PolyEval(coef, x)
+		}
+		got, err := PolyFit(xs, ys, 2)
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			if !approx(PolyEval(got, x), ys[i], 1e-6*(1+math.Abs(ys[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s := Speedup(10, []float64{10, 5, 2.5, 0})
+	want := []float64{1, 2, 4, 0}
+	for i := range want {
+		if !approx(s[i], want[i], 1e-9) {
+			t.Fatalf("Speedup[%d] = %g, want %g", i, s[i], want[i])
+		}
+	}
+}
+
+func TestMeanStdDevMax(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !approx(Mean(xs), 5, 1e-9) {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if !approx(StdDev(xs), 2, 1e-9) {
+		t.Errorf("StdDev = %g", StdDev(xs))
+	}
+	if Max(xs) != 9 {
+		t.Errorf("Max = %g", Max(xs))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-input helpers must return 0")
+	}
+	if Max([]float64{-5, -2, -9}) != -2 {
+		t.Error("Max mishandles all-negative input")
+	}
+}

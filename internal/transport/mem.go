@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"powl/internal/rdf"
+)
+
+// Mem is the shared-memory transport: batches are appended to per-receiver
+// buffers under a mutex, and Recv drains them. Triples travel as interned
+// IDs, so there is no serialization cost — matching the shared-memory
+// communication the paper switched to for the rule-partitioning runs.
+type Mem struct {
+	mu    sync.Mutex
+	boxes map[boxKey][]rdf.Triple
+}
+
+type boxKey struct {
+	round, to int
+}
+
+// NewMem returns an empty in-memory transport.
+func NewMem() *Mem {
+	return &Mem{boxes: map[boxKey][]rdf.Triple{}}
+}
+
+// Name implements Transport.
+func (*Mem) Name() string { return "mem" }
+
+// Send implements Transport.
+func (m *Mem) Send(round, from, to int, ts []rdf.Triple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := boxKey{round, to}
+	m.boxes[k] = append(m.boxes[k], ts...)
+	return nil
+}
+
+// Recv implements Transport.
+func (m *Mem) Recv(round, to int) ([]rdf.Triple, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := boxKey{round, to}
+	ts := m.boxes[k]
+	delete(m.boxes, k)
+	return ts, nil
+}
+
+// Close implements Transport.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.boxes) > 0 {
+		n := 0
+		for _, b := range m.boxes {
+			n += len(b)
+		}
+		m.boxes = map[boxKey][]rdf.Triple{}
+		return fmt.Errorf("transport/mem: %d undelivered triples at close", n)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"powl/internal/ntriples"
+	"powl/internal/rdf"
+)
+
+// TCP is the MPI-like transport: a full mesh of loopback TCP connections,
+// one per ordered worker pair. Each message is a length-prefixed N-Triples
+// payload; the receiver parses and re-interns it, acknowledging each frame
+// so that a completed Send implies the triples are already in the receiving
+// inbox — which is what lets the cluster barrier double as delivery
+// guarantee. Compared with File it removes the filesystem round trip, which
+// is exactly the improvement the paper projects from switching to MPI (§VI-B).
+type TCP struct {
+	dict  *rdf.Dict
+	k     int
+	mu    sync.Mutex
+	inbox map[boxKey][]rdf.Triple
+	errs  []error
+
+	listeners []net.Listener
+	conns     [][]net.Conn // conns[from][to], nil on the diagonal
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewTCP builds the k-worker mesh on loopback ephemeral ports.
+func NewTCP(k int, dict *rdf.Dict) (*TCP, error) {
+	t := &TCP{
+		dict:  dict,
+		k:     k,
+		inbox: map[boxKey][]rdf.Triple{},
+		conns: make([][]net.Conn, k),
+	}
+	for i := range t.conns {
+		t.conns[i] = make([]net.Conn, k)
+	}
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport/tcp: listen: %w", err)
+		}
+		t.listeners = append(t.listeners, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	// Accept loops: each worker j accepts k-1 peers; the first frame on a
+	// connection is a hello carrying the sender index.
+	for j := 0; j < k; j++ {
+		ln := t.listeners[j]
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for n := 0; n < t.k-1; n++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					return // closed
+				}
+				t.wg.Add(1)
+				go func() {
+					defer t.wg.Done()
+					t.readLoop(conn)
+				}()
+			}
+		}()
+	}
+	for from := 0; from < k; from++ {
+		for to := 0; to < k; to++ {
+			if from == to {
+				continue
+			}
+			conn, err := net.Dial("tcp", addrs[to])
+			if err != nil {
+				t.Close()
+				return nil, fmt.Errorf("transport/tcp: dial %d->%d: %w", from, to, err)
+			}
+			t.conns[from][to] = conn
+		}
+	}
+	return t, nil
+}
+
+// Name implements Transport.
+func (*TCP) Name() string { return "tcp" }
+
+// frame header: round, to, payload length (big endian int32s).
+type frameHeader struct {
+	Round, To, Len int32
+}
+
+// Send implements Transport. Self-sends short-circuit through the inbox.
+func (t *TCP) Send(round, from, to int, ts []rdf.Triple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	if from == to {
+		t.deliver(round, to, ts)
+		return nil
+	}
+	var buf bytes.Buffer
+	w := ntriples.NewWriter(&buf, t.dict)
+	if err := w.WriteAll(ts); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	conn := t.conns[from][to]
+	if conn == nil {
+		return fmt.Errorf("transport/tcp: no connection %d->%d", from, to)
+	}
+	hdr := frameHeader{Round: int32(round), To: int32(to), Len: int32(buf.Len())}
+	if err := binary.Write(conn, binary.BigEndian, hdr); err != nil {
+		return err
+	}
+	if _, err := conn.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	// Wait for the ack so delivery precedes the cluster barrier.
+	ack := make([]byte, 1)
+	if _, err := io.ReadFull(conn, ack); err != nil {
+		return fmt.Errorf("transport/tcp: ack %d->%d: %w", from, to, err)
+	}
+	return nil
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	for {
+		var hdr frameHeader
+		if err := binary.Read(conn, binary.BigEndian, &hdr); err != nil {
+			return // peer closed
+		}
+		payload := make([]byte, hdr.Len)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			t.fail(err)
+			return
+		}
+		g := rdf.NewGraph()
+		if _, err := ntriples.ReadGraph(bytes.NewReader(payload), t.dict, g); err != nil {
+			t.fail(err)
+			return
+		}
+		t.deliver(int(hdr.Round), int(hdr.To), g.Triples())
+		if _, err := conn.Write([]byte{1}); err != nil {
+			return
+		}
+	}
+}
+
+func (t *TCP) deliver(round, to int, ts []rdf.Triple) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := boxKey{round, to}
+	t.inbox[k] = append(t.inbox[k], ts...)
+}
+
+func (t *TCP) fail(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.errs = append(t.errs, err)
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv(round, to int) ([]rdf.Triple, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.errs) > 0 {
+		return nil, t.errs[0]
+	}
+	k := boxKey{round, to}
+	ts := t.inbox[k]
+	delete(t.inbox, k)
+	return ts, nil
+}
+
+// Close implements Transport, tearing down the mesh.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		for _, ln := range t.listeners {
+			ln.Close()
+		}
+		for _, row := range t.conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+		t.wg.Wait()
+	})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.errs) > 0 {
+		return t.errs[0]
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package transport provides the inter-partition communication mechanisms
+// of the parallel reasoner. The paper's implementation exchanged tuples
+// through a shared file system (§V) and, for the rule-partitioning
+// experiments, through shared memory (§VI-D); it discusses MPI as the
+// obvious upgrade. This package offers all three shapes:
+//
+//   - Mem:  shared-memory exchange over in-process buffers (zero-copy IDs).
+//   - File: a shared directory; every message is an N-Triples file, so
+//     serialization and disk IO are paid exactly as in the paper.
+//   - TCP:  an MPI-like full mesh of loopback TCP connections carrying
+//     length-prefixed N-Triples payloads.
+//
+// The exchange is round-structured: during round r each worker may Send any
+// number of batches; the cluster layer then runs a barrier, after which
+// every worker Recvs the batches addressed to it for round r. Transports
+// must deliver exactly-once within a round and must not block Send (the
+// receiver may not Recv until after the barrier).
+package transport
+
+import "powl/internal/rdf"
+
+// Transport moves triples between workers of one parallel run.
+type Transport interface {
+	// Name identifies the transport in reports ("mem", "file", "tcp").
+	Name() string
+	// Send queues ts from worker `from` to worker `to` during `round`.
+	// It must not block waiting for the receiver.
+	Send(round, from, to int, ts []rdf.Triple) error
+	// Recv returns everything sent to worker `to` in `round`. The cluster
+	// layer guarantees all Sends of the round happened before (barrier).
+	Recv(round, to int) ([]rdf.Triple, error)
+	// Close releases transport resources after the run.
+	Close() error
+}

@@ -1,0 +1,37 @@
+package turtle
+
+import (
+	"testing"
+
+	"powl/internal/rdf"
+)
+
+// FuzzTurtle checks the Turtle parser never panics or loops; accepted input
+// must yield a well-formed graph (no zero IDs).
+func FuzzTurtle(f *testing.F) {
+	seeds := []string{
+		"@prefix ex: <http://x/> .\nex:a ex:p ex:b .",
+		"@prefix ex: <http://x/> .\nex:a ex:p ex:b , ex:c ; ex:q ex:d .",
+		"@prefix ex: <http://x/> .\nex:a ex:p [ a ex:T ] .",
+		"@prefix ex: <http://x/> .\nex:C ex:l ( ex:a ex:b ) .",
+		"@base <http://b/> .\n<a> <p> <o> .",
+		`@prefix ex: <http://x/> . ex:a ex:p "lit"^^ex:dt .`,
+		"@prefix ex: <http://x/> .\n_:n ex:p _:m .",
+		"((((", "[;]", "@prefix :::",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		dict := rdf.NewDict()
+		g := rdf.NewGraph()
+		if _, err := ParseString(src, dict, g); err != nil {
+			return
+		}
+		for _, tr := range g.Triples() {
+			if tr.S == 0 || tr.P == 0 || tr.O == 0 {
+				t.Fatalf("accepted input produced zero ID: %v", tr)
+			}
+		}
+	})
+}

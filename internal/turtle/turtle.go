@@ -1,0 +1,437 @@
+// Package turtle implements a reader for the commonly used subset of the
+// Turtle RDF serialization: @prefix and @base directives, prefixed names,
+// the `a` keyword, predicate lists (;), object lists (,), blank node
+// labels, and string/typed/language-tagged literals. Anonymous blank nodes
+// `[ ... ]` and RDF collections `( ... )` are also supported, expanding to
+// fresh blank nodes and rdf:first/rdf:rest chains respectively (as the
+// owl:intersectionOf axioms of real ontologies require).
+//
+// Not supported (rejected with an error): multi-line """literals""",
+// numeric/boolean abbreviations, and relative IRI resolution beyond simple
+// @base concatenation.
+package turtle
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"powl/internal/rdf"
+	"powl/internal/vocab"
+)
+
+// ReadGraph parses Turtle from r, interning terms into dict and adding all
+// triples to g. Returns the number of triples added.
+func ReadGraph(r io.Reader, dict *rdf.Dict, g *rdf.Graph) (int, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	p := &parser{
+		src:  string(src),
+		dict: dict,
+		g:    g,
+		prefixes: map[string]string{
+			"rdf":  vocab.RDF,
+			"rdfs": vocab.RDFS,
+			"owl":  vocab.OWL,
+			"xsd":  vocab.XSD,
+		},
+	}
+	return p.parse()
+}
+
+// ParseString is ReadGraph over a string.
+func ParseString(src string, dict *rdf.Dict, g *rdf.Graph) (int, error) {
+	return ReadGraph(strings.NewReader(src), dict, g)
+}
+
+type parser struct {
+	src      string
+	i        int
+	dict     *rdf.Dict
+	g        *rdf.Graph
+	prefixes map[string]string
+	base     string
+	added    int
+	blankSeq int
+}
+
+func (p *parser) parse() (int, error) {
+	for {
+		p.skipWS()
+		if p.i >= len(p.src) {
+			return p.added, nil
+		}
+		switch {
+		case p.has("@prefix"):
+			p.i += len("@prefix")
+			if err := p.prefixDirective(); err != nil {
+				return p.added, err
+			}
+		case p.has("@base"):
+			p.i += len("@base")
+			if err := p.baseDirective(); err != nil {
+				return p.added, err
+			}
+		default:
+			if err := p.statement(); err != nil {
+				return p.added, err
+			}
+		}
+	}
+}
+
+// statement parses: subject predicateObjectList '.'
+func (p *parser) statement() error {
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	if !p.eat('.') {
+		return p.errf("expected '.' after statement")
+	}
+	return nil
+}
+
+func (p *parser) predicateObjectList(subj rdf.ID) error {
+	for {
+		p.skipWS()
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			if p.g.Add(rdf.Triple{S: subj, P: pred, O: obj}) {
+				p.added++
+			}
+			p.skipWS()
+			if !p.eat(',') {
+				break
+			}
+		}
+		p.skipWS()
+		if !p.eat(';') {
+			return nil
+		}
+		// A trailing ';' before '.' is legal Turtle.
+		p.skipWS()
+		if p.i < len(p.src) && (p.src[p.i] == '.' || p.src[p.i] == ']') {
+			return nil
+		}
+	}
+}
+
+func (p *parser) subject() (rdf.ID, error) {
+	p.skipWS()
+	if p.i >= len(p.src) {
+		return 0, p.errf("unexpected end of input")
+	}
+	switch p.src[p.i] {
+	case '<':
+		return p.iriRef()
+	case '_':
+		return p.blankLabel()
+	case '[':
+		return p.anonBlank()
+	case '(':
+		return p.collection()
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *parser) predicate() (rdf.ID, error) {
+	p.skipWS()
+	if p.i >= len(p.src) {
+		return 0, p.errf("unexpected end of input in predicate")
+	}
+	if p.src[p.i] == 'a' && p.i+1 < len(p.src) && isWS(p.src[p.i+1]) {
+		p.i++
+		return p.dict.InternIRI(vocab.RDFType), nil
+	}
+	if p.src[p.i] == '<' {
+		return p.iriRef()
+	}
+	return p.prefixedName()
+}
+
+func (p *parser) object() (rdf.ID, error) {
+	p.skipWS()
+	if p.i >= len(p.src) {
+		return 0, p.errf("unexpected end of input in object")
+	}
+	switch p.src[p.i] {
+	case '<':
+		return p.iriRef()
+	case '_':
+		return p.blankLabel()
+	case '"':
+		return p.literal()
+	case '[':
+		return p.anonBlank()
+	case '(':
+		return p.collection()
+	default:
+		return p.prefixedName()
+	}
+}
+
+// anonBlank parses [ predicateObjectList? ] into a fresh blank node.
+func (p *parser) anonBlank() (rdf.ID, error) {
+	p.i++ // '['
+	p.blankSeq++
+	node := p.dict.InternBlank(fmt.Sprintf("anon%d", p.blankSeq))
+	p.skipWS()
+	if p.eat(']') {
+		return node, nil
+	}
+	if err := p.predicateObjectList(node); err != nil {
+		return 0, err
+	}
+	p.skipWS()
+	if !p.eat(']') {
+		return 0, p.errf("unterminated '['")
+	}
+	return node, nil
+}
+
+// collection parses ( item... ) into an rdf:first/rdf:rest chain.
+func (p *parser) collection() (rdf.ID, error) {
+	p.i++ // '('
+	first := p.dict.InternIRI(vocab.RDFFirst)
+	rest := p.dict.InternIRI(vocab.RDFRest)
+	nilID := p.dict.InternIRI(vocab.RDFNil)
+
+	var items []rdf.ID
+	for {
+		p.skipWS()
+		if p.i >= len(p.src) {
+			return 0, p.errf("unterminated '('")
+		}
+		if p.eat(')') {
+			break
+		}
+		item, err := p.object()
+		if err != nil {
+			return 0, err
+		}
+		items = append(items, item)
+	}
+	if len(items) == 0 {
+		return nilID, nil
+	}
+	head := rdf.ID(0)
+	prev := rdf.ID(0)
+	for _, item := range items {
+		p.blankSeq++
+		cell := p.dict.InternBlank(fmt.Sprintf("list%d", p.blankSeq))
+		if head == 0 {
+			head = cell
+		} else if p.g.Add(rdf.Triple{S: prev, P: rest, O: cell}) {
+			p.added++
+		}
+		if p.g.Add(rdf.Triple{S: cell, P: first, O: item}) {
+			p.added++
+		}
+		prev = cell
+	}
+	if p.g.Add(rdf.Triple{S: prev, P: rest, O: nilID}) {
+		p.added++
+	}
+	return head, nil
+}
+
+func (p *parser) iriRef() (rdf.ID, error) {
+	p.i++ // '<'
+	end := strings.IndexByte(p.src[p.i:], '>')
+	if end < 0 {
+		return 0, p.errf("unterminated IRI")
+	}
+	iri := p.src[p.i : p.i+end]
+	p.i += end + 1
+	if !strings.Contains(iri, ":") && p.base != "" {
+		iri = p.base + iri
+	}
+	if iri == "" {
+		return 0, p.errf("empty IRI")
+	}
+	return p.dict.InternIRI(iri), nil
+}
+
+func (p *parser) blankLabel() (rdf.ID, error) {
+	if p.i+1 >= len(p.src) || p.src[p.i+1] != ':' {
+		return 0, p.errf("malformed blank node")
+	}
+	p.i += 2
+	start := p.i
+	for p.i < len(p.src) && isNameByte(p.src[p.i]) {
+		p.i++
+	}
+	if p.i == start {
+		return 0, p.errf("empty blank node label")
+	}
+	return p.dict.InternBlank(p.src[start:p.i]), nil
+}
+
+func (p *parser) prefixedName() (rdf.ID, error) {
+	start := p.i
+	for p.i < len(p.src) && (isNameByte(p.src[p.i]) || p.src[p.i] == ':') {
+		p.i++
+	}
+	word := p.src[start:p.i]
+	// A trailing '.' is a statement terminator, not part of the name.
+	for strings.HasSuffix(word, ".") {
+		word = word[:len(word)-1]
+		p.i--
+	}
+	colon := strings.IndexByte(word, ':')
+	if colon < 0 {
+		return 0, p.errf("expected a prefixed name, got %q", word)
+	}
+	ns, ok := p.prefixes[word[:colon]]
+	if !ok {
+		return 0, p.errf("unknown prefix %q", word[:colon])
+	}
+	return p.dict.InternIRI(ns + word[colon+1:]), nil
+}
+
+func (p *parser) literal() (rdf.ID, error) {
+	if strings.HasPrefix(p.src[p.i:], `"""`) {
+		return 0, p.errf("multi-line literals are not supported")
+	}
+	start := p.i
+	p.i++
+	for p.i < len(p.src) {
+		switch p.src[p.i] {
+		case '\\':
+			p.i += 2
+			if p.i > len(p.src) {
+				p.i = len(p.src)
+				return 0, p.errf("dangling escape in literal")
+			}
+		case '"':
+			p.i++
+			// Optional suffix.
+			if p.i < len(p.src) && p.src[p.i] == '@' {
+				for p.i < len(p.src) && (isNameByte(p.src[p.i]) || p.src[p.i] == '@') {
+					p.i++
+				}
+			} else if strings.HasPrefix(p.src[p.i:], "^^") {
+				p.i += 2
+				lexBase := p.src[start:p.i] // `"value"^^`
+				p.skipWS()
+				if p.i < len(p.src) && p.src[p.i] == '<' {
+					id, err := p.iriRef()
+					if err != nil {
+						return 0, err
+					}
+					return p.dict.InternLiteral(lexBase + "<" + p.dict.Term(id).Value + ">"), nil
+				}
+				id, err := p.prefixedName()
+				if err != nil {
+					return 0, err
+				}
+				// Normalize prefixed datatypes to the full-IRI lexical form
+				// so Turtle and N-Triples inputs intern identically.
+				return p.dict.InternLiteral(lexBase + "<" + p.dict.Term(id).Value + ">"), nil
+			}
+			return p.dict.InternLiteral(p.src[start:p.i]), nil
+		default:
+			p.i++
+		}
+	}
+	return 0, p.errf("unterminated literal")
+}
+
+func (p *parser) prefixDirective() error {
+	p.skipWS()
+	start := p.i
+	for p.i < len(p.src) && p.src[p.i] != ':' {
+		p.i++
+	}
+	if p.i >= len(p.src) {
+		return p.errf("malformed @prefix")
+	}
+	name := strings.TrimSpace(p.src[start:p.i])
+	p.i++
+	p.skipWS()
+	if p.i >= len(p.src) || p.src[p.i] != '<' {
+		return p.errf("@prefix needs <iri>")
+	}
+	id, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = p.dict.Term(id).Value
+	p.skipWS()
+	if !p.eat('.') {
+		return p.errf("@prefix must end with '.'")
+	}
+	return nil
+}
+
+func (p *parser) baseDirective() error {
+	p.skipWS()
+	if p.i >= len(p.src) || p.src[p.i] != '<' {
+		return p.errf("@base needs <iri>")
+	}
+	end := strings.IndexByte(p.src[p.i:], '>')
+	if end < 0 {
+		return p.errf("unterminated IRI in @base")
+	}
+	p.base = p.src[p.i+1 : p.i+end]
+	p.i += end + 1
+	p.skipWS()
+	if !p.eat('.') {
+		return p.errf("@base must end with '.'")
+	}
+	return nil
+}
+
+func (p *parser) skipWS() {
+	for p.i < len(p.src) {
+		c := p.src[p.i]
+		if isWS(c) {
+			p.i++
+			continue
+		}
+		if c == '#' {
+			for p.i < len(p.src) && p.src[p.i] != '\n' {
+				p.i++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) has(kw string) bool { return strings.HasPrefix(p.src[p.i:], kw) }
+
+func (p *parser) eat(c byte) bool {
+	if p.i < len(p.src) && p.src[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.i], "\n")
+	return fmt.Errorf("turtle: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func isWS(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.' || c == '/' || c == '#' || c == '%'
+}

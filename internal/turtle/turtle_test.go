@@ -1,0 +1,227 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+
+	"powl/internal/rdf"
+	"powl/internal/vocab"
+)
+
+func parse(t *testing.T, src string) (*rdf.Dict, *rdf.Graph) {
+	t.Helper()
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	if _, err := ParseString(src, dict, g); err != nil {
+		t.Fatal(err)
+	}
+	return dict, g
+}
+
+func mustHave(t *testing.T, dict *rdf.Dict, g *rdf.Graph, s, p, o rdf.Term) {
+	t.Helper()
+	si, ok1 := dict.Lookup(s)
+	pi, ok2 := dict.Lookup(p)
+	oi, ok3 := dict.Lookup(o)
+	if !ok1 || !ok2 || !ok3 || !g.Has(rdf.Triple{S: si, P: pi, O: oi}) {
+		t.Errorf("missing triple %v %v %v", s, p, o)
+	}
+}
+
+func iri(v string) rdf.Term { return rdf.Term{Kind: rdf.IRI, Value: v} }
+func lit(v string) rdf.Term { return rdf.Term{Kind: rdf.Literal, Value: v} }
+func bnk(v string) rdf.Term { return rdf.Term{Kind: rdf.Blank, Value: v} }
+
+func TestBasicTriples(t *testing.T) {
+	dict, g := parse(t, `
+@prefix ex: <http://example.org/> .
+ex:alice ex:knows ex:bob .
+<http://example.org/bob> a ex:Person .
+`)
+	if g.Len() != 2 {
+		t.Fatalf("parsed %d triples, want 2", g.Len())
+	}
+	mustHave(t, dict, g, iri("http://example.org/alice"), iri("http://example.org/knows"), iri("http://example.org/bob"))
+	mustHave(t, dict, g, iri("http://example.org/bob"), iri(vocab.RDFType), iri("http://example.org/Person"))
+}
+
+func TestPredicateAndObjectLists(t *testing.T) {
+	dict, g := parse(t, `
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:x , ex:y ;
+     ex:q ex:z ;
+     a ex:Thing .
+`)
+	if g.Len() != 4 {
+		t.Fatalf("parsed %d triples, want 4", g.Len())
+	}
+	mustHave(t, dict, g, iri("http://example.org/a"), iri("http://example.org/p"), iri("http://example.org/y"))
+	mustHave(t, dict, g, iri("http://example.org/a"), iri("http://example.org/q"), iri("http://example.org/z"))
+}
+
+func TestLiterals(t *testing.T) {
+	dict, g := parse(t, `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:name "Alice" .
+ex:a ex:bio "says \"hi\""@en .
+ex:a ex:age "30"^^xsd:integer .
+ex:a ex:height "1.7"^^<http://www.w3.org/2001/XMLSchema#decimal> .
+`)
+	if g.Len() != 4 {
+		t.Fatalf("parsed %d triples, want 4", g.Len())
+	}
+	mustHave(t, dict, g, iri("http://example.org/a"), iri("http://example.org/name"), lit(`"Alice"`))
+	mustHave(t, dict, g, iri("http://example.org/a"), iri("http://example.org/bio"), lit(`"says \"hi\""@en`))
+	// Prefixed and full-IRI datatypes normalize identically.
+	mustHave(t, dict, g, iri("http://example.org/a"), iri("http://example.org/age"),
+		lit(`"30"^^<http://www.w3.org/2001/XMLSchema#integer>`))
+	mustHave(t, dict, g, iri("http://example.org/a"), iri("http://example.org/height"),
+		lit(`"1.7"^^<http://www.w3.org/2001/XMLSchema#decimal>`))
+}
+
+func TestBlankNodes(t *testing.T) {
+	dict, g := parse(t, `
+@prefix ex: <http://example.org/> .
+_:b1 ex:p ex:x .
+ex:y ex:q _:b1 .
+`)
+	mustHave(t, dict, g, bnk("b1"), iri("http://example.org/p"), iri("http://example.org/x"))
+	mustHave(t, dict, g, iri("http://example.org/y"), iri("http://example.org/q"), bnk("b1"))
+}
+
+func TestAnonymousBlankNode(t *testing.T) {
+	dict, g := parse(t, `
+@prefix ex: <http://example.org/> .
+ex:a ex:knows [ a ex:Person ; ex:name "Bob" ] .
+`)
+	if g.Len() != 3 {
+		t.Fatalf("parsed %d triples, want 3", g.Len())
+	}
+	// The anon node is typed and named.
+	typ, _ := dict.Lookup(iri(vocab.RDFType))
+	person, _ := dict.Lookup(iri("http://example.org/Person"))
+	anons := g.Match(rdf.Wildcard, typ, person)
+	if len(anons) != 1 {
+		t.Fatalf("anon typed nodes: %d", len(anons))
+	}
+	if dict.Term(anons[0].S).Kind != rdf.Blank {
+		t.Error("anon node is not a blank node")
+	}
+}
+
+func TestCollection(t *testing.T) {
+	dict, g := parse(t, `
+@prefix ex: <http://example.org/> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+ex:C owl:intersectionOf ( ex:A ex:B ) .
+`)
+	// 1 intersectionOf + 2 first + 2 rest = 5.
+	if g.Len() != 5 {
+		t.Fatalf("parsed %d triples, want 5", g.Len())
+	}
+	first, _ := dict.Lookup(iri(vocab.RDFFirst))
+	nilID, _ := dict.Lookup(iri(vocab.RDFNil))
+	rest, _ := dict.Lookup(iri(vocab.RDFRest))
+	if len(g.Match(rdf.Wildcard, first, rdf.Wildcard)) != 2 {
+		t.Error("rdf:first count wrong")
+	}
+	if len(g.Match(rdf.Wildcard, rest, nilID)) != 1 {
+		t.Error("list not nil-terminated")
+	}
+}
+
+func TestEmptyCollectionIsNil(t *testing.T) {
+	dict, g := parse(t, `
+@prefix ex: <http://example.org/> .
+ex:C ex:list () .
+`)
+	nilID, _ := dict.Lookup(iri(vocab.RDFNil))
+	c, _ := dict.Lookup(iri("http://example.org/C"))
+	p, _ := dict.Lookup(iri("http://example.org/list"))
+	if !g.Has(rdf.Triple{S: c, P: p, O: nilID}) {
+		t.Fatal("empty collection should be rdf:nil")
+	}
+}
+
+func TestBaseDirective(t *testing.T) {
+	dict, g := parse(t, `
+@base <http://example.org/> .
+@prefix ex: <http://example.org/> .
+<a> ex:p <b> .
+`)
+	mustHave(t, dict, g, iri("http://example.org/a"), iri("http://example.org/p"), iri("http://example.org/b"))
+}
+
+func TestBuiltinPrefixes(t *testing.T) {
+	_, g := parse(t, `
+@prefix ex: <http://example.org/> .
+ex:P a owl:TransitiveProperty .
+ex:A rdfs:subClassOf ex:B .
+`)
+	if g.Len() != 2 {
+		t.Fatalf("builtin prefixes: %d triples", g.Len())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		`ex:a ex:p ex:o .`,                         // unknown prefix
+		`@prefix ex: <http://x/> . ex:a ex:p`,      // missing object and dot
+		`@prefix ex: <http://x/> . ex:a ex:p ex:o`, // missing dot
+		`@prefix ex <http://x/> .`,                 // malformed prefix (no colon) — consumed as name
+		`@prefix ex: <http://x/> . ex:a ex:p "unterminated .`,
+		`@prefix ex: <http://x/> . ex:a ex:p """multi""" .`,
+		`@prefix ex: <http://x/> . ex:a ex:p ( ex:b .`,      // unterminated collection
+		`@prefix ex: <http://x/> . ex:a ex:p [ ex:q ex:r .`, // unterminated anon
+		`@base missing .`,
+	}
+	for _, src := range bad {
+		dict := rdf.NewDict()
+		g := rdf.NewGraph()
+		if _, err := ParseString(src, dict, g); err == nil {
+			t.Errorf("source %q parsed without error", src)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	_, g := parse(t, `
+# leading comment
+@prefix ex: <http://example.org/> .   # trailing comment
+ex:a   ex:p
+       ex:b .  # done
+`)
+	if g.Len() != 1 {
+		t.Fatalf("parsed %d triples, want 1", g.Len())
+	}
+}
+
+// TestOntologyRoundTrip parses a Turtle ontology and checks it compiles and
+// reasons end to end — the integration a user converting real-world data
+// relies on.
+func TestOntologyRoundTrip(t *testing.T) {
+	src := `
+@prefix ex: <http://shop/ns#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:PremiumCustomer rdfs:subClassOf ex:Customer .
+ex:partOfOrder a owl:TransitiveProperty .
+
+ex:item1 ex:partOfOrder ex:box1 .
+ex:box1 ex:partOfOrder ex:order1 .
+ex:alice a ex:PremiumCustomer .
+`
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	if _, err := ParseString(src, dict, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dict.Term(1).String(), "<") && dict.Len() == 0 {
+		t.Fatal("dictionary empty")
+	}
+	if g.Len() != 5 {
+		t.Fatalf("parsed %d triples, want 5", g.Len())
+	}
+}

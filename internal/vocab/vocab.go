@@ -1,0 +1,81 @@
+// Package vocab defines the RDF, RDFS, OWL and XSD IRIs used by the
+// OWL-Horst rule set and the benchmark ontologies.
+package vocab
+
+// Namespace prefixes.
+const (
+	RDF  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFS = "http://www.w3.org/2000/01/rdf-schema#"
+	OWL  = "http://www.w3.org/2002/07/owl#"
+	XSD  = "http://www.w3.org/2001/XMLSchema#"
+)
+
+// RDF vocabulary.
+const (
+	RDFType      = RDF + "type"
+	RDFProperty  = RDF + "Property"
+	RDFFirst     = RDF + "first"
+	RDFRest      = RDF + "rest"
+	RDFNil       = RDF + "nil"
+	RDFStatement = RDF + "Statement"
+	RDFSubject   = RDF + "subject"
+	RDFPredicate = RDF + "predicate"
+	RDFObject    = RDF + "object"
+)
+
+// RDFS vocabulary.
+const (
+	RDFSSubClassOf    = RDFS + "subClassOf"
+	RDFSSubPropertyOf = RDFS + "subPropertyOf"
+	RDFSDomain        = RDFS + "domain"
+	RDFSRange         = RDFS + "range"
+	RDFSClass         = RDFS + "Class"
+	RDFSResource      = RDFS + "Resource"
+	RDFSLiteral       = RDFS + "Literal"
+	RDFSDatatype      = RDFS + "Datatype"
+	RDFSMember        = RDFS + "member"
+	RDFSLabel         = RDFS + "label"
+	RDFSComment       = RDFS + "comment"
+	RDFSSeeAlso       = RDFS + "seeAlso"
+	RDFSIsDefinedBy   = RDFS + "isDefinedBy"
+)
+
+// OWL vocabulary (the OWL-Horst / pD* fragment plus common declarations).
+const (
+	OWLClass                     = OWL + "Class"
+	OWLThing                     = OWL + "Thing"
+	OWLNothing                   = OWL + "Nothing"
+	OWLObjectProperty            = OWL + "ObjectProperty"
+	OWLDatatypeProperty          = OWL + "DatatypeProperty"
+	OWLTransitiveProperty        = OWL + "TransitiveProperty"
+	OWLSymmetricProperty         = OWL + "SymmetricProperty"
+	OWLFunctionalProperty        = OWL + "FunctionalProperty"
+	OWLInverseFunctionalProperty = OWL + "InverseFunctionalProperty"
+	OWLInverseOf                 = OWL + "inverseOf"
+	OWLSameAs                    = OWL + "sameAs"
+	OWLDifferentFrom             = OWL + "differentFrom"
+	OWLEquivalentClass           = OWL + "equivalentClass"
+	OWLEquivalentProperty        = OWL + "equivalentProperty"
+	OWLDisjointWith              = OWL + "disjointWith"
+	OWLRestriction               = OWL + "Restriction"
+	OWLOnProperty                = OWL + "onProperty"
+	OWLHasValue                  = OWL + "hasValue"
+	OWLSomeValuesFrom            = OWL + "someValuesFrom"
+	OWLAllValuesFrom             = OWL + "allValuesFrom"
+	OWLIntersectionOf            = OWL + "intersectionOf"
+	OWLUnionOf                   = OWL + "unionOf"
+	OWLOntology                  = OWL + "Ontology"
+	OWLImports                   = OWL + "imports"
+)
+
+// IsSchemaIRI reports whether iri belongs to one of the schema namespaces
+// (RDF, RDFS, OWL). Triples whose predicate is a schema IRI, or whose object
+// is a schema class, define the ontology rather than instance data; the data
+// partitioner treats them separately per Algorithm 1 of the paper.
+func IsSchemaIRI(iri string) bool {
+	return hasPrefix(iri, RDF) || hasPrefix(iri, RDFS) || hasPrefix(iri, OWL)
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -1,0 +1,40 @@
+package vocab
+
+import "testing"
+
+func TestIsSchemaIRI(t *testing.T) {
+	schema := []string{
+		RDFType, RDFSSubClassOf, OWLSameAs, RDF + "anything",
+		RDFS + "x", OWL + "y", XSD[:len(XSD)] + "",
+	}
+	for _, iri := range schema[:6] {
+		if !IsSchemaIRI(iri) {
+			t.Errorf("IsSchemaIRI(%q) = false, want true", iri)
+		}
+	}
+	nonSchema := []string{
+		"http://example.org/Person",
+		"http://benchmark.powl/lubm#Student",
+		"",
+		"http://www.w3.org/", // prefix of the namespaces but not within one
+	}
+	for _, iri := range nonSchema {
+		if IsSchemaIRI(iri) {
+			t.Errorf("IsSchemaIRI(%q) = true, want false", iri)
+		}
+	}
+}
+
+func TestNamespaceConstantsWellFormed(t *testing.T) {
+	for _, ns := range []string{RDF, RDFS, OWL, XSD} {
+		if ns[len(ns)-1] != '#' {
+			t.Errorf("namespace %q does not end in '#'", ns)
+		}
+	}
+	if RDFType != RDF+"type" {
+		t.Error("RDFType mismatch")
+	}
+	if OWLTransitiveProperty != OWL+"TransitiveProperty" {
+		t.Error("OWLTransitiveProperty mismatch")
+	}
+}
