@@ -9,6 +9,7 @@
 package powl_test
 
 import (
+	"context"
 	"testing"
 
 	"powl/internal/core"
@@ -250,10 +251,10 @@ func BenchmarkAblation_Transport(b *testing.B) {
 	batch := ds.Graph.Triples()[:2000]
 	run := func(b *testing.B, tr transport.Transport) {
 		for i := 0; i < b.N; i++ {
-			if err := tr.Send(i, 0, 1, batch); err != nil {
+			if err := tr.Send(context.Background(), i, 0, 1, batch); err != nil {
 				b.Fatal(err)
 			}
-			got, err := tr.Recv(i, 1)
+			got, err := tr.Recv(context.Background(), i, 1)
 			if err != nil {
 				b.Fatal(err)
 			}

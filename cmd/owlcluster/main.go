@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"time"
 
+	"powl/internal/faultinject"
 	"powl/internal/fscluster"
 	"powl/internal/gpart"
 	"powl/internal/ntriples"
@@ -30,21 +32,35 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input RDF file, .nt or .ttl (required)")
-		dir     = flag.String("dir", "powl-work", "shared work directory")
-		k       = flag.Int("k", 4, "number of cluster nodes")
-		policy  = flag.String("policy", "graph", "data partitioning policy: graph, hash")
-		seed    = flag.Int64("seed", 42, "partitioner seed")
-		run     = flag.Bool("run", false, "spawn owlnode processes locally and merge the closures")
-		nodeBin = flag.String("node-bin", "", "owlnode binary for -run ('' = go run ./cmd/owlnode)")
-		engine  = flag.String("engine", "forward", "engine passed to the nodes")
-		out     = flag.String("o", "", "merged closure output file (with -run)")
+		in        = flag.String("in", "", "input RDF file, .nt or .ttl (required)")
+		dir       = flag.String("dir", "powl-work", "shared work directory")
+		k         = flag.Int("k", 4, "number of cluster nodes")
+		policy    = flag.String("policy", "graph", "data partitioning policy: graph, hash")
+		seed      = flag.Int64("seed", 42, "partitioner seed")
+		run       = flag.Bool("run", false, "spawn owlnode processes locally and merge the closures")
+		nodeBin   = flag.String("node-bin", "", "owlnode binary for -run ('' = go run ./cmd/owlnode)")
+		engine    = flag.String("engine", "forward", "engine passed to the nodes")
+		out       = flag.String("o", "", "merged closure output file (with -run)")
+		fault     = flag.String("fault", "", "fault-injection spec forwarded to one node, e.g. \"crash=2\" (see internal/faultinject)")
+		faultNode = flag.Int("fault-node", -1, "node receiving the -fault spec (-1 = last node)")
+		deadline  = flag.Duration("round-deadline", 2*time.Second, "supervisor: how long a node may trail a round before being declared dead (with -run)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "missing -in")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *fault != "" {
+		if _, err := faultinject.ParseSpec(*fault); err != nil {
+			fatal(err)
+		}
+		if *faultNode < 0 {
+			*faultNode = *k - 1
+		}
+		if *faultNode >= *k {
+			fatal(fmt.Errorf("-fault-node %d out of range for -k %d", *faultNode, *k))
+		}
 	}
 
 	dict := rdf.NewDict()
@@ -77,7 +93,11 @@ func main() {
 	if !*run {
 		fmt.Println("work directory ready; start one node per machine:")
 		for i := 0; i < *k; i++ {
-			fmt.Printf("  owlnode -dir %s -id %d -engine %s\n", *dir, i, *engine)
+			extra := ""
+			if *fault != "" && i == *faultNode {
+				extra = " -fault " + *fault
+			}
+			fmt.Printf("  owlnode -dir %s -id %d -engine %s%s\n", *dir, i, *engine, extra)
 		}
 		return
 	}
@@ -85,11 +105,15 @@ func main() {
 	// Spawn the nodes as real OS processes.
 	procs := make([]*exec.Cmd, *k)
 	for i := 0; i < *k; i++ {
+		args := []string{"-dir", *dir, "-id", fmt.Sprint(i), "-engine", *engine}
+		if *fault != "" && i == *faultNode {
+			args = append(args, "-fault", *fault)
+		}
 		var cmd *exec.Cmd
 		if *nodeBin != "" {
-			cmd = exec.Command(*nodeBin, "-dir", *dir, "-id", fmt.Sprint(i), "-engine", *engine)
+			cmd = exec.Command(*nodeBin, args...)
 		} else {
-			cmd = exec.Command("go", "run", "./cmd/owlnode", "-dir", *dir, "-id", fmt.Sprint(i), "-engine", *engine)
+			cmd = exec.Command("go", append([]string{"run", "./cmd/owlnode"}, args...)...)
 		}
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -97,10 +121,50 @@ func main() {
 		}
 		procs[i] = cmd
 	}
+
+	// Supervise alongside the nodes: detect a node missing its round deadline,
+	// declare it dead, and let a survivor adopt its partition.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type supOut struct {
+		res *fscluster.SuperviseResult
+		err error
+	}
+	supCh := make(chan supOut, 1)
+	go func() {
+		res, err := fscluster.Supervise(ctx, fscluster.SuperviseConfig{
+			Dir: *dir, K: *k, RoundDeadline: *deadline,
+		})
+		supCh <- supOut{res, err}
+	}()
+
+	waitErrs := make([]error, *k)
 	for i, p := range procs {
-		if err := p.Wait(); err != nil {
-			fatal(fmt.Errorf("node %d: %w", i, err))
+		waitErrs[i] = p.Wait()
+	}
+	var sup supOut
+	select {
+	case sup = <-supCh:
+	case <-time.After(5 * time.Second):
+		// All nodes have exited but supervision has not converged (e.g. every
+		// node failed before writing a closure); stop it and report.
+		cancel()
+		sup = <-supCh
+	}
+	for victim, adopter := range sup.res.Dead {
+		fmt.Fprintf(os.Stderr, "node %d declared dead; partition recovered by node %d\n", victim, adopter)
+	}
+	for i, werr := range waitErrs {
+		if werr == nil {
+			continue
 		}
+		if _, dead := sup.res.Dead[i]; dead {
+			continue // expected: the node died and was recovered
+		}
+		fatal(fmt.Errorf("node %d: %w", i, werr))
+	}
+	if sup.err != nil {
+		fatal(fmt.Errorf("supervisor: %w", sup.err))
 	}
 
 	mdict, merged, err := fscluster.MergeClosures(*dir, *k)

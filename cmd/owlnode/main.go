@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"powl/internal/faultinject"
 	"powl/internal/fscluster"
 	"powl/internal/reason"
 )
@@ -25,12 +26,21 @@ func main() {
 		engine  = flag.String("engine", "forward", "rule engine: forward, rete, hybrid")
 		poll    = flag.Duration("poll", 20*time.Millisecond, "marker polling interval")
 		timeout = flag.Duration("timeout", 10*time.Minute, "per-round peer wait timeout")
+		fault   = flag.String("fault", "", "fault-injection spec, e.g. \"crash=2\" (see internal/faultinject)")
 	)
 	flag.Parse()
 	if *id < 0 {
 		fmt.Fprintln(os.Stderr, "missing -id")
 		flag.Usage()
 		os.Exit(2)
+	}
+	var inject *faultinject.Injector
+	if *fault != "" {
+		fcfg, err := faultinject.ParseSpec(*fault)
+		if err != nil {
+			fatal(err)
+		}
+		inject = faultinject.New(fcfg)
 	}
 	k, err := fscluster.ClusterSize(*dir)
 	if err != nil {
@@ -56,6 +66,7 @@ func main() {
 	res, err := fscluster.RunNode(fscluster.NodeConfig{
 		ID: *id, K: k, Dir: *dir,
 		Engine: eng, Poll: *poll, Timeout: *timeout,
+		Inject: inject,
 	})
 	if err != nil {
 		fatal(err)

@@ -14,6 +14,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -69,6 +71,11 @@ type Config struct {
 	Mode      Mode
 	// MaxRounds caps the number of rounds as a safety net; 0 means 1000.
 	MaxRounds int
+	// RoundTimeout bounds one worker's round — reason, send, barrier wait
+	// and receive. A worker that blows the deadline (most often: stuck at
+	// the barrier because a peer died) aborts the run with
+	// context.DeadlineExceeded instead of hanging forever. 0 disables.
+	RoundTimeout time.Duration
 }
 
 // Timings is the per-worker cost breakdown.
@@ -114,8 +121,17 @@ type RoundStat struct {
 	Sent int
 }
 
-// Run executes Algorithm 3 over the given assignments.
+// Run executes Algorithm 3 over the given assignments. It is
+// RunContext with a background context — uncancellable, as the original
+// fail-stop deployment was.
 func Run(cfg Config, assigns []Assignment) (*Result, error) {
+	return RunContext(context.Background(), cfg, assigns)
+}
+
+// RunContext executes Algorithm 3 over the given assignments under ctx.
+// Cancelling ctx aborts the run (the barrier wakes all workers), and
+// cfg.RoundTimeout additionally bounds each worker's individual rounds.
+func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result, error) {
 	k := len(assigns)
 	if k == 0 {
 		return nil, fmt.Errorf("cluster: no assignments")
@@ -147,7 +163,7 @@ func Run(cfg Config, assigns []Assignment) (*Result, error) {
 	}
 
 	if cfg.Mode == Simulated {
-		return runSimulated(cfg, workers, maxRounds)
+		return runSimulated(ctx, cfg, workers, maxRounds)
 	}
 
 	bar := newBarrier(k)
@@ -160,7 +176,7 @@ func Run(cfg Config, assigns []Assignment) (*Result, error) {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			r, err := w.run(cfg, bar, maxRounds)
+			r, err := w.run(ctx, cfg, bar, maxRounds)
 			if err != nil {
 				errs[w.id] = err
 			}
@@ -172,10 +188,8 @@ func Run(cfg Config, assigns []Assignment) (*Result, error) {
 		}(workers[i])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstCause(errs); err != nil {
+		return nil, err
 	}
 
 	res, err := aggregate(workers)
@@ -206,30 +220,36 @@ type worker struct {
 // subsequent rounds exploit that the graph was at fixpoint before the
 // received tuples arrived: nothing received means nothing to do, and an
 // Incremental engine closes over just the received seeds.
-func (w *worker) phaseReason(cfg Config) time.Duration {
+func (w *worker) phaseReason(ctx context.Context, cfg Config) (time.Duration, error) {
 	t0 := time.Now()
+	var n int
+	var err error
 	switch {
 	case !w.materialized:
-		w.tm.Derived += cfg.Engine.Materialize(w.graph, w.rules)
+		n, err = reason.MaterializeCtx(ctx, cfg.Engine, w.graph, w.rules)
 		w.materialized = true
 	case len(w.received) == 0:
 		// Fixpoint unchanged since last round.
 	default:
 		if inc, ok := cfg.Engine.(reason.Incremental); ok {
-			w.tm.Derived += inc.MaterializeFrom(w.graph, w.rules, w.received)
+			n, err = reason.MaterializeFromCtx(ctx, inc, w.graph, w.rules, w.received)
 		} else {
-			w.tm.Derived += cfg.Engine.Materialize(w.graph, w.rules)
+			n, err = reason.MaterializeCtx(ctx, cfg.Engine, w.graph, w.rules)
 		}
 	}
+	w.tm.Derived += n
 	w.received = w.received[:0]
 	d := time.Since(t0)
 	w.tm.Reason += d
-	return d
+	if err != nil {
+		return d, fmt.Errorf("cluster: worker %d reason: %w", w.id, err)
+	}
+	return d, nil
 }
 
 // phaseSend routes every not-yet-shipped triple (step 4) and returns the
 // number sent and the phase duration.
-func (w *worker) phaseSend(cfg Config, round int) (int, time.Duration, error) {
+func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, time.Duration, error) {
 	t0 := time.Now()
 	outbox := map[int][]rdf.Triple{}
 	for _, t := range w.graph.Triples() {
@@ -243,7 +263,7 @@ func (w *worker) phaseSend(cfg Config, round int) (int, time.Duration, error) {
 	}
 	nSent := 0
 	for dst, ts := range outbox {
-		if err := cfg.Transport.Send(round, w.id, dst, ts); err != nil {
+		if err := cfg.Transport.Send(ctx, round, w.id, dst, ts); err != nil {
 			return 0, 0, fmt.Errorf("cluster: worker %d send: %w", w.id, err)
 		}
 		nSent += len(ts)
@@ -255,9 +275,9 @@ func (w *worker) phaseSend(cfg Config, round int) (int, time.Duration, error) {
 }
 
 // phaseRecv absorbs the tuples other workers sent this round (step 5).
-func (w *worker) phaseRecv(cfg Config, round int) (time.Duration, error) {
+func (w *worker) phaseRecv(ctx context.Context, cfg Config, round int) (time.Duration, error) {
 	t0 := time.Now()
-	in, err := cfg.Transport.Recv(round, w.id)
+	in, err := cfg.Transport.Recv(ctx, round, w.id)
 	if err != nil {
 		return 0, fmt.Errorf("cluster: worker %d recv: %w", w.id, err)
 	}
@@ -274,27 +294,75 @@ func (w *worker) phaseRecv(cfg Config, round int) (time.Duration, error) {
 	return d, nil
 }
 
+// ErrPeerAbort is returned by workers whose barrier was torn down because
+// some other worker failed; that worker's own error is the root cause.
+var ErrPeerAbort = errors.New("cluster: aborted by peer failure")
+
+// firstCause picks the run's root-cause error: the first worker error that is
+// not a mere peer-abort echo, falling back to any error at all.
+func firstCause(errs []error) error {
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrPeerAbort) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
+}
+
+// roundCtx derives the context governing one worker-round: the run context,
+// tightened by the per-round deadline when one is configured.
+func roundCtx(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
+	if cfg.RoundTimeout > 0 {
+		return context.WithTimeout(ctx, cfg.RoundTimeout)
+	}
+	return ctx, func() {}
+}
+
 // run is one worker's round loop in Concurrent mode.
-func (w *worker) run(cfg Config, bar *barrier, maxRounds int) (int, error) {
+func (w *worker) run(ctx context.Context, cfg Config, bar *barrier, maxRounds int) (int, error) {
 	round := 0
 	for ; round < maxRounds; round++ {
-		w.phaseReason(cfg)
+		rctx, cancel := roundCtx(ctx, cfg)
 
-		nSent, _, err := w.phaseSend(cfg, round)
-		if err != nil {
+		if _, err := w.phaseReason(rctx, cfg); err != nil {
+			cancel()
 			bar.abort()
 			return round, err
 		}
 
-		// Barrier with global sent-count reduction.
-		t0 := time.Now()
-		totalSent, ok := bar.sync(nSent)
-		w.tm.Sync += time.Since(t0)
-		if !ok {
-			return round, fmt.Errorf("cluster: aborted by peer failure")
+		nSent, _, err := w.phaseSend(rctx, cfg, round)
+		if err != nil {
+			cancel()
+			bar.abort()
+			return round, err
 		}
 
-		if _, err := w.phaseRecv(cfg, round); err != nil {
+		// Barrier with global sent-count reduction. The round deadline
+		// covers the wait: a worker stuck here because a peer died wakes
+		// with DeadlineExceeded instead of hanging forever.
+		t0 := time.Now()
+		totalSent, ok, berr := bar.syncCtx(rctx, nSent)
+		w.tm.Sync += time.Since(t0)
+		if berr != nil {
+			cancel()
+			bar.abort()
+			return round, fmt.Errorf("cluster: worker %d barrier (round %d): %w", w.id, round, berr)
+		}
+		if !ok {
+			cancel()
+			return round, ErrPeerAbort
+		}
+
+		_, err = w.phaseRecv(rctx, cfg, round)
+		cancel()
+		if err != nil {
 			bar.abort()
 			return round, err
 		}
@@ -314,7 +382,7 @@ func (w *worker) run(cfg Config, bar *barrier, maxRounds int) (int, error) {
 // round costs the maximum over workers of (reason + send), plus the maximum
 // receive time; per-worker Sync is the gap to the round's slowest worker
 // (the time it would have spent at the barrier).
-func runSimulated(cfg Config, workers []*worker, maxRounds int) (*Result, error) {
+func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds int) (*Result, error) {
 	var simElapsed time.Duration
 	var roundStats []RoundStat
 	rounds := 0
@@ -323,8 +391,16 @@ func runSimulated(cfg Config, workers []*worker, maxRounds int) (*Result, error)
 		work := make([]time.Duration, len(workers))
 		totalSent := 0
 		for i, w := range workers {
-			d := w.phaseReason(cfg)
-			n, sd, err := w.phaseSend(cfg, round)
+			// Each worker-round gets its own deadline, mirroring what the
+			// worker would experience running concurrently.
+			rctx, cancel := roundCtx(ctx, cfg)
+			d, err := w.phaseReason(rctx, cfg)
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			n, sd, err := w.phaseSend(rctx, cfg, round)
+			cancel()
 			if err != nil {
 				return nil, err
 			}
@@ -342,7 +418,9 @@ func runSimulated(cfg Config, workers []*worker, maxRounds int) (*Result, error)
 		}
 		var slowestRecv time.Duration
 		for _, w := range workers {
-			rd, err := w.phaseRecv(cfg, round)
+			rctx, cancel := roundCtx(ctx, cfg)
+			rd, err := w.phaseRecv(rctx, cfg, round)
+			cancel()
 			if err != nil {
 				return nil, err
 			}
@@ -432,10 +510,22 @@ func newBarrier(k int) *barrier {
 // sync blocks until all k parties arrive, returning the sum of their
 // contributions. ok is false if the barrier was aborted.
 func (b *barrier) sync(contribution int) (sum int, ok bool) {
+	sum, ok, _ = b.syncCtx(context.Background(), contribution)
+	return sum, ok
+}
+
+// syncCtx is sync with a cancellable wait: when ctx is cancelled or its
+// deadline passes while the party is waiting, it withdraws its contribution
+// and returns the context's error — without waking or dooming the peers
+// (the caller decides whether to abort the whole barrier).
+func (b *barrier) syncCtx(ctx context.Context, contribution int) (sum int, ok bool, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, false, err
+	}
 	if b.aborted {
-		return 0, false
+		return 0, false, nil
 	}
 	gen := b.gen
 	b.sum += contribution
@@ -446,15 +536,30 @@ func (b *barrier) sync(contribution int) (sum int, ok bool) {
 		b.waiting = 0
 		b.gen++
 		b.cond.Broadcast()
-		return b.out, !b.aborted
+		return b.out, !b.aborted, nil
 	}
-	for gen == b.gen && !b.aborted {
+	// Wake the cond wait when ctx fires; Broadcast under the lock so the
+	// wakeup cannot race with the wait re-check.
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+	defer stop()
+	for gen == b.gen && !b.aborted && ctx.Err() == nil {
 		b.cond.Wait()
 	}
 	if b.aborted {
-		return 0, false
+		return 0, false, nil
 	}
-	return b.out, true
+	if gen == b.gen {
+		// Left early on ctx: withdraw so a late peer cannot complete the
+		// generation with this party's stale contribution.
+		b.waiting--
+		b.sum -= contribution
+		return 0, false, ctx.Err()
+	}
+	return b.out, true, nil
 }
 
 // abort releases all waiters with ok=false; subsequent syncs fail fast.

@@ -1,47 +1,48 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 	"time"
 
+	"powl/internal/faultinject"
 	"powl/internal/rdf"
 	"powl/internal/reason"
 	"powl/internal/transport"
 )
 
-// faultyTransport wraps a real transport and fails the nth Send or Recv.
-type faultyTransport struct {
-	transport.Transport
-	failSendAfter int
-	failRecvAfter int
-	sends         int
-	recvs         int
-}
-
-func (f *faultyTransport) Send(round, from, to int, ts []rdf.Triple) error {
-	f.sends++
-	if f.failSendAfter > 0 && f.sends >= f.failSendAfter {
-		return fmt.Errorf("injected send failure")
+// transportMatrix yields a fresh instance of every transport kind for k
+// workers, for fault-matrix tests (the seed suite only exercised Mem here).
+func transportMatrix(t *testing.T, k int, dict *rdf.Dict) map[string]transport.Transport {
+	t.Helper()
+	file, err := transport.NewFile(t.TempDir(), dict)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return f.Transport.Send(round, from, to, ts)
-}
-
-func (f *faultyTransport) Recv(round, to int) ([]rdf.Triple, error) {
-	f.recvs++
-	if f.failRecvAfter > 0 && f.recvs >= f.failRecvAfter {
-		return nil, fmt.Errorf("injected recv failure")
+	tcp, err := transport.NewTCP(k, dict)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return f.Transport.Recv(round, to)
+	return map[string]transport.Transport{
+		"mem":  transport.NewMem(),
+		"file": file,
+		"tcp":  tcp,
+	}
 }
 
-// TestSendFailureAbortsRun: a failing transport must surface its error and
-// not deadlock the barrier, in both modes.
+// TestSendFailureAbortsRun: an unretried transient failure must surface its
+// error and not deadlock the barrier, in both modes — the seed's fail-stop
+// contract still holds when no Retry wrapper is installed.
 func TestSendFailureAbortsRun(t *testing.T) {
 	for _, mode := range []Mode{Concurrent, Simulated} {
 		f := newChainFixture(t, 12, 3)
-		tr := &faultyTransport{Transport: transport.NewMem(), failSendAfter: 1}
+		tr := &faultinject.Transport{
+			Inner: transport.NewMem(),
+			Inj:   faultinject.New(faultinject.Config{SendNth: 1}),
+		}
 		done := make(chan error, 1)
 		go func() {
 			_, err := Run(Config{
@@ -54,7 +55,7 @@ func TestSendFailureAbortsRun(t *testing.T) {
 		}()
 		select {
 		case err := <-done:
-			if err == nil || !strings.Contains(err.Error(), "injected send failure") {
+			if err == nil || !strings.Contains(err.Error(), "faultinject: send call 1") {
 				t.Fatalf("mode=%v: expected injected failure, got %v", mode, err)
 			}
 		case <-time.After(30 * time.Second):
@@ -67,7 +68,10 @@ func TestSendFailureAbortsRun(t *testing.T) {
 func TestRecvFailureAbortsRun(t *testing.T) {
 	for _, mode := range []Mode{Concurrent, Simulated} {
 		f := newChainFixture(t, 12, 3)
-		tr := &faultyTransport{Transport: transport.NewMem(), failRecvAfter: 2}
+		tr := &faultinject.Transport{
+			Inner: transport.NewMem(),
+			Inj:   faultinject.New(faultinject.Config{RecvNth: 2}),
+		}
 		done := make(chan error, 1)
 		go func() {
 			_, err := Run(Config{
@@ -80,12 +84,177 @@ func TestRecvFailureAbortsRun(t *testing.T) {
 		}()
 		select {
 		case err := <-done:
-			if err == nil || !strings.Contains(err.Error(), "injected recv failure") {
+			if err == nil || !strings.Contains(err.Error(), "faultinject: recv call 2") {
 				t.Fatalf("mode=%v: expected injected failure, got %v", mode, err)
 			}
 		case <-time.After(30 * time.Second):
 			t.Fatalf("mode=%v: run deadlocked after transport failure", mode)
 		}
+	}
+}
+
+// TestTransientFaultsRecoverAcrossTransports is the core fault matrix: on
+// every transport kind, in both modes, a seeded schedule of transient
+// send/recv faults is absorbed by the Retry wrapper and the run completes
+// with the exact closure instead of aborting.
+func TestTransientFaultsRecoverAcrossTransports(t *testing.T) {
+	for _, mode := range []Mode{Concurrent, Simulated} {
+		f := newChainFixture(t, 12, 3)
+		for name, inner := range transportMatrix(t, 3, f.dict) {
+			inj := faultinject.New(faultinject.Config{
+				Seed: 7, SendProb: 0.3, RecvProb: 0.3, MaxFaults: 6,
+			})
+			retry := transport.NewRetry(
+				&faultinject.Transport{Inner: inner, Inj: inj},
+				transport.RetryConfig{MaxAttempts: 8, BaseDelay: time.Microsecond, Seed: 7},
+			)
+			res, err := Run(Config{
+				Engine:    reason.Forward{},
+				Transport: retry,
+				Router:    ownerRouter{f.owner},
+				Mode:      mode,
+			}, f.assignments(3))
+			if err != nil {
+				t.Fatalf("mode=%v %s: run failed despite retry: %v", mode, name, err)
+			}
+			if !res.Graph.Equal(f.closed) {
+				t.Fatalf("mode=%v %s: closure mismatch after faulty run", mode, name)
+			}
+			if inj.Faults() > 0 && retry.Retries() == 0 {
+				t.Fatalf("mode=%v %s: %d faults injected but no retries recorded",
+					mode, name, inj.Faults())
+			}
+			retry.Close()
+		}
+	}
+}
+
+// TestNthCallFaultRecovers: a deterministic nth-call fault (not probability)
+// is also absorbed, on every transport.
+func TestNthCallFaultRecovers(t *testing.T) {
+	f := newChainFixture(t, 10, 3)
+	for name, inner := range transportMatrix(t, 3, f.dict) {
+		inj := faultinject.New(faultinject.Config{SendNth: 2, RecvNth: 3})
+		retry := transport.NewRetry(
+			&faultinject.Transport{Inner: inner, Inj: inj},
+			transport.RetryConfig{BaseDelay: time.Microsecond},
+		)
+		res, err := Run(Config{
+			Engine:    reason.Forward{},
+			Transport: retry,
+			Router:    ownerRouter{f.owner},
+			Mode:      Concurrent,
+		}, f.assignments(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Graph.Equal(f.closed) {
+			t.Fatalf("%s: closure mismatch", name)
+		}
+		retry.Close()
+	}
+}
+
+// malformedOnce fails the first Recv with a payload-corruption error, which
+// Classify must treat as fatal: retrying corrupt bytes cannot help.
+type malformedOnce struct {
+	transport.Transport
+	tripped bool
+}
+
+func (m *malformedOnce) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
+	if !m.tripped {
+		m.tripped = true
+		return nil, fmt.Errorf("%w: bad frame", transport.ErrMalformed)
+	}
+	return m.Transport.Recv(ctx, round, to)
+}
+
+func TestMalformedPayloadIsNotRetried(t *testing.T) {
+	f := newChainFixture(t, 8, 2)
+	retry := transport.NewRetry(
+		&malformedOnce{Transport: transport.NewMem()},
+		transport.RetryConfig{BaseDelay: time.Microsecond},
+	)
+	_, err := Run(Config{
+		Engine:    reason.Forward{},
+		Transport: retry,
+		Router:    ownerRouter{f.owner},
+		Mode:      Simulated,
+	}, f.assignments(2))
+	if !errors.Is(err, transport.ErrMalformed) {
+		t.Fatalf("expected malformed-payload abort, got %v", err)
+	}
+	if retry.Retries() != 0 {
+		t.Fatalf("fatal error was retried %d times", retry.Retries())
+	}
+}
+
+// stuckTransport simulates a dead worker: every Send from stuckFrom blocks
+// until the context fires.
+type stuckTransport struct {
+	transport.Transport
+	stuckFrom int
+}
+
+func (s *stuckTransport) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) error {
+	if from == s.stuckFrom {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return s.Transport.Send(ctx, round, from, to, ts)
+}
+
+// TestRoundDeadlineUnsticksBarrier: with one worker hung, the others are
+// stuck at the barrier forever in the seed design; RoundTimeout must wake
+// everyone with DeadlineExceeded instead.
+func TestRoundDeadlineUnsticksBarrier(t *testing.T) {
+	f := newChainFixture(t, 12, 3)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(Config{
+			Engine:       reason.Forward{},
+			Transport:    &stuckTransport{Transport: transport.NewMem(), stuckFrom: 1},
+			Router:       ownerRouter{f.owner},
+			Mode:         Concurrent,
+			RoundTimeout: 100 * time.Millisecond,
+		}, f.assignments(3))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("expected DeadlineExceeded, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("round deadline never fired; barrier stuck")
+	}
+}
+
+// TestRunContextCancellation: cancelling the run context aborts a run whose
+// workers are blocked mid-round.
+func TestRunContextCancellation(t *testing.T) {
+	f := newChainFixture(t, 12, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, Config{
+			Engine:    reason.Forward{},
+			Transport: &stuckTransport{Transport: transport.NewMem(), stuckFrom: 1},
+			Router:    ownerRouter{f.owner},
+			Mode:      Concurrent,
+		}, f.assignments(3))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("expected Canceled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not end the run")
 	}
 }
 

@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"powl/internal/transport"
+)
+
+func TestNthCallTriggers(t *testing.T) {
+	in := New(Config{SendNth: 3, RecvNth: 2})
+	for i := 1; i <= 5; i++ {
+		err := in.Send()
+		if (i == 3) != (err != nil) {
+			t.Fatalf("send %d: err=%v", i, err)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		err := in.Recv()
+		if (i == 2) != (err != nil) {
+			t.Fatalf("recv %d: err=%v", i, err)
+		}
+	}
+	if in.Faults() != 2 {
+		t.Fatalf("faults = %d, want 2", in.Faults())
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := New(Config{Seed: 99, SendProb: 0.5})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = in.Send() != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	failed := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at call %d", i)
+		}
+		if a[i] {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Fatalf("p=0.5 produced %d/%d failures", failed, len(a))
+	}
+}
+
+func TestMaxFaultsCapsSchedule(t *testing.T) {
+	in := New(Config{Seed: 1, SendProb: 1, MaxFaults: 3})
+	failed := 0
+	for i := 0; i < 20; i++ {
+		if in.Send() != nil {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("injected %d faults, cap was 3", failed)
+	}
+}
+
+func TestFaultIsTransient(t *testing.T) {
+	in := New(Config{SendNth: 1})
+	err := in.Send()
+	var f *Fault
+	if !errors.As(err, &f) || !f.Transient() {
+		t.Fatalf("injected fault not transient: %v", err)
+	}
+	if !transport.DefaultClassify(err) {
+		t.Fatal("DefaultClassify should retry injected faults")
+	}
+}
+
+func TestCrashRound(t *testing.T) {
+	in := New(Config{CrashRound: 2})
+	if in.Crash(0) {
+		t.Fatal("crash=2 must survive round 0")
+	}
+	if !in.Crash(1) || !in.Crash(5) {
+		t.Fatal("crash=2 must die from round 1 on")
+	}
+	var none *Injector
+	if none.Crash(0) {
+		t.Fatal("nil injector crashed")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7,send=0.25,recv=0.5,sendnth=3,max=10,delay=5ms,delayp=0.3,crash=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, SendProb: 0.25, RecvProb: 0.5, SendNth: 3,
+		MaxFaults: 10, Delay: 5 * time.Millisecond, DelayProb: 0.3, CrashRound: 2}
+	if cfg != want {
+		t.Fatalf("got %+v want %+v", cfg, want)
+	}
+	if _, err := ParseSpec("bogus=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseSpec("send"); err == nil {
+		t.Fatal("missing value accepted")
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+}

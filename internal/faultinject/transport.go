@@ -1,0 +1,39 @@
+package faultinject
+
+import (
+	"context"
+
+	"powl/internal/rdf"
+	"powl/internal/transport"
+)
+
+// Transport wraps t so that every Send/Recv first consults the injector.
+// Compose with transport.NewRetry to exercise the recovery path:
+//
+//	tr := transport.NewRetry(faultinject.Transport(inner, inj), transport.RetryConfig{})
+type Transport struct {
+	Inner transport.Transport
+	Inj   *Injector
+}
+
+// Name implements transport.Transport.
+func (f *Transport) Name() string { return f.Inner.Name() + "+fault" }
+
+// Send implements transport.Transport.
+func (f *Transport) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) error {
+	if err := f.Inj.Send(); err != nil {
+		return err
+	}
+	return f.Inner.Send(ctx, round, from, to, ts)
+}
+
+// Recv implements transport.Transport.
+func (f *Transport) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
+	if err := f.Inj.Recv(); err != nil {
+		return nil, err
+	}
+	return f.Inner.Recv(ctx, round, to)
+}
+
+// Close implements transport.Transport.
+func (f *Transport) Close() error { return f.Inner.Close() }

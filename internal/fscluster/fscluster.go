@@ -14,6 +14,8 @@ package fscluster
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"powl/internal/faultinject"
 	"powl/internal/ntriples"
 	"powl/internal/owlhorst"
 	"powl/internal/partition"
@@ -57,6 +60,30 @@ func (l Layout) MarkerFile(round, id int) string {
 // ClosureFile is node i's final output.
 func (l Layout) ClosureFile(id int) string {
 	return filepath.Join(l.Dir, fmt.Sprintf("closure_%02d.nt", id))
+}
+
+// CkptFile is node i's round-r checkpoint: the tuples the node derived that
+// round (its routing delta). Together with the base partition and the message
+// files addressed to i, the checkpoints reconstruct i's graph after any
+// completed round — the recovery path relies on exactly that.
+func (l Layout) CkptFile(round, id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r%03d_n%02d.nt", round, id))
+}
+
+// DeadFile marks node i as failed; its content is the adopter's id. Written
+// by the supervisor, honoured by every node's barrier wait.
+func (l Layout) DeadFile(id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("dead_n%02d", id))
+}
+
+// ckptGlob matches all of node i's checkpoint files.
+func (l Layout) ckptGlob(id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r*_n%02d.nt", id))
+}
+
+// msgGlob matches all message files addressed to node i.
+func (l Layout) msgGlob(to int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("msg_r*_n*_to_n%02d.nt", to))
 }
 
 // MetaFile records the cluster size for the nodes.
@@ -143,7 +170,15 @@ type NodeConfig struct {
 	Timeout time.Duration
 	// MaxRounds is a safety cap; 0 means 1000.
 	MaxRounds int
+	// Inject optionally simulates failures: when its CrashRound fires the
+	// node exits with ErrCrashed mid-protocol, exactly as a killed process
+	// would look to its peers. Nil means no injection.
+	Inject *faultinject.Injector
 }
+
+// ErrCrashed is returned by a node whose fault injector fired its crash
+// trigger; the node stops without writing its round marker.
+var ErrCrashed = errors.New("fscluster: node crashed (fault injection)")
 
 // NodeResult reports one node's run.
 type NodeResult struct {
@@ -154,9 +189,34 @@ type NodeResult struct {
 	Closure *rdf.Graph
 }
 
+// node is one running worker's in-memory state, shared by the round loop and
+// the recovery path in recover.go.
+type node struct {
+	cfg   NodeConfig
+	l     Layout
+	dict  *rdf.Dict
+	g     *rdf.Graph
+	rules []rules.Rule
+	owner map[rdf.ID]int
+	// sent marks tuples that no longer need routing: the base partition,
+	// everything already shipped, and everything received (global knowledge).
+	sent     map[rdf.Triple]struct{}
+	received []rdf.Triple
+	// adopted lists dead peers this node has taken over (recover.go).
+	adopted []int
+	res     *NodeResult
+}
+
 // RunNode executes Algorithm 3's round loop for one node against the shared
 // directory, writing its closure file before returning.
 func RunNode(cfg NodeConfig) (*NodeResult, error) {
+	return RunNodeContext(context.Background(), cfg)
+}
+
+// RunNodeContext is RunNode with cancellation: the context is checked each
+// round, passed to the engine's fixpoint loop, and honoured by the barrier
+// poll, so a cancelled node stops within one round phase.
+func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	if cfg.Engine == nil {
 		cfg.Engine = reason.Forward{}
 	}
@@ -169,101 +229,145 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 1000
 	}
-	l := Layout{Dir: cfg.Dir}
-	dict := rdf.NewDict()
-	g := rdf.NewGraph()
-	if err := readGraphFile(l.PartFile(cfg.ID), dict, g); err != nil {
+	n := &node{cfg: cfg, l: Layout{Dir: cfg.Dir}, dict: rdf.NewDict(),
+		g: rdf.NewGraph(), res: &NodeResult{}}
+	if err := readGraphFile(n.l.PartFile(cfg.ID), n.dict, n.g); err != nil {
 		return nil, fmt.Errorf("fscluster: node %d: %w", cfg.ID, err)
 	}
-	ruleSrc, err := os.ReadFile(l.RulesFile())
+	ruleSrc, err := os.ReadFile(n.l.RulesFile())
 	if err != nil {
 		return nil, err
 	}
-	rs, err := rules.Parse(string(ruleSrc), dict)
-	if err != nil {
+	if n.rules, err = rules.Parse(string(ruleSrc), n.dict); err != nil {
 		return nil, fmt.Errorf("fscluster: node %d: rules: %w", cfg.ID, err)
 	}
-	owner, err := readOwnerTable(l.OwnerFile(), dict)
-	if err != nil {
+	if n.owner, err = readOwnerTable(n.l.OwnerFile(), n.dict); err != nil {
 		return nil, fmt.Errorf("fscluster: node %d: %w", cfg.ID, err)
 	}
 
-	res := &NodeResult{}
-	sent := make(map[rdf.Triple]struct{}, g.Len())
-	for _, t := range g.Triples() {
-		sent[t] = struct{}{}
+	n.sent = make(map[rdf.Triple]struct{}, n.g.Len())
+	for _, t := range n.g.Triples() {
+		n.sent[t] = struct{}{}
 	}
-	var received []rdf.Triple
 	materialized := false
 
 	for round := 0; round < cfg.MaxRounds; round++ {
-		res.Rounds = round + 1
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cfg.Inject.Crash(round) {
+			return nil, ErrCrashed
+		}
+		n.res.Rounds = round + 1
 
 		// Reason.
 		switch {
 		case !materialized:
-			res.Derived += cfg.Engine.Materialize(g, rs)
+			d, err := reason.MaterializeCtx(ctx, cfg.Engine, n.g, n.rules)
+			if err != nil {
+				return nil, err
+			}
+			n.res.Derived += d
 			materialized = true
-		case len(received) == 0:
+		case len(n.received) == 0:
 			// Still at fixpoint.
 		default:
+			var d int
 			if inc, ok := cfg.Engine.(reason.Incremental); ok {
-				res.Derived += inc.MaterializeFrom(g, rs, received)
+				d, err = reason.MaterializeFromCtx(ctx, inc, n.g, n.rules, n.received)
 			} else {
-				res.Derived += cfg.Engine.Materialize(g, rs)
+				d, err = reason.MaterializeCtx(ctx, cfg.Engine, n.g, n.rules)
 			}
+			if err != nil {
+				return nil, err
+			}
+			n.res.Derived += d
 		}
-		received = received[:0]
+		n.received = n.received[:0]
 
-		// Route: collect per-destination outboxes.
+		// Route: collect per-destination outboxes. The routing delta — every
+		// tuple new since the last route — is also this round's checkpoint:
+		// base partition + checkpoints + delivered messages reconstruct this
+		// node's graph if it dies later (recover.go).
 		outbox := map[int][]rdf.Triple{}
+		var delta []rdf.Triple
 		nSent := 0
-		for _, t := range g.Triples() {
-			if _, done := sent[t]; done {
+		for _, t := range n.g.Triples() {
+			if _, done := n.sent[t]; done {
 				continue
 			}
-			sent[t] = struct{}{}
-			for _, dst := range destinations(owner, t, cfg.ID) {
+			n.sent[t] = struct{}{}
+			delta = append(delta, t)
+			for _, dst := range destinations(n.owner, t, cfg.ID) {
+				if n.isAdopted(dst) {
+					continue // we are that node now; the tuple is already local
+				}
 				outbox[dst] = append(outbox[dst], t)
 				nSent++
 			}
 		}
-		for dst, ts := range outbox {
-			og := rdf.NewGraphCap(len(ts))
-			og.AddAll(ts)
-			if err := writeGraphFile(l.MsgFile(round, cfg.ID, dst), dict, og); err != nil {
+		if len(delta) > 0 {
+			cg := rdf.NewGraphCap(len(delta))
+			cg.AddAll(delta)
+			if err := writeGraphFile(n.l.CkptFile(round, cfg.ID), n.dict, cg); err != nil {
 				return nil, err
 			}
 		}
-		res.Sent += nSent
+		for dst, ts := range outbox {
+			// An injected send fault is a node failure here: there is no
+			// transport to retry through, so the node fail-stops and the
+			// recovery path takes over.
+			if err := cfg.Inject.Send(); err != nil {
+				return nil, err
+			}
+			og := rdf.NewGraphCap(len(ts))
+			og.AddAll(ts)
+			if err := writeGraphFile(n.l.MsgFile(round, cfg.ID, dst), n.dict, og); err != nil {
+				return nil, err
+			}
+		}
+		n.res.Sent += nSent
 
 		// Done marker with the sent count, then the shared-FS barrier: poll
-		// until every peer's marker for this round exists.
-		if err := writeAtomic(l.MarkerFile(round, cfg.ID), strconv.Itoa(nSent)); err != nil {
+		// until every peer's marker for this round exists. Markers for peers
+		// adopted in earlier rounds are this node's to write.
+		if err := writeAtomic(n.l.MarkerFile(round, cfg.ID), strconv.Itoa(nSent)); err != nil {
 			return nil, err
 		}
-		totalSent, err := awaitMarkers(l, round, cfg)
+		for _, d := range n.adopted {
+			if err := writeAtomic(n.l.MarkerFile(round, d), "0"); err != nil {
+				return nil, err
+			}
+		}
+		totalSent, err := n.awaitMarkers(ctx, round)
 		if err != nil {
 			return nil, err
 		}
 
-		// Absorb inboxes.
+		// Absorb inboxes — our own plus those of any adopted peers, whose
+		// owned resources the rest of the cluster still routes to.
+		inboxes := append([]int{cfg.ID}, n.adopted...)
 		for from := 0; from < cfg.K; from++ {
-			if from == cfg.ID {
-				continue
-			}
-			path := l.MsgFile(round, from, cfg.ID)
-			if _, statErr := os.Stat(path); statErr != nil {
-				continue // peer sent nothing to us this round
-			}
-			in := rdf.NewGraph()
-			if err := readGraphFile(path, dict, in); err != nil {
-				return nil, err
-			}
-			for _, t := range in.Triples() {
-				sent[t] = struct{}{}
-				if g.Add(t) {
-					received = append(received, t)
+			for _, to := range inboxes {
+				if from == to {
+					continue
+				}
+				path := n.l.MsgFile(round, from, to)
+				if _, statErr := os.Stat(path); statErr != nil {
+					continue // peer sent nothing to this inbox this round
+				}
+				if err := cfg.Inject.Recv(); err != nil {
+					return nil, err
+				}
+				in := rdf.NewGraph()
+				if err := readGraphFile(path, n.dict, in); err != nil {
+					return nil, err
+				}
+				for _, t := range in.Triples() {
+					n.sent[t] = struct{}{}
+					if n.g.Add(t) {
+						n.received = append(n.received, t)
+					}
 				}
 			}
 		}
@@ -273,31 +377,53 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		}
 	}
 
-	if err := writeGraphFile(l.ClosureFile(cfg.ID), dict, g); err != nil {
+	if err := writeGraphFile(n.l.ClosureFile(cfg.ID), n.dict, n.g); err != nil {
 		return nil, err
 	}
-	res.Closure = g
-	return res, nil
+	n.res.Closure = n.g
+	return n.res, nil
+}
+
+// isAdopted reports whether this node has taken over peer id.
+func (n *node) isAdopted(id int) bool {
+	for _, d := range n.adopted {
+		if d == id {
+			return true
+		}
+	}
+	return false
 }
 
 // awaitMarkers polls for all k markers of the round and returns the summed
-// sent counts.
-func awaitMarkers(l Layout, round int, cfg NodeConfig) (int, error) {
+// sent counts. A peer whose marker is missing but whose dead-file names this
+// node as adopter is taken over on the spot (recover.go); its marker then
+// appears and the barrier completes for everyone.
+func (n *node) awaitMarkers(ctx context.Context, round int) (int, error) {
+	l, cfg := n.l, n.cfg
 	deadline := time.Now().Add(cfg.Timeout)
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		total := 0
 		missing := false
 		for i := 0; i < cfg.K; i++ {
 			b, err := os.ReadFile(l.MarkerFile(round, i))
 			if err != nil {
+				if adopter, dead := readDeadFile(l, i); dead && adopter == cfg.ID && !n.isAdopted(i) {
+					if aerr := n.adopt(i, round); aerr != nil {
+						return 0, aerr
+					}
+					// The adoption wrote i's marker; re-read it next pass.
+				}
 				missing = true
 				break
 			}
-			n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+			v, err := strconv.Atoi(strings.TrimSpace(string(b)))
 			if err != nil {
 				return 0, fmt.Errorf("fscluster: bad marker %s: %w", l.MarkerFile(round, i), err)
 			}
-			total += n
+			total += v
 		}
 		if !missing {
 			return total, nil
@@ -305,7 +431,11 @@ func awaitMarkers(l Layout, round int, cfg NodeConfig) (int, error) {
 		if time.Now().After(deadline) {
 			return 0, fmt.Errorf("fscluster: node %d: timed out waiting for round %d markers", cfg.ID, round)
 		}
-		time.Sleep(cfg.Poll)
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(cfg.Poll):
+		}
 	}
 }
 
@@ -322,14 +452,25 @@ func destinations(owner map[rdf.ID]int, t rdf.Triple, self int) []int {
 	return out
 }
 
-// MergeClosures unions the k closure files into one graph.
+// MergeClosures unions the k closure files into one graph. A node declared
+// dead has no closure file; its contribution is reconstructed from its base
+// partition, checkpoints, and delivered messages (everything it knew at its
+// last completed round — any later derivations were redone by its adopter,
+// whose closure file is merged normally).
 func MergeClosures(dir string, k int) (*rdf.Dict, *rdf.Graph, error) {
 	l := Layout{Dir: dir}
 	dict := rdf.NewDict()
 	g := rdf.NewGraph()
 	for i := 0; i < k; i++ {
-		if err := readGraphFile(l.ClosureFile(i), dict, g); err != nil {
+		err := readGraphFile(l.ClosureFile(i), dict, g)
+		if err == nil {
+			continue
+		}
+		if _, dead := readDeadFile(l, i); !dead {
 			return nil, nil, err
+		}
+		if err := reconstruct(l, i, dict, g, nil); err != nil {
+			return nil, nil, fmt.Errorf("fscluster: reconstructing dead node %d: %w", i, err)
 		}
 	}
 	return dict, g, nil

@@ -1,0 +1,289 @@
+// Worker recovery for the shared-filesystem cluster.
+//
+// The fault model is fail-stop with single-failure tolerance: a node process
+// dies (crash, OOM, kill) and simply stops writing files. Its peers block at
+// the done-marker barrier, so without intervention one dead worker wedges the
+// whole round. Recovery has three parts:
+//
+//  1. Checkpoints. Every node writes its per-round routing delta to a
+//     checkpoint file before its marker (fscluster.go). Base partition +
+//     checkpoints + messages addressed to the node reconstruct its graph at
+//     the last round it completed; anything it derived after its last
+//     checkpoint is re-derivable, because forward inference is deterministic
+//     and monotone over the same inputs.
+//
+//  2. Supervision. The master runs Supervise alongside the nodes. It watches
+//     the marker files; once any node posts a round's marker, the rest have
+//     RoundDeadline to follow. A laggard is declared dead by writing its
+//     dead-file, whose content names the adopter (the lowest live node id).
+//
+//  3. Adoption. A node blocked at the barrier notices the dead-file naming it
+//     and takes over on the spot: it merges the dead peer's reconstructed
+//     state into its own graph, then writes the dead peer's marker for the
+//     stuck round so the barrier completes cluster-wide. The marker carries
+//     the count of newly absorbed tuples, which keeps the global sent-sum
+//     positive and forces at least one more round — the adopter still has to
+//     reason over the merged state before anyone may quiesce. From then on
+//     the adopter writes the dead peer's markers (0) each round and drains
+//     its inbox: the ownership table is immutable, so the rest of the cluster
+//     keeps routing to the dead node's inbox files and correctness is
+//     preserved without re-partitioning. Checkpointed tuples are deliberately
+//     NOT marked as sent when merged — the dead node may have checkpointed
+//     them and died before shipping, so the adopter re-routes them (receivers
+//     deduplicate).
+//
+// A second failure — in particular of an adopter — is not tolerated; the
+// barrier then times out and the run fails, which is the pre-recovery
+// behaviour for any failure.
+package fscluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"powl/internal/rdf"
+)
+
+// SuperviseConfig configures the master-side failure detector.
+type SuperviseConfig struct {
+	Dir string
+	K   int
+	// Poll is the marker-polling interval; 0 means 20ms.
+	Poll time.Duration
+	// RoundDeadline is how long a node may trail the round's first marker
+	// (or, at the end, the first closure file) before being declared dead;
+	// 0 means 2s. Must comfortably exceed the slowest node's round time:
+	// a false positive makes two nodes serve one partition, which is
+	// correct only while the "dead" node never writes another marker.
+	RoundDeadline time.Duration
+	// Timeout bounds the whole supervision; 0 means 5 minutes.
+	Timeout time.Duration
+}
+
+// SuperviseResult reports what the detector did.
+type SuperviseResult struct {
+	// Dead maps each node declared dead to the adopter chosen for it.
+	Dead map[int]int
+}
+
+// Supervise watches a running cluster's work directory until every live node
+// has written its closure file, declaring nodes dead when they miss the round
+// deadline. Run it concurrently with the nodes (cmd/owlcluster -run does).
+func Supervise(ctx context.Context, cfg SuperviseConfig) (*SuperviseResult, error) {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 20 * time.Millisecond
+	}
+	if cfg.RoundDeadline <= 0 {
+		cfg.RoundDeadline = 2 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	l := Layout{Dir: cfg.Dir}
+	res := &SuperviseResult{Dead: map[int]int{}}
+	// firstSeen[r] is when the supervisor first observed any round-r marker;
+	// index len(firstSeen) is the frontier round nobody has posted yet.
+	// firstClosure is the same clock for the closure-writing phase.
+	var firstSeen []time.Time
+	var firstClosure time.Time
+	deadline := time.Now().Add(cfg.Timeout)
+
+	// Pre-existing dead-files (e.g. supervisor restart) are honoured.
+	for i := 0; i < cfg.K; i++ {
+		if adopter, dead := readDeadFile(l, i); dead {
+			res.Dead[i] = adopter
+		}
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("fscluster: supervisor timed out")
+		}
+
+		// Done when every live node has its closure on disk.
+		closures := 0
+		for i := 0; i < cfg.K; i++ {
+			if _, isDead := res.Dead[i]; isDead {
+				continue
+			}
+			if _, err := os.Stat(l.ClosureFile(i)); err == nil {
+				closures++
+			}
+		}
+		if closures == cfg.K-len(res.Dead) {
+			return res, nil
+		}
+		if closures > 0 {
+			// End-of-run laggard: died after its last marker, before its
+			// closure. Nobody is left to adopt; MergeClosures reconstructs.
+			if firstClosure.IsZero() {
+				firstClosure = time.Now()
+			}
+			if time.Since(firstClosure) > cfg.RoundDeadline {
+				for i := 0; i < cfg.K; i++ {
+					if _, isDead := res.Dead[i]; isDead {
+						continue
+					}
+					if _, err := os.Stat(l.ClosureFile(i)); err != nil {
+						if err := declareDead(l, i, cfg.K, res.Dead); err != nil {
+							return res, err
+						}
+					}
+				}
+			}
+		}
+
+		// Advance the marker frontier and stamp newly observed rounds.
+		for anyMarker(l, len(firstSeen), cfg.K) {
+			firstSeen = append(firstSeen, time.Now())
+		}
+
+		// Within the newest active round, declare laggards past the deadline.
+		if r := len(firstSeen) - 1; r >= 0 && time.Since(firstSeen[r]) > cfg.RoundDeadline {
+			for i := 0; i < cfg.K; i++ {
+				if _, isDead := res.Dead[i]; isDead {
+					continue
+				}
+				if _, err := os.Stat(l.MarkerFile(r, i)); err != nil {
+					if err := declareDead(l, i, cfg.K, res.Dead); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+
+		select {
+		case <-ctx.Done():
+			return res, ctx.Err()
+		case <-time.After(cfg.Poll):
+		}
+	}
+}
+
+// anyMarker reports whether any node has posted its round-r marker.
+func anyMarker(l Layout, round, k int) bool {
+	for i := 0; i < k; i++ {
+		if _, err := os.Stat(l.MarkerFile(round, i)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// declareDead writes victim's dead-file naming the lowest live node as
+// adopter and records the decision.
+func declareDead(l Layout, victim, k int, dead map[int]int) error {
+	adopter := -1
+	for i := 0; i < k; i++ {
+		if i == victim {
+			continue
+		}
+		if _, isDead := dead[i]; isDead {
+			continue
+		}
+		adopter = i
+		break
+	}
+	if adopter < 0 {
+		return fmt.Errorf("fscluster: node %d dead with no live adopter", victim)
+	}
+	if err := writeAtomic(l.DeadFile(victim), strconv.Itoa(adopter)); err != nil {
+		return err
+	}
+	dead[victim] = adopter
+	return nil
+}
+
+// readDeadFile reports whether node id has been declared dead and, if so,
+// which node adopted it.
+func readDeadFile(l Layout, id int) (adopter int, dead bool) {
+	b, err := os.ReadFile(l.DeadFile(id))
+	if err != nil {
+		return 0, false
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0, false
+	}
+	return a, true
+}
+
+// adopt takes over dead peer id during the barrier wait of the given round:
+// merge its reconstructed state, then write its marker so the round can
+// complete. See the package comment above for the full protocol.
+func (n *node) adopt(id, round int) error {
+	absorbed := 0
+	markSent := func(t rdf.Triple) { n.sent[t] = struct{}{} }
+	keep := func(t rdf.Triple) {
+		if n.g.Add(t) {
+			// New knowledge: seed the next reasoning round with it, so joins
+			// across the two merged partitions are derived.
+			n.received = append(n.received, t)
+			absorbed++
+		}
+	}
+	if err := reconstruct(n.l, id, n.dict, nil, func(t rdf.Triple, routed bool) {
+		if routed {
+			markSent(t)
+		}
+		keep(t)
+	}); err != nil {
+		return fmt.Errorf("fscluster: node %d adopting %d: %w", n.cfg.ID, id, err)
+	}
+	n.adopted = append(n.adopted, id)
+	// The marker unblocks every peer's barrier; carrying the absorbed count
+	// forces at least one more round so the merged state gets reasoned over.
+	return writeAtomic(n.l.MarkerFile(round, id), strconv.Itoa(absorbed))
+}
+
+// reconstruct replays dead node id's persisted state: base partition and
+// delivered messages (already-routed knowledge) plus checkpoints (derived
+// deltas that may not have been shipped before the crash). Exactly one of g
+// and visit is used: with g the tuples are added to it; with visit the
+// callback receives each tuple and whether it counts as already routed.
+func reconstruct(l Layout, id int, dict *rdf.Dict, g *rdf.Graph, visit func(t rdf.Triple, routed bool)) error {
+	emit := func(path string, routed bool) error {
+		in := rdf.NewGraph()
+		if err := readGraphFile(path, dict, in); err != nil {
+			return err
+		}
+		for _, t := range in.Triples() {
+			if visit != nil {
+				visit(t, routed)
+			} else {
+				g.Add(t)
+			}
+		}
+		return nil
+	}
+	if err := emit(l.PartFile(id), true); err != nil {
+		return err
+	}
+	msgs, err := filepath.Glob(l.msgGlob(id))
+	if err != nil {
+		return err
+	}
+	for _, p := range msgs {
+		if err := emit(p, true); err != nil {
+			return err
+		}
+	}
+	ckpts, err := filepath.Glob(l.ckptGlob(id))
+	if err != nil {
+		return err
+	}
+	for _, p := range ckpts {
+		if err := emit(p, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package fscluster
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"powl/internal/core"
+	"powl/internal/datagen"
+	"powl/internal/faultinject"
+	"powl/internal/gpart"
+	"powl/internal/partition"
+	"powl/internal/reason"
+)
+
+// runSupervisedCluster runs k nodes plus the supervisor; injectors[i] (may be
+// nil) is node i's fault schedule. Node errors are returned per node rather
+// than failing the test, so crash injection can be asserted on.
+func runSupervisedCluster(t *testing.T, ds *datagen.Dataset, k int, injectors []*faultinject.Injector) ([]error, *SuperviseResult, string) {
+	t.Helper()
+	dir := t.TempDir()
+	pol := partition.GraphPolicy{Opts: gpart.Options{Seed: 42}}
+	if _, err := Prepare(dir, ds.Dict, ds.Graph, k, pol); err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunNode(NodeConfig{
+				ID: i, K: k, Dir: dir, Engine: reason.Forward{},
+				Poll: time.Millisecond, Timeout: time.Minute,
+				Inject: injectors[i],
+			})
+		}(i)
+	}
+	sup, supErr := Supervise(context.Background(), SuperviseConfig{
+		Dir: dir, K: k,
+		Poll: time.Millisecond, RoundDeadline: 500 * time.Millisecond,
+		Timeout: time.Minute,
+	})
+	wg.Wait()
+	if supErr != nil {
+		t.Fatalf("supervisor: %v", supErr)
+	}
+	return errs, sup, dir
+}
+
+// TestWorkerCrashRecovers is the kill-a-worker acceptance test: one node
+// fail-stops mid-run, the supervisor declares it dead, a surviving node
+// adopts its partition from the checkpoints, and the merged closure still
+// matches the sequential fixpoint exactly.
+func TestWorkerCrashRecovers(t *testing.T) {
+	ds := datagen.MDC(datagen.MDCConfig{Fields: 4, Seed: 7})
+	serial, err := core.MaterializeSerial(ds, core.ForwardEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, victim = 3, 2
+	injectors := make([]*faultinject.Injector, k)
+	injectors[victim] = faultinject.New(faultinject.Config{CrashRound: 2})
+
+	errs, sup, dir := runSupervisedCluster(t, ds, k, injectors)
+	if !errors.Is(errs[victim], ErrCrashed) {
+		t.Fatalf("victim error = %v, want ErrCrashed", errs[victim])
+	}
+	for i, err := range errs {
+		if i != victim && err != nil {
+			t.Fatalf("survivor %d failed: %v", i, err)
+		}
+	}
+	adopter, ok := sup.Dead[victim]
+	if !ok {
+		t.Fatal("supervisor never declared the victim dead")
+	}
+	if adopter == victim || adopter < 0 || adopter >= k {
+		t.Fatalf("bad adopter %d", adopter)
+	}
+	_, merged, err := MergeClosures(dir, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != serial.Graph.Len() {
+		t.Fatalf("recovered closure %d != serial %d", merged.Len(), serial.Graph.Len())
+	}
+}
+
+// TestImmediateCrashRecovers: the victim dies before completing any round, so
+// the adopter reconstructs it purely from the base partition (no checkpoints
+// exist yet).
+func TestImmediateCrashRecovers(t *testing.T) {
+	ds := datagen.LUBM(datagen.LUBMConfig{Universities: 1, Seed: 7, DeptsPerUniv: 3})
+	serial, err := core.MaterializeSerial(ds, core.ForwardEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, victim = 3, 1
+	injectors := make([]*faultinject.Injector, k)
+	injectors[victim] = faultinject.New(faultinject.Config{CrashRound: 1})
+
+	errs, sup, dir := runSupervisedCluster(t, ds, k, injectors)
+	if !errors.Is(errs[victim], ErrCrashed) {
+		t.Fatalf("victim error = %v, want ErrCrashed", errs[victim])
+	}
+	if _, ok := sup.Dead[victim]; !ok {
+		t.Fatal("supervisor never declared the victim dead")
+	}
+	_, merged, err := MergeClosures(dir, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != serial.Graph.Len() {
+		t.Fatalf("recovered closure %d != serial %d", merged.Len(), serial.Graph.Len())
+	}
+}
+
+// TestSuperviseCleanRun: with no failures the supervisor declares nobody dead
+// and returns once all closures are on disk.
+func TestSuperviseCleanRun(t *testing.T) {
+	ds := datagen.MDC(datagen.MDCConfig{Fields: 2, Seed: 7})
+	errs, sup, _ := runSupervisedCluster(t, ds, 2, make([]*faultinject.Injector, 2))
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	if len(sup.Dead) != 0 {
+		t.Fatalf("clean run declared deaths: %v", sup.Dead)
+	}
+}
+
+// TestMergeReconstructsLateDeath: a node that died after its last marker but
+// before writing its closure file has no adopter (everyone else already
+// finished); MergeClosures must rebuild its state from base + checkpoints +
+// messages on the master side.
+func TestMergeReconstructsLateDeath(t *testing.T) {
+	ds := datagen.MDC(datagen.MDCConfig{Fields: 4, Seed: 7})
+	serial, err := core.MaterializeSerial(ds, core.ForwardEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	dir := t.TempDir()
+	pol := partition.GraphPolicy{Opts: gpart.Options{Seed: 42}}
+	if _, err := Prepare(dir, ds.Dict, ds.Graph, k, pol); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunNode(NodeConfig{
+				ID: i, K: k, Dir: dir, Engine: reason.Forward{},
+				Poll: time.Millisecond, Timeout: time.Minute,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	// Simulate the late death: node 1's closure never made it to disk, and
+	// the supervisor flagged it.
+	l := Layout{Dir: dir}
+	if err := os.Remove(l.ClosureFile(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAtomic(l.DeadFile(1), "0"); err != nil {
+		t.Fatal(err)
+	}
+	_, merged, err := MergeClosures(dir, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != serial.Graph.Len() {
+		t.Fatalf("reconstructed closure %d != serial %d", merged.Len(), serial.Graph.Len())
+	}
+}
+
+// TestRunNodeContextCancel: a node whose peers never show up stops on context
+// cancellation instead of waiting out the barrier timeout.
+func TestRunNodeContextCancel(t *testing.T) {
+	ds := datagen.MDC(datagen.MDCConfig{Fields: 2, Seed: 7})
+	dir := t.TempDir()
+	pol := partition.GraphPolicy{Opts: gpart.Options{Seed: 42}}
+	if _, err := Prepare(dir, ds.Dict, ds.Graph, 2, pol); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunNodeContext(ctx, NodeConfig{
+			ID: 0, K: 2, Dir: dir,
+			Poll: time.Millisecond, Timeout: time.Minute,
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled node kept waiting at the barrier")
+	}
+}

@@ -2,6 +2,7 @@ package owlhorst
 
 import (
 	"fmt"
+	"sort"
 
 	"powl/internal/rdf"
 	"powl/internal/reason"
@@ -146,7 +147,9 @@ func (v *vocabIDs) isSchemaTriple(dict *rdf.Dict, t rdf.Triple) bool {
 	}
 }
 
-// generate emits the instance rules for the closed schema.
+// generate emits the instance rules for the closed schema, sorted by name:
+// ForEachMatch iterates in map order, and a deterministic rule list is what
+// makes compiled rule files and cluster runs reproducible across processes.
 func generate(dict *rdf.Dict, v *vocabIDs, schema *rdf.Graph) []rules.Rule {
 	var out []rules.Rule
 	add := func(r rules.Rule) { out = append(out, r) }
@@ -337,6 +340,7 @@ func generate(dict *rdf.Dict, v *vocabIDs, schema *rdf.Graph) []rules.Rule {
 		Body: []rules.Atom{{S: x, P: sameC, O: y}, {S: z, P: p, O: x}},
 		Head: []rules.Atom{{S: z, P: p, O: y}},
 	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

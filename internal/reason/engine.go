@@ -15,6 +15,8 @@
 package reason
 
 import (
+	"context"
+
 	"powl/internal/rdf"
 	"powl/internal/rules"
 )
@@ -26,6 +28,47 @@ type Engine interface {
 	// Materialize adds all derivable triples to g and returns the number of
 	// triples added.
 	Materialize(g *rdf.Graph, rs []rules.Rule) int
+}
+
+// ContextEngine is implemented by engines whose fixpoint loop is
+// cancellable: MaterializeCtx checks ctx between iterations and stops with
+// ctx.Err() when it is cancelled or its deadline passes, leaving g in a
+// consistent (sound but possibly incomplete) state. All three built-in
+// engines implement it; the cluster layer uses it to enforce per-round
+// deadlines and run cancellation.
+type ContextEngine interface {
+	Engine
+	MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule) (int, error)
+}
+
+// IncrementalContext is the cancellable counterpart of Incremental.
+type IncrementalContext interface {
+	Incremental
+	MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) (int, error)
+}
+
+// MaterializeCtx runs e under ctx when the engine supports cancellation and
+// falls back to the plain blocking call otherwise.
+func MaterializeCtx(ctx context.Context, e Engine, g *rdf.Graph, rs []rules.Rule) (int, error) {
+	if ce, ok := e.(ContextEngine); ok {
+		return ce.MaterializeCtx(ctx, g, rs)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.Materialize(g, rs), nil
+}
+
+// MaterializeFromCtx is MaterializeCtx for the incremental path. The caller
+// must already know inc implements Incremental.
+func MaterializeFromCtx(ctx context.Context, inc Incremental, g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) (int, error) {
+	if ic, ok := inc.(IncrementalContext); ok {
+		return ic.MaterializeFromCtx(ctx, g, rs, seeds)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return inc.MaterializeFrom(g, rs, seeds), nil
 }
 
 // slotTerm is a body/head position in compiled form: either a constant ID or

@@ -1,6 +1,8 @@
 package reason
 
 import (
+	"context"
+
 	"powl/internal/rdf"
 	"powl/internal/rules"
 )
@@ -22,11 +24,19 @@ type trigger struct {
 
 // Materialize implements Engine.
 func (f Forward) Materialize(g *rdf.Graph, rs []rules.Rule) int {
-	return f.materialize(g, rs, g.Triples())
+	n, _ := f.materialize(context.Background(), g, rs, g.Triples())
+	return n
+}
+
+// MaterializeCtx implements ContextEngine: the semi-naive loop checks ctx
+// between rounds and between delta triples, so cancellation lands within
+// one rule firing.
+func (f Forward) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule) (int, error) {
+	return f.materialize(ctx, g, rs, g.Triples())
 }
 
 // materialize runs semi-naive evaluation with the given initial delta.
-func (Forward) materialize(g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) int {
+func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) (int, error) {
 	crs := compileRules(rs)
 
 	// Index body atoms by their predicate constant so that a delta triple
@@ -47,13 +57,21 @@ func (Forward) materialize(g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) in
 
 	added := 0
 	for len(delta) > 0 {
+		if err := ctx.Err(); err != nil {
+			return added, err
+		}
 		pending := map[rdf.Triple]struct{}{}
 		emit := func(t rdf.Triple) {
 			if !g.Has(t) {
 				pending[t] = struct{}{}
 			}
 		}
-		for _, t := range delta {
+		for i, t := range delta {
+			if i&1023 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return added, err
+				}
+			}
 			for _, tr := range byPred[t.P] {
 				fireOn(g, tr, t, emit)
 			}
@@ -69,7 +87,7 @@ func (Forward) materialize(g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) in
 			}
 		}
 	}
-	return added
+	return added, nil
 }
 
 // fireOn seeds rule tr.rule with delta triple t at body position tr.atomIdx,

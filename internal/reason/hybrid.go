@@ -1,6 +1,7 @@
 package reason
 
 import (
+	"context"
 	"sort"
 
 	"powl/internal/rdf"
@@ -43,6 +44,14 @@ func (h Hybrid) Name() string {
 
 // Materialize implements Engine.
 func (h Hybrid) Materialize(g *rdf.Graph, rs []rules.Rule) int {
+	n, _ := h.MaterializeCtx(context.Background(), g, rs)
+	return n
+}
+
+// MaterializeCtx implements ContextEngine: the per-resource query loop
+// checks ctx before each resource, so cancellation lands within one
+// backward query.
+func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule) (int, error) {
 	crs := compileRules(rs)
 
 	// Query plan: every resource appearing as subject or object, in ID
@@ -59,6 +68,9 @@ func (h Hybrid) Materialize(g *rdf.Graph, rs []rules.Rule) int {
 	var s *solver
 	var pending []rdf.Triple
 	for _, r := range resources {
+		if err := ctx.Err(); err != nil {
+			return added, err
+		}
 		if s == nil || !h.SharedTable {
 			s = newSolver(g, crs)
 		}
@@ -77,7 +89,7 @@ func (h Hybrid) Materialize(g *rdf.Graph, rs []rules.Rule) int {
 			}
 		}
 	}
-	return added
+	return added, nil
 }
 
 // tableEntry is the memo record for one subgoal pattern.

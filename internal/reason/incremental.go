@@ -1,6 +1,7 @@
 package reason
 
 import (
+	"context"
 	"sort"
 
 	"powl/internal/rdf"
@@ -26,10 +27,16 @@ type Incremental interface {
 // derivation joins at least one seed, so seeding the delta with the seeds is
 // complete.
 func (f Forward) MaterializeFrom(g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) int {
+	n, _ := f.MaterializeFromCtx(context.Background(), g, rs, seeds)
+	return n
+}
+
+// MaterializeFromCtx implements IncrementalContext.
+func (f Forward) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) (int, error) {
 	if len(seeds) == 0 {
-		return 0
+		return 0, ctx.Err()
 	}
-	return f.materialize(g, rs, seeds)
+	return f.materialize(ctx, g, rs, seeds)
 }
 
 // MaterializeFrom implements Incremental for the hybrid engine.
@@ -49,11 +56,18 @@ func (f Forward) MaterializeFrom(g *rdf.Graph, rs []rules.Rule, seeds []rdf.Trip
 // neighbours, then the resources (and neighbours) of each new triple —
 // reach every affected subject. BenchmarkAblation_Delta compares the two.
 func (h Hybrid) MaterializeFrom(g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) int {
+	n, _ := h.MaterializeFromCtx(context.Background(), g, rs, seeds)
+	return n
+}
+
+// MaterializeFromCtx implements IncrementalContext; the frontier loop
+// checks ctx per batch.
+func (h Hybrid) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) (int, error) {
 	if len(seeds) == 0 {
-		return 0
+		return 0, ctx.Err()
 	}
 	if !h.FrontierDelta {
-		return Forward{}.MaterializeFrom(g, rs, seeds)
+		return Forward{}.MaterializeFromCtx(ctx, g, rs, seeds)
 	}
 	crs := compileRules(rs)
 	queried := map[rdf.ID]struct{}{}
@@ -88,6 +102,9 @@ func (h Hybrid) MaterializeFrom(g *rdf.Graph, rs []rules.Rule, seeds []rdf.Tripl
 	s := newSolver(g, crs)
 	var pending []rdf.Triple
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return added, err
+		}
 		batch := make([]rdf.ID, 0, len(frontier))
 		for id := range frontier {
 			batch = append(batch, id)
@@ -116,5 +133,5 @@ func (h Hybrid) MaterializeFrom(g *rdf.Graph, rs []rules.Rule, seeds []rdf.Tripl
 			}
 		}
 	}
-	return added
+	return added, nil
 }

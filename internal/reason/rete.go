@@ -1,6 +1,8 @@
 package reason
 
 import (
+	"context"
+
 	"powl/internal/rdf"
 	"powl/internal/rules"
 )
@@ -22,7 +24,14 @@ func (Rete) Name() string { return "rete" }
 
 // Materialize implements Engine.
 func (r Rete) Materialize(g *rdf.Graph, rs []rules.Rule) int {
-	return r.materialize(g, rs, g.Triples())
+	n, _ := r.materialize(context.Background(), g, rs, g.Triples())
+	return n
+}
+
+// MaterializeCtx implements ContextEngine: the assert loop checks ctx
+// between assertions, so cancellation lands within one network activation.
+func (r Rete) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule) (int, error) {
+	return r.materialize(ctx, g, rs, g.Triples())
 }
 
 // MaterializeFrom implements Incremental: Rete is inherently incremental —
@@ -32,13 +41,22 @@ func (r Rete) Materialize(g *rdf.Graph, rs []rules.Rule) int {
 // a long-lived network handle would amortize it, but the cluster worker API
 // exchanges plain graphs.)
 func (r Rete) MaterializeFrom(g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) int {
-	if len(seeds) == 0 {
-		return 0
-	}
-	return r.materialize(g, rs, g.Triples())
+	n, _ := r.MaterializeFromCtx(context.Background(), g, rs, seeds)
+	return n
 }
 
-func (Rete) materialize(g *rdf.Graph, rs []rules.Rule, assertSet []rdf.Triple) int {
+// MaterializeFromCtx implements IncrementalContext.
+func (r Rete) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) (int, error) {
+	if len(seeds) == 0 {
+		return 0, ctx.Err()
+	}
+	return r.materialize(ctx, g, rs, g.Triples())
+}
+
+func (Rete) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, assertSet []rdf.Triple) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	net := buildNetwork(compileRules(rs))
 
 	added := 0
@@ -50,15 +68,25 @@ func (Rete) materialize(g *rdf.Graph, rs []rules.Rule, assertSet []rdf.Triple) i
 		}
 	}
 
-	for _, t := range assertSet {
+	for i, t := range assertSet {
+		if i&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return added, err
+			}
+		}
 		net.assert(t, emit)
 	}
-	for len(queue) > 0 {
+	for n := 0; len(queue) > 0; n++ {
+		if n&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return added, err
+			}
+		}
 		t := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		net.assert(t, emit)
 	}
-	return added
+	return added, nil
 }
 
 // --- network structures ------------------------------------------------------

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -37,7 +38,10 @@ func (*File) Name() string { return "file" }
 // Send implements Transport. Messages are written to
 // dir/r<round>/m_<from>_<to>_<seq>.nt; the final name appears atomically via
 // rename so a concurrent Recv never observes a partial file.
-func (f *File) Send(round, from, to int, ts []rdf.Triple) error {
+func (f *File) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(ts) == 0 {
 		return nil
 	}
@@ -74,7 +78,10 @@ func (f *File) Send(round, from, to int, ts []rdf.Triple) error {
 
 // Recv implements Transport: it parses every m_*_<to>_*.nt file of the round
 // addressed to this worker.
-func (f *File) Recv(round, to int) ([]rdf.Triple, error) {
+func (f *File) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rdir := filepath.Join(f.dir, fmt.Sprintf("r%d", round))
 	entries, err := os.ReadDir(rdir)
 	if err != nil {
@@ -85,6 +92,9 @@ func (f *File) Recv(round, to int) ([]rdf.Triple, error) {
 	}
 	var out []rdf.Triple
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var from, dst, seq int
 		if n, _ := fmt.Sscanf(e.Name(), "m_%d_%d_%d.nt", &from, &dst, &seq); n != 3 || dst != to {
 			continue
@@ -97,7 +107,9 @@ func (f *File) Recv(round, to int) ([]rdf.Triple, error) {
 		_, perr := ntriples.ReadGraph(r, f.dict, g)
 		r.Close()
 		if perr != nil {
-			return nil, fmt.Errorf("transport/file: %s: %w", e.Name(), perr)
+			// A file that exists (rename is atomic) but does not parse is
+			// corrupt, not in flight: retrying cannot help.
+			return nil, fmt.Errorf("transport/file: %s: %w: %v", e.Name(), ErrMalformed, perr)
 		}
 		out = append(out, g.Triples()...)
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -29,7 +30,10 @@ func NewMem() *Mem {
 func (*Mem) Name() string { return "mem" }
 
 // Send implements Transport.
-func (m *Mem) Send(round, from, to int, ts []rdf.Triple) error {
+func (m *Mem) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(ts) == 0 {
 		return nil
 	}
@@ -41,7 +45,10 @@ func (m *Mem) Send(round, from, to int, ts []rdf.Triple) error {
 }
 
 // Recv implements Transport.
-func (m *Mem) Recv(round, to int) ([]rdf.Triple, error) {
+func (m *Mem) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := boxKey{round, to}

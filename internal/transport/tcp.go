@@ -2,11 +2,13 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"powl/internal/ntriples"
 	"powl/internal/rdf"
@@ -98,7 +100,15 @@ type frameHeader struct {
 }
 
 // Send implements Transport. Self-sends short-circuit through the inbox.
-func (t *TCP) Send(round, from, to int, ts []rdf.Triple) error {
+// Any error buffered by an async readLoop (corrupted frame, truncated
+// payload) surfaces here rather than being silently dropped.
+func (t *TCP) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := t.firstErr(); err != nil {
+		return err
+	}
 	if len(ts) == 0 {
 		return nil
 	}
@@ -117,6 +127,11 @@ func (t *TCP) Send(round, from, to int, ts []rdf.Triple) error {
 	conn := t.conns[from][to]
 	if conn == nil {
 		return fmt.Errorf("transport/tcp: no connection %d->%d", from, to)
+	}
+	// A context deadline bounds the whole frame exchange, ack included.
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+		defer conn.SetDeadline(time.Time{})
 	}
 	hdr := frameHeader{Round: int32(round), To: int32(to), Len: int32(buf.Len())}
 	if err := binary.Write(conn, binary.BigEndian, hdr); err != nil {
@@ -146,7 +161,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		g := rdf.NewGraph()
 		if _, err := ntriples.ReadGraph(bytes.NewReader(payload), t.dict, g); err != nil {
-			t.fail(err)
+			t.fail(fmt.Errorf("transport/tcp: %w: %v", ErrMalformed, err))
 			return
 		}
 		t.deliver(int(hdr.Round), int(hdr.To), g.Triples())
@@ -169,8 +184,21 @@ func (t *TCP) fail(err error) {
 	t.errs = append(t.errs, err)
 }
 
+// firstErr returns the first error buffered by the async read loops, if any.
+func (t *TCP) firstErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.errs) > 0 {
+		return t.errs[0]
+	}
+	return nil
+}
+
 // Recv implements Transport.
-func (t *TCP) Recv(round, to int) ([]rdf.Triple, error) {
+func (t *TCP) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.errs) > 0 {

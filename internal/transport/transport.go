@@ -15,20 +15,38 @@
 // every worker Recvs the batches addressed to it for round r. Transports
 // must deliver exactly-once within a round and must not block Send (the
 // receiver may not Recv until after the barrier).
+//
+// Every operation takes a context: cancelling it aborts the operation (and
+// with it the run), and a context deadline bounds how long a single
+// Send/Recv may take — the enforcement point for per-round deadlines.
+// Transient failures (connection resets, EAGAIN) can be absorbed by
+// wrapping any transport in Retry; see Classify for how transient and
+// fatal errors are told apart.
 package transport
 
-import "powl/internal/rdf"
+import (
+	"context"
+	"errors"
+
+	"powl/internal/rdf"
+)
+
+// ErrMalformed marks a payload that arrived but failed to parse. Malformed
+// payloads are fatal: retrying cannot repair corrupt bytes, so Classify
+// functions must never treat an error wrapping ErrMalformed as transient.
+var ErrMalformed = errors.New("transport: malformed payload")
 
 // Transport moves triples between workers of one parallel run.
 type Transport interface {
 	// Name identifies the transport in reports ("mem", "file", "tcp").
 	Name() string
 	// Send queues ts from worker `from` to worker `to` during `round`.
-	// It must not block waiting for the receiver.
-	Send(round, from, to int, ts []rdf.Triple) error
+	// It must not block waiting for the receiver. A cancelled or expired
+	// ctx aborts the send with the context's error.
+	Send(ctx context.Context, round, from, to int, ts []rdf.Triple) error
 	// Recv returns everything sent to worker `to` in `round`. The cluster
 	// layer guarantees all Sends of the round happened before (barrier).
-	Recv(round, to int) ([]rdf.Triple, error)
+	Recv(ctx context.Context, round, to int) ([]rdf.Triple, error)
 	// Close releases transport resources after the run.
 	Close() error
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -49,13 +50,13 @@ func TestSendRecvRoundTrip(t *testing.T) {
 	dict, ts := newDictWithTriples(10)
 	for _, tr := range transports(t, 3, dict) {
 		// Worker 0 and 2 both send to worker 1 in round 0.
-		if err := tr.Send(0, 0, 1, ts[:4]); err != nil {
+		if err := tr.Send(context.Background(), 0, 0, 1, ts[:4]); err != nil {
 			t.Fatalf("%s: %v", tr.Name(), err)
 		}
-		if err := tr.Send(0, 2, 1, ts[4:7]); err != nil {
+		if err := tr.Send(context.Background(), 0, 2, 1, ts[4:7]); err != nil {
 			t.Fatalf("%s: %v", tr.Name(), err)
 		}
-		got, err := tr.Recv(0, 1)
+		got, err := tr.Recv(context.Background(), 0, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", tr.Name(), err)
 		}
@@ -70,7 +71,7 @@ func TestSendRecvRoundTrip(t *testing.T) {
 			t.Errorf("%s: received %d triples, want 7", tr.Name(), len(got))
 		}
 		// Worker 0 received nothing.
-		if got, _ := tr.Recv(0, 0); len(got) != 0 {
+		if got, _ := tr.Recv(context.Background(), 0, 0); len(got) != 0 {
 			t.Errorf("%s: worker 0 received %d unexpected triples", tr.Name(), len(got))
 		}
 		if err := tr.Close(); err != nil {
@@ -82,10 +83,10 @@ func TestSendRecvRoundTrip(t *testing.T) {
 func TestRoundsAreIsolated(t *testing.T) {
 	dict, ts := newDictWithTriples(6)
 	for _, tr := range transports(t, 2, dict) {
-		tr.Send(0, 0, 1, ts[:2])
-		tr.Send(1, 0, 1, ts[2:5])
-		r0, _ := tr.Recv(0, 1)
-		r1, _ := tr.Recv(1, 1)
+		tr.Send(context.Background(), 0, 0, 1, ts[:2])
+		tr.Send(context.Background(), 1, 0, 1, ts[2:5])
+		r0, _ := tr.Recv(context.Background(), 0, 1)
+		r1, _ := tr.Recv(context.Background(), 1, 1)
 		if len(r0) != 2 || len(r1) != 3 {
 			t.Errorf("%s: rounds mixed: %d/%d", tr.Name(), len(r0), len(r1))
 		}
@@ -96,9 +97,9 @@ func TestRoundsAreIsolated(t *testing.T) {
 func TestRecvDrains(t *testing.T) {
 	_, ts := newDictWithTriples(3)
 	for _, tr := range []Transport{NewMem()} {
-		tr.Send(0, 0, 1, ts)
-		first, _ := tr.Recv(0, 1)
-		second, _ := tr.Recv(0, 1)
+		tr.Send(context.Background(), 0, 0, 1, ts)
+		first, _ := tr.Recv(context.Background(), 0, 1)
+		second, _ := tr.Recv(context.Background(), 0, 1)
 		if len(first) != 3 || len(second) != 0 {
 			t.Errorf("%s: Recv did not drain (%d then %d)", tr.Name(), len(first), len(second))
 		}
@@ -109,10 +110,10 @@ func TestRecvDrains(t *testing.T) {
 func TestEmptySendIsNoop(t *testing.T) {
 	dict, _ := newDictWithTriples(1)
 	for _, tr := range transports(t, 2, dict) {
-		if err := tr.Send(0, 0, 1, nil); err != nil {
+		if err := tr.Send(context.Background(), 0, 0, 1, nil); err != nil {
 			t.Errorf("%s: empty send errored: %v", tr.Name(), err)
 		}
-		if got, _ := tr.Recv(0, 1); len(got) != 0 {
+		if got, _ := tr.Recv(context.Background(), 0, 1); len(got) != 0 {
 			t.Errorf("%s: empty send delivered %d triples", tr.Name(), len(got))
 		}
 		tr.Close()
@@ -131,13 +132,13 @@ func TestConcurrentSenders(t *testing.T) {
 			go func(from int) {
 				defer wg.Done()
 				// Each sender ships its own slice of 8 triples to worker 3.
-				if err := tr.Send(0, from, 3, ts[from*8:from*8+8]); err != nil {
+				if err := tr.Send(context.Background(), 0, from, 3, ts[from*8:from*8+8]); err != nil {
 					t.Errorf("%s: %v", tr.Name(), err)
 				}
 			}(from)
 		}
 		wg.Wait()
-		got, err := tr.Recv(0, 3)
+		got, err := tr.Recv(context.Background(), 0, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", tr.Name(), err)
 		}
@@ -152,7 +153,7 @@ func TestMemCloseReportsUndelivered(t *testing.T) {
 	dict, ts := newDictWithTriples(2)
 	_ = dict
 	m := NewMem()
-	m.Send(0, 0, 1, ts)
+	m.Send(context.Background(), 0, 0, 1, ts)
 	if err := m.Close(); err == nil {
 		t.Fatal("Close with undelivered triples did not error")
 	}
@@ -168,10 +169,10 @@ func TestFileTransportPersistsAsNTriples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Send(2, 1, 0, ts); err != nil {
+	if err := f.Send(context.Background(), 2, 1, 0, ts); err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.Recv(2, 0)
+	got, err := f.Recv(context.Background(), 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestFileTransportPersistsAsNTriples(t *testing.T) {
 		t.Fatalf("got %d triples", len(got))
 	}
 	// Receiving for a round where nothing was sent must not error.
-	if got, err := f.Recv(7, 0); err != nil || len(got) != 0 {
+	if got, err := f.Recv(context.Background(), 7, 0); err != nil || len(got) != 0 {
 		t.Fatalf("empty round: %v %v", got, err)
 	}
 	f.Close()
@@ -192,10 +193,10 @@ func TestTCPSelfSend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	if err := tr.Send(0, 1, 1, ts); err != nil {
+	if err := tr.Send(context.Background(), 0, 1, 1, ts); err != nil {
 		t.Fatal(err)
 	}
-	got, err := tr.Recv(0, 1)
+	got, err := tr.Recv(context.Background(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,10 +232,10 @@ func TestLargePayload(t *testing.T) {
 		}
 	}
 	for _, tr := range transports(t, 2, dict) {
-		if err := tr.Send(0, 0, 1, big); err != nil {
+		if err := tr.Send(context.Background(), 0, 0, 1, big); err != nil {
 			t.Fatalf("%s: %v", tr.Name(), err)
 		}
-		got, err := tr.Recv(0, 1)
+		got, err := tr.Recv(context.Background(), 0, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", tr.Name(), err)
 		}
