@@ -15,16 +15,21 @@ import (
 	"fmt"
 	"os"
 
+	"powl/internal/core"
 	"powl/internal/experiments"
 )
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure to regenerate (1-6)")
-		table = flag.Int("table", 0, "table to regenerate (1)")
-		all   = flag.Bool("all", false, "regenerate everything")
-		quick = flag.Bool("quick", false, "reduced scales and repeats")
-		plot  = flag.Bool("plot", false, "also render ASCII charts of each figure")
+		fig     = flag.Int("fig", 0, "figure to regenerate (1-6)")
+		table   = flag.Int("table", 0, "table to regenerate (1)")
+		all     = flag.Bool("all", false, "regenerate everything")
+		quick   = flag.Bool("quick", false, "reduced scales and repeats")
+		plot    = flag.Bool("plot", false, "also render ASCII charts of each figure")
+		journal = flag.String("journal", "", "run one instrumented materialization and write its journal (JSONL) here")
+		trace   = flag.String("trace", "", "run one instrumented materialization and write a Perfetto trace here")
+		engine  = flag.String("engine", "hybrid", "engine for the -journal/-trace profile run")
+		k       = flag.Int("k", 4, "workers for the -journal/-trace profile run")
 	)
 	flag.Parse()
 
@@ -32,8 +37,21 @@ func main() {
 	if *quick {
 		scale = experiments.Quick
 	}
+	if *journal != "" || *trace != "" {
+		err := experiments.Profile(os.Stdout, scale, experiments.ProfileConfig{
+			Engine:  core.EngineKind(*engine),
+			Workers: *k,
+			Journal: *journal,
+			Trace:   *trace,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*all && *fig == 0 && *table == 0 {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N or -table 1")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N, -table 1, or -journal/-trace")
 		flag.Usage()
 		os.Exit(2)
 	}

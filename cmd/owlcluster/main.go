@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"time"
 
 	"powl/internal/faultinject"
 	"powl/internal/fscluster"
 	"powl/internal/gpart"
 	"powl/internal/ntriples"
+	"powl/internal/obs"
 	"powl/internal/partition"
 	"powl/internal/rdf"
 	"powl/internal/rio"
@@ -44,12 +46,23 @@ func main() {
 		fault     = flag.String("fault", "", "fault-injection spec forwarded to one node, e.g. \"crash=2\" (see internal/faultinject)")
 		faultNode = flag.Int("fault-node", -1, "node receiving the -fault spec (-1 = last node)")
 		deadline  = flag.Duration("round-deadline", 2*time.Second, "supervisor: how long a node may trail a round before being declared dead (with -run)")
+		journal   = flag.String("journal", "", "write the merged run journal (JSONL) to this file (with -run)")
+		trace     = flag.String("trace", "", "write a Chrome/Perfetto trace-event file to this file (with -run)")
+		report    = flag.Bool("report", false, "print the profile report — top rules, per-worker phases, transport totals (with -run)")
+		debugAddr = flag.String("debug-addr", "", "serve the master's /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "missing -in")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, obs.NewRegistry())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s\n", addr)
 	}
 	if *fault != "" {
 		if _, err := faultinject.ParseSpec(*fault); err != nil {
@@ -102,10 +115,17 @@ func main() {
 		return
 	}
 
-	// Spawn the nodes as real OS processes.
+	// Spawn the nodes as real OS processes. With any observability flag set,
+	// every node journals to its own fragment in the work directory; the
+	// fragments are merged below once the run completes.
+	obsWanted := *journal != "" || *trace != "" || *report
+	layout := fscluster.Layout{Dir: *dir}
 	procs := make([]*exec.Cmd, *k)
 	for i := 0; i < *k; i++ {
 		args := []string{"-dir", *dir, "-id", fmt.Sprint(i), "-engine", *engine}
+		if obsWanted {
+			args = append(args, "-journal", layout.JournalFile(i))
+		}
 		if *fault != "" && i == *faultNode {
 			args = append(args, "-fault", *fault)
 		}
@@ -167,10 +187,12 @@ func main() {
 		fatal(fmt.Errorf("supervisor: %w", sup.err))
 	}
 
+	mergeStart := time.Now()
 	mdict, merged, err := fscluster.MergeClosures(*dir, *k)
 	if err != nil {
 		fatal(err)
 	}
+	mergeDur := time.Since(mergeStart)
 	fmt.Fprintf(os.Stderr, "merged closure: %d triples (%d inferred) in %v total\n",
 		merged.Len(), merged.Len()-n, time.Since(start).Round(time.Millisecond))
 	if *out != "" {
@@ -184,6 +206,93 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
+
+	if obsWanted {
+		events, err := mergeJournals(layout, *k)
+		if err != nil {
+			fatal(err)
+		}
+		// The master's aggregation (closure merge) is a phase of its own,
+		// appended on the master track after the last node event — the same
+		// accounting the in-process cluster layer journals.
+		last := events[len(events)-1].TS
+		events = append(events,
+			obs.Event{Type: obs.EvPhase, TS: last, Dur: int64(mergeDur),
+				Worker: obs.MasterWorker, Phase: obs.PhaseAggregate},
+			obs.Event{Type: obs.EvRunEnd, TS: last + int64(mergeDur),
+				Dur: int64(time.Since(start)), Worker: obs.MasterWorker})
+		if *journal != "" {
+			if err := writeJournal(*journal, events); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote journal %s (%d events)\n", *journal, len(events))
+		}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := obs.WriteTrace(f, events); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote trace %s (load at ui.perfetto.dev)\n", *trace)
+		}
+		if *report {
+			obs.WriteReport(os.Stdout, events, 10)
+		}
+	}
+}
+
+// mergeJournals reads every node's journal fragment and interleaves the
+// events by timestamp. Each node journals on its own clock (ns since its
+// own start); the nodes start within milliseconds of each other, so the
+// merged ordering is faithful at round granularity. A missing fragment is
+// tolerated: a node declared dead may have crashed before flushing.
+func mergeJournals(l fscluster.Layout, k int) ([]obs.Event, error) {
+	var events []obs.Event
+	found := 0
+	for i := 0; i < k; i++ {
+		f, err := os.Open(l.JournalFile(i))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		evs, perr := obs.ParseJournal(f)
+		f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("node %d journal: %w", i, perr)
+		}
+		events = append(events, evs...)
+		found++
+	}
+	if found == 0 {
+		return nil, fmt.Errorf("no node journals found in %s", l.Dir)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	return events, nil
+}
+
+// writeJournal writes the merged events back out as one JSONL file.
+func writeJournal(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewJSONLSink(f)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

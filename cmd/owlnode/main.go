@@ -16,17 +16,20 @@ import (
 
 	"powl/internal/faultinject"
 	"powl/internal/fscluster"
+	"powl/internal/obs"
 	"powl/internal/reason"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", "powl-work", "shared work directory")
-		id      = flag.Int("id", -1, "this node's index (required)")
-		engine  = flag.String("engine", "forward", "rule engine: forward, rete, hybrid")
-		poll    = flag.Duration("poll", 20*time.Millisecond, "marker polling interval")
-		timeout = flag.Duration("timeout", 10*time.Minute, "per-round peer wait timeout")
-		fault   = flag.String("fault", "", "fault-injection spec, e.g. \"crash=2\" (see internal/faultinject)")
+		dir       = flag.String("dir", "powl-work", "shared work directory")
+		id        = flag.Int("id", -1, "this node's index (required)")
+		engine    = flag.String("engine", "forward", "rule engine: forward, rete, hybrid")
+		poll      = flag.Duration("poll", 20*time.Millisecond, "marker polling interval")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "per-round peer wait timeout")
+		fault     = flag.String("fault", "", "fault-injection spec, e.g. \"crash=2\" (see internal/faultinject)")
+		journal   = flag.String("journal", "", "write this node's run journal (JSONL) to the given file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *id < 0 {
@@ -62,12 +65,40 @@ func main() {
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
 
+	var run *obs.Run
+	var sink *obs.JSONLSink
+	if *journal != "" || *debugAddr != "" {
+		reg := obs.NewRegistry()
+		if *journal != "" {
+			f, err := os.Create(*journal)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			sink = obs.NewJSONLSink(f)
+		}
+		run = obs.NewRun(sink, reg)
+		if *debugAddr != "" {
+			addr, err := obs.ServeDebug(*debugAddr, reg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "node %d: debug endpoints on http://%s\n", *id, addr)
+		}
+	}
+
 	start := time.Now()
 	res, err := fscluster.RunNode(fscluster.NodeConfig{
 		ID: *id, K: k, Dir: *dir,
 		Engine: eng, Poll: *poll, Timeout: *timeout,
-		Inject: inject,
+		Inject: inject, Obs: run,
 	})
+	if sink != nil {
+		// An injected crash still leaves a valid journal (fault event last).
+		if ferr := sink.Flush(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "node %d: journal: %v\n", *id, ferr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 	"powl/internal/reason"
 	"powl/internal/rules"
@@ -76,6 +77,11 @@ type Config struct {
 	// the barrier because a peer died) aborts the run with
 	// context.DeadlineExceeded instead of hanging forever. 0 disables.
 	RoundTimeout time.Duration
+	// Obs, when non-nil, journals the run: per-worker phase spans each
+	// round, per-rule profiles, and transport totals. The phase events
+	// carry exactly the durations accumulated into Timings, so a journal
+	// reconciles with Result.PerWorker. nil disables all recording.
+	Obs *obs.Run
 }
 
 // Timings is the per-worker cost breakdown.
@@ -143,6 +149,8 @@ func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result,
 	if maxRounds <= 0 {
 		maxRounds = 1000
 	}
+	cfg.Obs.Emit(obs.Event{Type: obs.EvRunStart, TS: cfg.Obs.Now(),
+		Worker: obs.MasterWorker, Name: cfg.Engine.Name(), N: int64(k)})
 
 	start := time.Now()
 	workers := make([]*worker, k)
@@ -192,13 +200,37 @@ func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result,
 		return nil, err
 	}
 
+	aggAt := cfg.Obs.Now()
 	res, err := aggregate(workers)
 	if err != nil {
 		return nil, err
 	}
 	res.Rounds = rounds
 	res.Elapsed = time.Since(start)
+	finishRun(cfg.Obs, res, aggAt)
 	return res, nil
+}
+
+// finishRun emits the master-side tail of the journal: the aggregation
+// span, the per-worker rule profiles and transport totals, and the run_end
+// marker. end is the journal timestamp at which the parallel phase finished
+// — the real clock in Concurrent mode, the reconstructed clock in Simulated
+// mode.
+func finishRun(o *obs.Run, res *Result, end int64) {
+	agg := int64(res.PerWorker[0].Aggregate)
+	o.Emit(obs.Event{Type: obs.EvPhase, TS: end, Dur: agg,
+		Worker: obs.MasterWorker, Round: res.Rounds, Phase: obs.PhaseAggregate})
+	o.FlushProfiles(end + agg)
+	o.Emit(obs.Event{Type: obs.EvRunEnd, TS: end + agg, Dur: int64(res.Elapsed),
+		Worker: obs.MasterWorker, N: int64(res.Rounds)})
+}
+
+// emitPhase records one completed phase slice that ended "now" on the real
+// clock (Concurrent mode): the start is reconstructed by subtracting the
+// measured duration. A nil observer discards the event.
+func emitPhase(o *obs.Run, worker, round int, phase string, d time.Duration, n int64) {
+	o.Emit(obs.Event{Type: obs.EvPhase, TS: o.Now() - int64(d), Dur: int64(d),
+		Worker: worker, Round: round, Phase: phase, N: n})
 }
 
 type worker struct {
@@ -221,6 +253,9 @@ type worker struct {
 // received tuples arrived: nothing received means nothing to do, and an
 // Incremental engine closes over just the received seeds.
 func (w *worker) phaseReason(ctx context.Context, cfg Config) (time.Duration, error) {
+	// Attach the worker's rule collector so the engines profile per-rule
+	// work; with Obs nil this returns ctx unchanged.
+	ctx = obs.ContextWithRules(ctx, cfg.Obs.Rules(w.id))
 	t0 := time.Now()
 	var n int
 	var err error
@@ -331,25 +366,29 @@ func (w *worker) run(ctx context.Context, cfg Config, bar *barrier, maxRounds in
 	for ; round < maxRounds; round++ {
 		rctx, cancel := roundCtx(ctx, cfg)
 
-		if _, err := w.phaseReason(rctx, cfg); err != nil {
-			cancel()
-			bar.abort()
-			return round, err
-		}
-
-		nSent, _, err := w.phaseSend(rctx, cfg, round)
+		rd, err := w.phaseReason(rctx, cfg)
 		if err != nil {
 			cancel()
 			bar.abort()
 			return round, err
 		}
+		emitPhase(cfg.Obs, w.id, round, obs.PhaseReason, rd, 0)
+
+		nSent, sd, err := w.phaseSend(rctx, cfg, round)
+		if err != nil {
+			cancel()
+			bar.abort()
+			return round, err
+		}
+		emitPhase(cfg.Obs, w.id, round, obs.PhaseSend, sd, int64(nSent))
 
 		// Barrier with global sent-count reduction. The round deadline
 		// covers the wait: a worker stuck here because a peer died wakes
 		// with DeadlineExceeded instead of hanging forever.
 		t0 := time.Now()
 		totalSent, ok, berr := bar.syncCtx(rctx, nSent)
-		w.tm.Sync += time.Since(t0)
+		syncD := time.Since(t0)
+		w.tm.Sync += syncD
 		if berr != nil {
 			cancel()
 			bar.abort()
@@ -359,13 +398,15 @@ func (w *worker) run(ctx context.Context, cfg Config, bar *barrier, maxRounds in
 			cancel()
 			return round, ErrPeerAbort
 		}
+		emitPhase(cfg.Obs, w.id, round, obs.PhaseSync, syncD, 0)
 
-		_, err = w.phaseRecv(rctx, cfg, round)
+		vd, err := w.phaseRecv(rctx, cfg, round)
 		cancel()
 		if err != nil {
 			bar.abort()
 			return round, err
 		}
+		emitPhase(cfg.Obs, w.id, round, obs.PhaseRecv, vd, 0)
 
 		// Termination: a full round in which nobody sent anything.
 		if totalSent == 0 {
@@ -382,12 +423,22 @@ func (w *worker) run(ctx context.Context, cfg Config, bar *barrier, maxRounds in
 // round costs the maximum over workers of (reason + send), plus the maximum
 // receive time; per-worker Sync is the gap to the round's slowest worker
 // (the time it would have spent at the barrier).
+//
+// Journal events are stamped on the same reconstructed clock: a round
+// starting at virtual time vt places worker i's reason span at vt, its send
+// span right after, its barrier wait from the end of its work to the
+// round's slowest worker, and all receives after that — so the exported
+// trace shows the parallel schedule the reconstruction asserts, not the
+// sequential execution that measured it.
 func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds int) (*Result, error) {
 	var simElapsed time.Duration
 	var roundStats []RoundStat
 	rounds := 0
 	for round := 0; round < maxRounds; round++ {
 		rounds = round + 1
+		vt := int64(simElapsed)
+		cfg.Obs.Emit(obs.Event{Type: obs.EvRoundStart, TS: vt,
+			Worker: obs.MasterWorker, Round: round})
 		work := make([]time.Duration, len(workers))
 		totalSent := 0
 		for i, w := range workers {
@@ -404,6 +455,10 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 			if err != nil {
 				return nil, err
 			}
+			cfg.Obs.Emit(obs.Event{Type: obs.EvPhase, TS: vt, Dur: int64(d),
+				Worker: w.id, Round: round, Phase: obs.PhaseReason})
+			cfg.Obs.Emit(obs.Event{Type: obs.EvPhase, TS: vt + int64(d), Dur: int64(sd),
+				Worker: w.id, Round: round, Phase: obs.PhaseSend, N: int64(n)})
 			totalSent += n
 			work[i] = d + sd
 		}
@@ -415,6 +470,9 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 		}
 		for i, w := range workers {
 			w.tm.Sync += slowest - work[i]
+			cfg.Obs.Emit(obs.Event{Type: obs.EvPhase, TS: vt + int64(work[i]),
+				Dur: int64(slowest - work[i]), Worker: w.id, Round: round,
+				Phase: obs.PhaseSync})
 		}
 		var slowestRecv time.Duration
 		for _, w := range workers {
@@ -424,11 +482,16 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 			if err != nil {
 				return nil, err
 			}
+			cfg.Obs.Emit(obs.Event{Type: obs.EvPhase, TS: vt + int64(slowest),
+				Dur: int64(rd), Worker: w.id, Round: round, Phase: obs.PhaseRecv})
 			if rd > slowestRecv {
 				slowestRecv = rd
 			}
 		}
 		simElapsed += slowest + slowestRecv
+		cfg.Obs.Emit(obs.Event{Type: obs.EvRoundEnd, TS: int64(simElapsed),
+			Dur: int64(slowest + slowestRecv), Worker: obs.MasterWorker,
+			Round: round, N: int64(totalSent)})
 		roundStats = append(roundStats, RoundStat{MaxWork: slowest, MaxRecv: slowestRecv, Sent: totalSent})
 		if totalSent == 0 {
 			break
@@ -446,6 +509,7 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 	// Aggregation is real work on the master; include it at its measured
 	// cost on top of the reconstructed parallel time.
 	res.Elapsed = simElapsed + res.PerWorker[0].Aggregate
+	finishRun(cfg.Obs, res, int64(simElapsed))
 	return res, nil
 }
 

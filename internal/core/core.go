@@ -13,6 +13,7 @@ import (
 	"powl/internal/cluster"
 	"powl/internal/datagen"
 	"powl/internal/gpart"
+	"powl/internal/obs"
 	"powl/internal/owlhorst"
 	"powl/internal/partition"
 	"powl/internal/rdf"
@@ -102,6 +103,10 @@ type Config struct {
 	// MaxRounds caps reasoning rounds (safety net); 0 means the cluster
 	// default.
 	MaxRounds int
+	// Obs, when non-nil, journals the run (phase spans, per-rule profiles,
+	// per-pair transport traffic); its recorder is attached to whichever
+	// transport the run constructs. nil disables all telemetry.
+	Obs *obs.Run
 }
 
 func (c Config) withDefaults() Config {
@@ -249,6 +254,7 @@ func Materialize(ds *datagen.Dataset, cfg Config) (*Result, error) {
 		Router:    router,
 		Mode:      mode,
 		MaxRounds: cfg.MaxRounds,
+		Obs:       cfg.Obs,
 	}, assigns)
 	if err != nil {
 		return nil, err
@@ -365,9 +371,12 @@ func policyFor(cfg Config, ds *datagen.Dataset) (partition.Policy, error) {
 }
 
 func transportFor(cfg Config, dict *rdf.Dict) (transport.Transport, func(), error) {
+	// rec is nil when telemetry is off; the transports skip recording then.
+	rec := cfg.Obs.Transport()
 	switch cfg.Transport {
 	case MemTransport, "":
 		tr := transport.NewMem()
+		tr.Obs = rec
 		return tr, func() { tr.Close() }, nil
 	case FileTransport:
 		dir, err := os.MkdirTemp(cfg.TempDir, "powl-msgs-*")
@@ -379,12 +388,14 @@ func transportFor(cfg Config, dict *rdf.Dict) (transport.Transport, func(), erro
 			os.RemoveAll(dir)
 			return nil, nil, err
 		}
+		tr.Obs = rec
 		return tr, func() { tr.Close() }, nil
 	case TCPTransport:
 		tr, err := transport.NewTCP(cfg.Workers, dict)
 		if err != nil {
 			return nil, nil, err
 		}
+		tr.Obs = rec
 		return tr, func() { tr.Close() }, nil
 	default:
 		return nil, nil, fmt.Errorf("core: unknown transport %q", cfg.Transport)

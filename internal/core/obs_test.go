@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+	"time"
+
+	"powl/internal/obs"
+)
+
+// TestJournalReconcilesWithTimings is the telemetry acceptance test: a
+// 4-worker Simulated run's journal, summed per worker and phase, must equal
+// Result.PerWorker exactly — the phase events carry the same measured
+// durations the cluster layer accumulates into Timings.
+func TestJournalReconcilesWithTimings(t *testing.T) {
+	ds := tinyLUBM()
+	sink := &obs.MemSink{}
+	run := obs.NewRun(sink, obs.NewRegistry())
+	res, err := Materialize(ds, Config{
+		Workers:  4,
+		Engine:   ForwardEngine,
+		Simulate: true,
+		Seed:     42,
+		Obs:      run,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("journal is empty")
+	}
+
+	workers, _, _, _ := obs.Summarize(events)
+	if len(workers) != 4 {
+		t.Fatalf("journal covers %d workers, want 4", len(workers))
+	}
+	for _, w := range workers {
+		tm := res.PerWorker[w.Worker]
+		if w.Reason != tm.Reason {
+			t.Errorf("worker %d: journal reason %v != Timings.Reason %v", w.Worker, w.Reason, tm.Reason)
+		}
+		if w.IO() != tm.IO {
+			t.Errorf("worker %d: journal send+recv %v != Timings.IO %v", w.Worker, w.IO(), tm.IO)
+		}
+		if w.Sync != tm.Sync {
+			t.Errorf("worker %d: journal sync %v != Timings.Sync %v", w.Worker, w.Sync, tm.Sync)
+		}
+		if w.Rounds != tm.Rounds {
+			t.Errorf("worker %d: journal rounds %d != Timings.Rounds %d", w.Worker, w.Rounds, tm.Rounds)
+		}
+	}
+
+	// The aggregate phase is a master-track event carrying Timings.Aggregate.
+	var agg time.Duration
+	for _, e := range events {
+		if e.Type == obs.EvPhase && e.Phase == obs.PhaseAggregate {
+			agg += e.Duration()
+		}
+	}
+	if agg != res.PerWorker[0].Aggregate {
+		t.Errorf("journal aggregate %v != Timings.Aggregate %v", agg, res.PerWorker[0].Aggregate)
+	}
+
+	// The Simulated virtual clock must reconstruct the reported elapsed
+	// time: run_end is stamped at parallel-finish + aggregation.
+	var runEnd *obs.Event
+	for i := range events {
+		if events[i].Type == obs.EvRunEnd {
+			runEnd = &events[i]
+		}
+	}
+	if runEnd == nil {
+		t.Fatal("no run_end event")
+	}
+	if runEnd.Duration() != res.Elapsed {
+		t.Errorf("run_end dur %v != Result.Elapsed %v", runEnd.Duration(), res.Elapsed)
+	}
+	if runEnd.TS != int64(res.Elapsed) {
+		t.Errorf("run_end ts %d != elapsed ns %d", runEnd.TS, int64(res.Elapsed))
+	}
+
+	// Per-rule profiles must be present for an instrumented engine run.
+	_, rules, _, _ := obs.Summarize(events)
+	if len(rules) == 0 {
+		t.Error("no rule profiles journaled")
+	}
+	var firings int64
+	for _, s := range rules {
+		firings += s.Firings
+	}
+	if firings == 0 {
+		t.Error("rule profiles recorded zero firings")
+	}
+}
+
+// TestTraceExportFromRun converts a 4-worker run journal to a Chrome trace
+// and checks it is valid JSON with one named track per worker plus master.
+func TestTraceExportFromRun(t *testing.T) {
+	ds := tinyLUBM()
+	sink := &obs.MemSink{}
+	res, err := Materialize(ds, Config{
+		Workers:  4,
+		Simulate: true,
+		Seed:     42,
+		Obs:      obs.NewRun(sink, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, sink.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var tracks []string
+	slices := 0
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			tracks = append(tracks, e["args"].(map[string]any)["name"].(string))
+		}
+		if e["ph"] == "X" {
+			slices++
+		}
+	}
+	sort.Strings(tracks)
+	want := []string{"master", "worker 0", "worker 1", "worker 2", "worker 3"}
+	if len(tracks) != len(want) {
+		t.Fatalf("tracks = %v, want %v", tracks, want)
+	}
+	for i := range want {
+		if tracks[i] != want[i] {
+			t.Fatalf("tracks = %v, want %v", tracks, want)
+		}
+	}
+	// At least reason+send+sync+recv per worker per round, plus aggregate.
+	if minSlices := 4*4*res.Rounds + 1; slices < minSlices {
+		t.Errorf("trace has %d slices, want >= %d", slices, minSlices)
+	}
+}
+
+// TestObsOffIdenticalClosure checks that observability changes no results:
+// the closure from an instrumented run must be triple-for-triple identical
+// to the closure from an uninstrumented one.
+func TestObsOffIdenticalClosure(t *testing.T) {
+	ds1 := tinyLUBM()
+	plain, err := Materialize(ds1, Config{Workers: 4, Simulate: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2 := tinyLUBM()
+	sink := &obs.MemSink{}
+	observed, err := Materialize(ds2, Config{
+		Workers: 4, Simulate: true, Seed: 42,
+		Obs: obs.NewRun(sink, obs.NewRegistry()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Graph.Len() != observed.Graph.Len() {
+		t.Fatalf("closure sizes differ: %d (plain) vs %d (observed)",
+			plain.Graph.Len(), observed.Graph.Len())
+	}
+	// Same generator and seeds, so the interned IDs line up and triples
+	// compare directly.
+	for _, tr := range plain.Graph.Triples() {
+		if !observed.Graph.Has(tr) {
+			t.Fatalf("triple %v missing from observed-run closure", tr)
+		}
+	}
+	if len(sink.Events()) == 0 {
+		t.Fatal("observed run journaled nothing")
+	}
+}
+
+// TestObsRecorderOnAllTransports checks every transport kind feeds the
+// per-pair recorder.
+func TestObsRecorderOnAllTransports(t *testing.T) {
+	for _, kind := range []TransportKind{MemTransport, FileTransport, TCPTransport} {
+		sink := &obs.MemSink{}
+		run := obs.NewRun(sink, nil)
+		_, err := Materialize(tinyLUBM(), Config{
+			Workers: 2, Transport: kind, Simulate: true, Seed: 42,
+			TempDir: t.TempDir(), Obs: run,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		pairs := run.Transport().Pairs()
+		if len(pairs) == 0 {
+			t.Errorf("%s: no transport pairs recorded", kind)
+			continue
+		}
+		var triples, bytes int64
+		for _, p := range pairs {
+			triples += p.Triples
+			bytes += p.Bytes
+		}
+		if triples == 0 {
+			t.Errorf("%s: zero triples recorded", kind)
+		}
+		// Serializing transports must account payload bytes; mem must not.
+		if kind == MemTransport && bytes != 0 {
+			t.Errorf("mem: recorded %d bytes, want 0", bytes)
+		}
+		if kind != MemTransport && bytes == 0 {
+			t.Errorf("%s: recorded zero payload bytes", kind)
+		}
+	}
+}
+

@@ -25,6 +25,7 @@ import (
 
 	"powl/internal/faultinject"
 	"powl/internal/ntriples"
+	"powl/internal/obs"
 	"powl/internal/owlhorst"
 	"powl/internal/partition"
 	"powl/internal/rdf"
@@ -68,6 +69,13 @@ func (l Layout) ClosureFile(id int) string {
 // completed round — the recovery path relies on exactly that.
 func (l Layout) CkptFile(round, id int) string {
 	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r%03d_n%02d.nt", round, id))
+}
+
+// JournalFile is node i's telemetry journal fragment, written when the node
+// runs with observability on; the master merges the fragments into one
+// timeline for trace export and reporting.
+func (l Layout) JournalFile(id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("journal_n%02d.jsonl", id))
 }
 
 // DeadFile marks node i as failed; its content is the adopter's id. Written
@@ -174,6 +182,11 @@ type NodeConfig struct {
 	// node exits with ErrCrashed mid-protocol, exactly as a killed process
 	// would look to its peers. Nil means no injection.
 	Inject *faultinject.Injector
+	// Obs, when non-nil, journals this node's run: phase spans per round,
+	// checkpoint sizes, injected faults, adoptions, and per-rule profiles.
+	// Each node process journals on its own clock (ns since its own start);
+	// cmd/owlcluster merges the per-node fragments into one timeline.
+	Obs *obs.Run
 }
 
 // ErrCrashed is returned by a node whose fault injector fired its crash
@@ -250,17 +263,22 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		n.sent[t] = struct{}{}
 	}
 	materialized := false
+	// With Obs nil the collector is nil and ctx is returned unchanged.
+	ctx = obs.ContextWithRules(ctx, cfg.Obs.Rules(cfg.ID))
 
 	for round := 0; round < cfg.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if cfg.Inject.Crash(round) {
+			cfg.Obs.Emit(obs.Event{Type: obs.EvFault, TS: cfg.Obs.Now(),
+				Worker: cfg.ID, Round: round, Name: "injected crash"})
 			return nil, ErrCrashed
 		}
 		n.res.Rounds = round + 1
 
 		// Reason.
+		reasonT0 := time.Now()
 		switch {
 		case !materialized:
 			d, err := reason.MaterializeCtx(ctx, cfg.Engine, n.g, n.rules)
@@ -284,11 +302,13 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			n.res.Derived += d
 		}
 		n.received = n.received[:0]
+		n.emitPhase(round, obs.PhaseReason, time.Since(reasonT0), 0)
 
 		// Route: collect per-destination outboxes. The routing delta — every
 		// tuple new since the last route — is also this round's checkpoint:
 		// base partition + checkpoints + delivered messages reconstruct this
 		// node's graph if it dies later (recover.go).
+		sendT0 := time.Now()
 		outbox := map[int][]rdf.Triple{}
 		var delta []rdf.Triple
 		nSent := 0
@@ -309,8 +329,17 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		if len(delta) > 0 {
 			cg := rdf.NewGraphCap(len(delta))
 			cg.AddAll(delta)
-			if err := writeGraphFile(n.l.CkptFile(round, cfg.ID), n.dict, cg); err != nil {
+			ckpt := n.l.CkptFile(round, cfg.ID)
+			if err := writeGraphFile(ckpt, n.dict, cg); err != nil {
 				return nil, err
+			}
+			if cfg.Obs != nil {
+				var size int64
+				if fi, err := os.Stat(ckpt); err == nil {
+					size = fi.Size()
+				}
+				cfg.Obs.Emit(obs.Event{Type: obs.EvCheckpoint, TS: cfg.Obs.Now(),
+					Worker: cfg.ID, Round: round, N: int64(len(delta)), Bytes: size})
 			}
 		}
 		for dst, ts := range outbox {
@@ -322,8 +351,16 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			}
 			og := rdf.NewGraphCap(len(ts))
 			og.AddAll(ts)
-			if err := writeGraphFile(n.l.MsgFile(round, cfg.ID, dst), n.dict, og); err != nil {
+			msg := n.l.MsgFile(round, cfg.ID, dst)
+			if err := writeGraphFile(msg, n.dict, og); err != nil {
 				return nil, err
+			}
+			if cfg.Obs != nil {
+				var size int64
+				if fi, err := os.Stat(msg); err == nil {
+					size = fi.Size()
+				}
+				cfg.Obs.Transport().Batch(cfg.ID, dst, len(ts), size)
 			}
 		}
 		n.res.Sent += nSent
@@ -339,13 +376,18 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				return nil, err
 			}
 		}
+		n.emitPhase(round, obs.PhaseSend, time.Since(sendT0), int64(nSent))
+
+		syncT0 := time.Now()
 		totalSent, err := n.awaitMarkers(ctx, round)
 		if err != nil {
 			return nil, err
 		}
+		n.emitPhase(round, obs.PhaseSync, time.Since(syncT0), 0)
 
 		// Absorb inboxes — our own plus those of any adopted peers, whose
 		// owned resources the rest of the cluster still routes to.
+		recvT0 := time.Now()
 		inboxes := append([]int{cfg.ID}, n.adopted...)
 		for from := 0; from < cfg.K; from++ {
 			for _, to := range inboxes {
@@ -371,6 +413,7 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				}
 			}
 		}
+		n.emitPhase(round, obs.PhaseRecv, time.Since(recvT0), int64(len(n.received)))
 
 		if totalSent == 0 {
 			break
@@ -380,8 +423,18 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	if err := writeGraphFile(n.l.ClosureFile(cfg.ID), n.dict, n.g); err != nil {
 		return nil, err
 	}
+	cfg.Obs.FlushProfiles(cfg.Obs.Now())
 	n.res.Closure = n.g
 	return n.res, nil
+}
+
+// emitPhase journals one completed phase slice on this node's clock; the
+// start is reconstructed by subtracting the measured duration. No-op with
+// observability off.
+func (n *node) emitPhase(round int, phase string, d time.Duration, count int64) {
+	o := n.cfg.Obs
+	o.Emit(obs.Event{Type: obs.EvPhase, TS: o.Now() - int64(d), Dur: int64(d),
+		Worker: n.cfg.ID, Round: round, Phase: phase, N: count})
 }
 
 // isAdopted reports whether this node has taken over peer id.

@@ -46,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 )
 
@@ -239,6 +240,8 @@ func (n *node) adopt(id, round int) error {
 		return fmt.Errorf("fscluster: node %d adopting %d: %w", n.cfg.ID, id, err)
 	}
 	n.adopted = append(n.adopted, id)
+	n.cfg.Obs.Emit(obs.Event{Type: obs.EvRecovery, TS: n.cfg.Obs.Now(),
+		Worker: n.cfg.ID, Round: round, N: int64(id), N2: int64(absorbed)})
 	// The marker unblocks every peer's barrier; carrying the absorbed count
 	// forces at least one more round so the merged state gets reasoned over.
 	return writeAtomic(n.l.MarkerFile(round, id), strconv.Itoa(absorbed))

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsHandler serves the registry as JSON — the expvar-style /metrics
+// endpoint. A nil registry serves an empty object, so the endpoint is
+// always safe to mount.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot()) //nolint:errcheck // best-effort debug endpoint
+	})
+}
+
+// DebugMux builds the debug endpoint set: /metrics (registry JSON) plus
+// the standard net/http/pprof family under /debug/pprof/.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds addr (e.g. "localhost:6060") and serves the debug mux
+// in a background goroutine for the life of the process. It returns the
+// bound address so callers can log it (addr ":0" picks a free port), or an
+// error if the listen fails. The cmds call this behind -debug-addr.
+func ServeDebug(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: DebugMux(r), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // background debug server dies with the process
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types emitted into the run journal.
+const (
+	EvRunStart    = "run_start"    // N = worker count
+	EvRoundStart  = "round_start"  // Round set
+	EvRoundEnd    = "round_end"    // N = tuples sent cluster-wide this round
+	EvPhase       = "phase"        // Phase, Worker, Round, TS, Dur; N = tuples (send/recv)
+	EvRuleProfile = "rule_profile" // Name = rule, Worker; N = firings, N2 = matches, Dur = time
+	EvTransport   = "transport"    // Name = "from->to"; N = messages, N2 = triples, Bytes
+	EvRetry       = "retry"        // Name = op; N = retries, Dur = backoff slept
+	EvCheckpoint  = "checkpoint"   // Worker, Round; N = tuples, Bytes
+	EvFault       = "fault"        // Worker, Round; Name = description
+	EvRecovery    = "recovery"     // Worker adopts N (= victim id) at Round
+	EvRunEnd      = "run_end"      // Dur = elapsed, N = rounds
+)
+
+// Phase names used by phase events. Reason/Send/Recv/Sync are per-worker;
+// Aggregate is the master-side merge (Worker == MasterWorker). The cluster
+// layer's Timings map onto them as Reason = reason, IO = send + recv,
+// Sync = sync.
+const (
+	PhaseReason    = "reason"
+	PhaseSend      = "send"
+	PhaseRecv      = "recv"
+	PhaseSync      = "sync"
+	PhaseAggregate = "aggregate"
+)
+
+// MasterWorker is the Worker value for master-side events (aggregation,
+// supervision) that belong to no worker track.
+const MasterWorker = -1
+
+// Event is one record of the run journal. TS is nanoseconds since run
+// start — wall-clock in Concurrent mode, the barrier-reconstructed virtual
+// clock in Simulated mode — so a journal replays into a timeline in either
+// mode. Dur is the span length in nanoseconds for span-shaped events.
+type Event struct {
+	Type   string `json:"type"`
+	TS     int64  `json:"ts,omitempty"`
+	Dur    int64  `json:"dur,omitempty"`
+	Worker int    `json:"worker"`
+	Round  int    `json:"round,omitempty"`
+	Phase  string `json:"phase,omitempty"`
+	Name   string `json:"name,omitempty"`
+	N      int64  `json:"n,omitempty"`
+	N2     int64  `json:"n2,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+}
+
+// Duration returns the event's span length.
+func (e Event) Duration() time.Duration { return time.Duration(e.Dur) }
+
+// Sink consumes journal events. Implementations must be safe for
+// concurrent Emit calls (concurrent workers journal simultaneously).
+type Sink interface {
+	Emit(e Event)
+}
+
+// JSONLSink writes one JSON object per line. Wrap the target in a
+// bufio.Writer for file sinks and call Flush when the run ends.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSONL to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink. Encoding errors are sticky and reported by Flush.
+func (s *JSONLSink) Emit(e Event) {
+	b, err := json.Marshal(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// MemSink buffers events in memory — the test and report sink.
+type MemSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *MemSink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far.
+func (s *MemSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// MultiSink fans every event out to all children.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// ParseJournal reads a JSONL journal back into events. Blank lines are
+// skipped; a malformed line fails the parse with its line number.
+func ParseJournal(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<24)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

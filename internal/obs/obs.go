@@ -1,0 +1,291 @@
+// Package obs is powl's zero-dependency telemetry layer: a metrics
+// registry (atomic counters, gauges, log-scale duration histograms), a
+// structured run journal (JSONL event stream) with a Chrome/Perfetto
+// trace-event exporter, per-rule engine profiles, per-peer transport
+// accounting, and HTTP serving (/metrics JSON + net/http/pprof).
+//
+// Everything is nil-safe by design: a nil *Registry, *Run, *RuleCollector
+// or *TransportRecorder turns every recording call into a no-op behind a
+// single nil check, so instrumented hot paths pay nothing measurable when
+// observability is disabled and allocate nothing on the recording path.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value. Safe on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the stored value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of fixed log-scale histogram buckets. Bucket i
+// counts observations with d < 1µs·2^i; the final bucket is the overflow,
+// so the covered range is 1µs .. ~1.2h.
+const histBuckets = 33
+
+// Histogram is a duration histogram with fixed log2 buckets plus atomic
+// count/sum/min/max, so it is safe for concurrent observation.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // ns
+	min     atomic.Int64 // ns; math.MaxInt64 until first observation
+	max     atomic.Int64 // ns
+}
+
+// histBucket returns the bucket index for d: the smallest i with
+// d < 1µs·2^i, clamped to the overflow bucket.
+func histBucket(d time.Duration) int {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	us := ns / 1000
+	i := 0
+	for us > 0 && i < histBuckets-1 {
+		us >>= 1
+		i++
+	}
+	return i
+}
+
+// Observe records one duration. Safe on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	h.buckets[histBucket(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= ns {
+			break
+		}
+		// 0 doubles as "unset": durations of exactly 0ns keep min at 0,
+		// which is also correct.
+		if h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time view of a histogram.
+type HistSnapshot struct {
+	Count int64           `json:"count"`
+	Sum   time.Duration   `json:"sum_ns"`
+	Min   time.Duration   `json:"min_ns"`
+	Max   time.Duration   `json:"max_ns"`
+	// Buckets[i] counts observations below BucketBound(i).
+	Buckets []int64 `json:"buckets"`
+}
+
+// BucketBound returns the exclusive upper bound of histogram bucket i
+// (the last bucket is unbounded).
+func BucketBound(i int) time.Duration {
+	if i >= histBuckets-1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Microsecond << i
+}
+
+// Snapshot returns the histogram's current state (zero value on nil).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	s.Min = time.Duration(h.min.Load())
+	s.Max = time.Duration(h.max.Load())
+	s.Buckets = make([]int64, histBuckets)
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observed duration.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Registry names and owns a process's metrics. The zero registry must not
+// be used; a nil *Registry is the disabled state: every lookup returns nil
+// and every recording through the returned nil metric is a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry. Look metrics up once outside loops: the lookup takes a lock,
+// the returned handle does not.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram; nil on a nil
+// registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric into a JSON-encodable map:
+// counters/gauges as int64, histograms as HistSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Names returns the sorted metric names (for deterministic reports).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FormatBytes renders a byte count human-readably for reports.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WorkerProfile is one worker's phase decomposition summed from a journal.
+type WorkerProfile struct {
+	Worker int
+	Reason time.Duration
+	Send   time.Duration
+	Recv   time.Duration
+	Sync   time.Duration
+	Rounds int
+}
+
+// IO is the worker's combined transport time (Figure 2's "IO").
+func (w WorkerProfile) IO() time.Duration { return w.Send + w.Recv }
+
+// Busy is the worker's productive time: everything but barrier waiting.
+func (w WorkerProfile) Busy() time.Duration { return w.Reason + w.Send + w.Recv }
+
+// Summarize folds a journal into per-worker phase profiles (sorted by
+// worker id), cumulative per-rule profiles across workers, and the
+// transport/retry events, ready for reporting.
+func Summarize(events []Event) (workers []WorkerProfile, rules map[string]RuleStats, transports, retries []Event) {
+	byWorker := map[int]*WorkerProfile{}
+	rules = map[string]RuleStats{}
+	for _, e := range events {
+		switch e.Type {
+		case EvPhase:
+			if e.Worker == MasterWorker {
+				continue
+			}
+			w := byWorker[e.Worker]
+			if w == nil {
+				w = &WorkerProfile{Worker: e.Worker}
+				byWorker[e.Worker] = w
+			}
+			d := e.Duration()
+			switch e.Phase {
+			case PhaseReason:
+				w.Reason += d
+				w.Rounds++ // one reason phase per round
+			case PhaseSend:
+				w.Send += d
+			case PhaseRecv:
+				w.Recv += d
+			case PhaseSync:
+				w.Sync += d
+			}
+		case EvRuleProfile:
+			s := rules[e.Name]
+			s.Firings += e.N
+			s.Matches += e.N2
+			s.Time += e.Duration()
+			rules[e.Name] = s
+		case EvTransport:
+			transports = append(transports, e)
+		case EvRetry:
+			retries = append(retries, e)
+		}
+	}
+	for _, w := range byWorker {
+		workers = append(workers, *w)
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i].Worker < workers[j].Worker })
+	return workers, rules, transports, retries
+}
+
+// WriteReport renders the post-run text report: the top-k rules by
+// cumulative time, the per-worker phase table with the busy-time imbalance
+// factor (max/mean — 1.0 is a perfectly balanced run), and the transport
+// totals. This is what `owlcluster -report` and `experiments -journal`
+// print after a run.
+func WriteReport(w io.Writer, events []Event, topK int) {
+	workers, rules, transports, retries := Summarize(events)
+
+	if len(rules) > 0 {
+		fmt.Fprintf(w, "Top rules by cumulative time (all workers):\n")
+		fmt.Fprintf(w, "  %-28s %12s %12s %12s\n", "rule", "time", "firings", "matches")
+		for _, p := range TopRules(rules, topK) {
+			fmt.Fprintf(w, "  %-28s %12v %12d %12d\n",
+				p.Name, p.Time.Round(time.Microsecond), p.Firings, p.Matches)
+		}
+		if len(rules) > topK && topK > 0 {
+			fmt.Fprintf(w, "  ... and %d more rules\n", len(rules)-topK)
+		}
+	}
+
+	if len(workers) > 0 {
+		fmt.Fprintf(w, "\nPer-worker phases:\n")
+		fmt.Fprintf(w, "  %-8s %8s %12s %12s %12s %12s\n", "worker", "rounds", "reason", "io", "sync", "busy")
+		var maxBusy, sumBusy time.Duration
+		for _, wp := range workers {
+			busy := wp.Busy()
+			sumBusy += busy
+			if busy > maxBusy {
+				maxBusy = busy
+			}
+			fmt.Fprintf(w, "  %-8d %8d %12v %12v %12v %12v\n",
+				wp.Worker, wp.Rounds,
+				wp.Reason.Round(time.Microsecond), wp.IO().Round(time.Microsecond),
+				wp.Sync.Round(time.Microsecond), busy.Round(time.Microsecond))
+		}
+		if sumBusy > 0 {
+			mean := sumBusy / time.Duration(len(workers))
+			fmt.Fprintf(w, "  imbalance (max/mean busy): %.2f\n", float64(maxBusy)/float64(mean))
+		}
+	}
+
+	if len(transports) > 0 {
+		var msgs, triples, bytes int64
+		for _, e := range transports {
+			msgs += e.N
+			triples += e.N2
+			bytes += e.Bytes
+		}
+		fmt.Fprintf(w, "\nTransport: %d messages, %d triples, %s across %d peer pairs\n",
+			msgs, triples, FormatBytes(bytes), len(transports))
+		for _, e := range transports {
+			fmt.Fprintf(w, "  %-8s %6d msgs %10d triples %10s\n", e.Name, e.N, e.N2, FormatBytes(e.Bytes))
+		}
+	}
+	for _, e := range retries {
+		fmt.Fprintf(w, "  retries(%s): %d, backoff slept %v\n", e.Name, e.N, e.Duration().Round(time.Microsecond))
+	}
+
+	for _, e := range events {
+		switch e.Type {
+		case EvFault:
+			fmt.Fprintf(w, "\nfault: worker %d round %d: %s\n", e.Worker, e.Round, e.Name)
+		case EvRecovery:
+			fmt.Fprintf(w, "recovery: worker %d adopted worker %d at round %d\n", e.Worker, e.N, e.Round)
+		case EvRunEnd:
+			fmt.Fprintf(w, "\nrun: %d rounds, elapsed %v\n", e.N, e.Duration().Round(time.Microsecond))
+		}
+	}
+}

@@ -88,6 +88,9 @@ type cRule struct {
 	body  []cAtom
 	head  []cAtom
 	nslot int
+	// idx is the rule's position in the compiled set — the ruleProf tally
+	// index when the materialization is being profiled.
+	idx int
 }
 
 // compileRules lowers parsed rules into slot-indexed form. Variable names are
@@ -110,7 +113,7 @@ func compileRules(rs []rules.Rule) []cRule {
 		lowerAtom := func(a rules.Atom) cAtom {
 			return cAtom{s: lower(a.S), p: lower(a.P), o: lower(a.O)}
 		}
-		cr := cRule{name: r.Name}
+		cr := cRule{name: r.Name, idx: len(out)}
 		for _, a := range r.Body {
 			cr.body = append(cr.body, lowerAtom(a))
 		}

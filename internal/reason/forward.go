@@ -2,6 +2,7 @@ package reason
 
 import (
 	"context"
+	"time"
 
 	"powl/internal/rdf"
 	"powl/internal/rules"
@@ -38,6 +39,8 @@ func (f Forward) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Ru
 // materialize runs semi-naive evaluation with the given initial delta.
 func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) (int, error) {
 	crs := compileRules(rs)
+	prof := newRuleProf(ctx, crs)
+	defer prof.flush()
 
 	// Index body atoms by their predicate constant so that a delta triple
 	// only visits rules it can trigger. Atoms with a variable predicate go
@@ -72,11 +75,30 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 					return added, err
 				}
 			}
-			for _, tr := range byPred[t.P] {
-				fireOn(g, tr, t, emit)
-			}
-			for _, tr := range anyPred {
-				fireOn(g, tr, t, emit)
+			if prof == nil {
+				for _, tr := range byPred[t.P] {
+					fireOn(g, tr, t, emit)
+				}
+				for _, tr := range anyPred {
+					fireOn(g, tr, t, emit)
+				}
+			} else {
+				// Chained timestamps: consecutive activations share one
+				// clock read, so profiling costs one time.Now per fireOn
+				// instead of two.
+				t0 := time.Now()
+				for _, tr := range byPred[t.P] {
+					m, f := fireOn(g, tr, t, emit)
+					t1 := time.Now()
+					prof.add(tr.rule.idx, f, m, t1.Sub(t0))
+					t0 = t1
+				}
+				for _, tr := range anyPred {
+					m, f := fireOn(g, tr, t, emit)
+					t1 := time.Now()
+					prof.add(tr.rule.idx, f, m, t1.Sub(t0))
+					t0 = t1
+				}
 			}
 		}
 		delta = delta[:0]
@@ -92,13 +114,14 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 
 // fireOn seeds rule tr.rule with delta triple t at body position tr.atomIdx,
 // joins the remaining body atoms against the full graph, and emits every
-// resulting head instantiation.
-func fireOn(g *rdf.Graph, tr trigger, t rdf.Triple, emit func(rdf.Triple)) {
+// resulting head instantiation. It reports the complete body matches and
+// head emissions it produced, for the per-rule profile.
+func fireOn(g *rdf.Graph, tr trigger, t rdf.Triple, emit func(rdf.Triple)) (matches, firings int64) {
 	r := tr.rule
 	e := make(env, r.nslot)
 	bound, ok := e.bindTriple(r.body[tr.atomIdx], t)
 	if !ok {
-		return
+		return 0, 0
 	}
 	_ = bound
 	rest := make([]int, 0, len(r.body)-1)
@@ -108,10 +131,13 @@ func fireOn(g *rdf.Graph, tr trigger, t rdf.Triple, emit func(rdf.Triple)) {
 		}
 	}
 	joinRest(g, r, rest, e, func() {
+		matches++
 		for _, h := range r.head {
+			firings++
 			emit(e.instantiate(h))
 		}
 	})
+	return matches, firings
 }
 
 // joinRest extends e over the body atoms listed in rest (indices into

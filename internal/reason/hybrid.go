@@ -3,6 +3,7 @@ package reason
 import (
 	"context"
 	"sort"
+	"time"
 
 	"powl/internal/rdf"
 	"powl/internal/rules"
@@ -53,6 +54,8 @@ func (h Hybrid) Materialize(g *rdf.Graph, rs []rules.Rule) int {
 // backward query.
 func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule) (int, error) {
 	crs := compileRules(rs)
+	prof := newRuleProf(ctx, crs)
+	defer prof.flush()
 
 	// Query plan: every resource appearing as subject or object, in ID
 	// order for determinism. Inference cannot invent constants, so every
@@ -73,6 +76,7 @@ func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rul
 		}
 		if s == nil || !h.SharedTable {
 			s = newSolver(g, crs)
+			s.prof = prof
 		}
 		goal := rdf.Triple{S: r, P: rdf.Wildcard, O: rdf.Wildcard}
 		e := s.solve(goal)
@@ -120,6 +124,12 @@ type solver struct {
 	// bound predicate only resolve against heads that can produce it.
 	byHeadPred  map[rdf.ID][]headRef
 	anyHeadPred []headRef
+	// prof, when non-nil, tallies per-rule work. Time is attributed to the
+	// outermost rule resolution only (profDepth guards nesting), so the
+	// per-rule times partition the solver's rule-evaluation time even
+	// though SLD subgoal resolution recurses through other rules.
+	prof      *ruleProf
+	profDepth int
 }
 
 func newSolver(g *rdf.Graph, crs []cRule) *solver {
@@ -210,12 +220,33 @@ func (s *solver) evaluateOnce(e *tableEntry) {
 		if !unifyGoal(hAtom, goal, env) {
 			return
 		}
+		if s.prof == nil {
+			s.evalBody(e, r, 0, env, func() {
+				t := env.instantiate(hAtom)
+				if matchesGoal(t, goal) {
+					s.addAnswer(e, t)
+				}
+			})
+			return
+		}
+		outer := s.profDepth == 0
+		var t0 time.Time
+		if outer {
+			t0 = time.Now()
+		}
+		s.profDepth++
 		s.evalBody(e, r, 0, env, func() {
+			s.prof.matches[r.idx]++
 			t := env.instantiate(hAtom)
 			if matchesGoal(t, goal) {
+				s.prof.firings[r.idx]++
 				s.addAnswer(e, t)
 			}
 		})
+		s.profDepth--
+		if outer {
+			s.prof.time[r.idx] += time.Since(t0)
+		}
 	}
 	if goal.P != rdf.Wildcard {
 		for _, ref := range s.byHeadPred[goal.P] {

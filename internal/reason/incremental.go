@@ -70,6 +70,8 @@ func (h Hybrid) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules
 		return Forward{}.MaterializeFromCtx(ctx, g, rs, seeds)
 	}
 	crs := compileRules(rs)
+	prof := newRuleProf(ctx, crs)
+	defer prof.flush()
 	queried := map[rdf.ID]struct{}{}
 	frontier := map[rdf.ID]struct{}{}
 	addWithNeighbors := func(id rdf.ID) {
@@ -100,6 +102,7 @@ func (h Hybrid) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules
 	// uses tabling efficiently.
 	added := 0
 	s := newSolver(g, crs)
+	s.prof = prof
 	var pending []rdf.Triple
 	for len(frontier) > 0 {
 		if err := ctx.Err(); err != nil {

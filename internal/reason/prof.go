@@ -1,0 +1,64 @@
+package reason
+
+import (
+	"context"
+	"time"
+
+	"powl/internal/obs"
+)
+
+// ruleProf is the engine-local per-rule tally used while a materialization
+// runs under an obs.RuleCollector (attached to the context by the cluster
+// layer). It is indexed by compiled-rule index, so the recording path is
+// plain slice arithmetic with no locks or map lookups; the shared
+// collector is touched exactly once, at flush. A nil *ruleProf is the
+// disabled state: engines check it once per activation, which is the whole
+// hot-path cost when observability is off.
+type ruleProf struct {
+	rc      *obs.RuleCollector
+	names   []string
+	firings []int64
+	matches []int64
+	time    []time.Duration
+}
+
+// newRuleProf returns a tally for the compiled rules when ctx carries a
+// rule collector, nil otherwise.
+func newRuleProf(ctx context.Context, crs []cRule) *ruleProf {
+	rc := obs.RulesFrom(ctx)
+	if rc == nil {
+		return nil
+	}
+	p := &ruleProf{
+		rc:      rc,
+		names:   make([]string, len(crs)),
+		firings: make([]int64, len(crs)),
+		matches: make([]int64, len(crs)),
+		time:    make([]time.Duration, len(crs)),
+	}
+	for i, r := range crs {
+		p.names[i] = r.name
+	}
+	return p
+}
+
+// add merges one activation's counts into rule idx's tally.
+func (p *ruleProf) add(idx int, firings, matches int64, d time.Duration) {
+	p.firings[idx] += firings
+	p.matches[idx] += matches
+	p.time[idx] += d
+}
+
+// flush pushes the tally into the shared collector. Call via defer so
+// cancelled materializations still report the work they did.
+func (p *ruleProf) flush() {
+	if p == nil {
+		return
+	}
+	for i, name := range p.names {
+		if p.firings[i] == 0 && p.matches[i] == 0 && p.time[i] == 0 {
+			continue
+		}
+		p.rc.Record(name, p.firings[i], p.matches[i], p.time[i])
+	}
+}

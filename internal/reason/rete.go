@@ -2,6 +2,7 @@ package reason
 
 import (
 	"context"
+	"time"
 
 	"powl/internal/rdf"
 	"powl/internal/rules"
@@ -57,7 +58,10 @@ func (Rete) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, asse
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	net := buildNetwork(compileRules(rs))
+	crs := compileRules(rs)
+	net := buildNetwork(crs)
+	net.prof = newRuleProf(ctx, crs)
+	defer net.prof.flush()
 
 	added := 0
 	var queue []rdf.Triple
@@ -103,6 +107,7 @@ type alphaNode struct {
 	memory   []rdf.Triple
 	seen     map[rdf.Triple]struct{}
 	consumer []*joinNode // joins right-activated by this alpha
+	ruleIdx  int         // owning rule's compiled index (alphas are per-rule)
 }
 
 func (a *alphaNode) matches(t rdf.Triple) bool {
@@ -140,6 +145,11 @@ type network struct {
 	alphasByPred map[rdf.ID][]*alphaNode
 	alphaAny     []*alphaNode
 	roots        []*joinNode // first stage of each rule, for token seeding
+	// prof, when non-nil, tallies per-rule activations. Alphas are not
+	// shared between rules here, so a right-activation (and the beta
+	// cascade under it, which stays inside one rule's join chain) is
+	// attributable to exactly one rule.
+	prof *ruleProf
 }
 
 func buildNetwork(crs []cRule) *network {
@@ -151,7 +161,7 @@ func buildNetwork(crs []cRule) *network {
 		}
 		var prev *joinNode
 		for ai := range r.body {
-			alpha := &alphaNode{pattern: r.body[ai], seen: map[rdf.Triple]struct{}{}}
+			alpha := &alphaNode{pattern: r.body[ai], seen: map[rdf.Triple]struct{}{}, ruleIdx: r.idx}
 			if r.body[ai].p.isVar {
 				net.alphaAny = append(net.alphaAny, alpha)
 			} else {
@@ -174,11 +184,24 @@ func buildNetwork(crs []cRule) *network {
 // assert feeds one triple through the network, calling emit for each head
 // instantiation produced.
 func (n *network) assert(t rdf.Triple, emit func(rdf.Triple)) {
+	if n.prof == nil {
+		for _, a := range n.alphasByPred[t.P] {
+			n.rightActivate(a, t, emit)
+		}
+		for _, a := range n.alphaAny {
+			n.rightActivate(a, t, emit)
+		}
+		return
+	}
 	for _, a := range n.alphasByPred[t.P] {
+		t0 := time.Now()
 		n.rightActivate(a, t, emit)
+		n.prof.time[a.ruleIdx] += time.Since(t0)
 	}
 	for _, a := range n.alphaAny {
+		t0 := time.Now()
 		n.rightActivate(a, t, emit)
+		n.prof.time[a.ruleIdx] += time.Since(t0)
 	}
 }
 
@@ -215,6 +238,10 @@ func (n *network) rightActivate(a *alphaNode, t rdf.Triple, emit func(rdf.Triple
 // into the next stage.
 func (n *network) leftActivate(jn *joinNode, tok token, emit func(rdf.Triple)) {
 	if jn.production != nil {
+		if n.prof != nil {
+			n.prof.matches[jn.production.idx]++
+			n.prof.firings[jn.production.idx] += int64(len(jn.production.head))
+		}
 		for _, h := range jn.production.head {
 			emit(tok.env.instantiate(h))
 		}

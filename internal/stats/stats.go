@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // PolyFit fits ys ≈ Σ c[i]·xs^i of the given degree by least squares,
@@ -153,7 +154,9 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)))
 }
 
-// Max returns the maximum of xs (0 for empty input).
+// Max returns the maximum of xs. The i==0 branch seeds the running maximum
+// from the first element, so all-negative inputs return their true maximum;
+// only the empty slice yields 0.
 func Max(xs []float64) float64 {
 	m := 0.0
 	for i, x := range xs {
@@ -162,4 +165,41 @@ func Max(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// Min returns the minimum of xs (0 for empty input), seeded from the first
+// element like Max.
+func Min(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs by linear
+// interpolation between closest ranks, without modifying xs. It returns 0
+// for empty input; p is clamped to [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }

@@ -126,3 +126,50 @@ func TestMeanStdDevMax(t *testing.T) {
 		t.Error("Max mishandles all-negative input")
 	}
 }
+
+func TestMin(t *testing.T) {
+	if Min([]float64{3, 1, 4, 1, 5}) != 1 {
+		t.Errorf("Min = %g", Min([]float64{3, 1, 4, 1, 5}))
+	}
+	// Seeded from the first element, so all-positive inputs do not report 0
+	// and all-negative inputs report the true minimum.
+	if Min([]float64{5, 7, 9}) != 5 {
+		t.Error("Min mishandles all-positive input")
+	}
+	if Min([]float64{-2, -9, -5}) != -9 {
+		t.Error("Min mishandles all-negative input")
+	}
+	if Min(nil) != 0 {
+		t.Error("Min(empty) must return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35},
+		{25, 20}, {75, 40},
+		{40, 29}, // rank 1.6: 20 + 0.6*(35-20)
+		{-5, 15}, {120, 50}, // clamped
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(empty) must return 0")
+	}
+	if Percentile([]float64{42}, 99) != 42 {
+		t.Error("Percentile(single) must return the element")
+	}
+	// The input must not be reordered.
+	orig := []float64{9, 1, 5}
+	Percentile(orig, 50)
+	if orig[0] != 9 || orig[1] != 1 || orig[2] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"powl/internal/ntriples"
+	"powl/internal/obs"
 	"powl/internal/rdf"
 )
 
@@ -17,6 +18,10 @@ import (
 // read/parse cost is paid, which is what the paper measures as "IO" in its
 // overhead breakdown (Figure 2).
 type File struct {
+	// Obs, when non-nil, receives one Batch call per message file written,
+	// with the file's on-disk byte size.
+	Obs *obs.TransportRecorder
+
 	dir  string
 	dict *rdf.Dict
 	mu   sync.Mutex
@@ -73,7 +78,17 @@ func (f *File) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) e
 	if err := w.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, final)
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if f.Obs != nil {
+		var size int64
+		if fi, err := os.Stat(final); err == nil {
+			size = fi.Size()
+		}
+		f.Obs.Batch(from, to, len(ts), size)
+	}
+	return nil
 }
 
 // Recv implements Transport: it parses every m_*_<to>_*.nt file of the round

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 )
 
@@ -13,6 +14,10 @@ import (
 // IDs, so there is no serialization cost — matching the shared-memory
 // communication the paper switched to for the rule-partitioning runs.
 type Mem struct {
+	// Obs, when non-nil, receives one Batch call per delivered message
+	// (bytes are 0: interned IDs are never serialized).
+	Obs *obs.TransportRecorder
+
 	mu    sync.Mutex
 	boxes map[boxKey][]rdf.Triple
 }
@@ -37,6 +42,7 @@ func (m *Mem) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) er
 	if len(ts) == 0 {
 		return nil
 	}
+	m.Obs.Batch(from, to, len(ts), 0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := boxKey{round, to}

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 )
 
@@ -91,9 +92,27 @@ type Retry struct {
 	inner Transport
 	cfg   RetryConfig
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	retries int
+	// Obs, when non-nil, receives every retry decision and backoff sleep
+	// (in addition to the wrapper's own Stats counters).
+	Obs *obs.TransportRecorder
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	retries  int
+	attempts int64
+	slept    time.Duration
+}
+
+// RetryStats is the wrapper's cumulative cost accounting.
+type RetryStats struct {
+	// Attempts counts every inner-operation invocation, first tries
+	// included; Attempts - (Sends+Recvs that succeeded first try) is paid
+	// redundantly.
+	Attempts int64
+	// Retries counts re-invocations after a transient failure.
+	Retries int64
+	// BackoffSleep is the total time spent sleeping between attempts.
+	BackoffSleep time.Duration
 }
 
 // NewRetry wraps inner. See RetryConfig for defaults.
@@ -123,6 +142,21 @@ func (r *Retry) Retries() int {
 	return r.retries
 }
 
+// Attempts reports the total number of inner-operation invocations, first
+// tries included.
+func (r *Retry) Attempts() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempts
+}
+
+// Stats returns the wrapper's cumulative attempt/retry/backoff accounting.
+func (r *Retry) Stats() RetryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RetryStats{Attempts: r.attempts, Retries: int64(r.retries), BackoffSleep: r.slept}
+}
+
 // Send implements Transport. Re-sending a batch is safe because delivery is
 // deduplicated downstream: receivers absorb triples through Graph.Add, so a
 // batch that was delivered and then re-sent only costs bandwidth.
@@ -149,6 +183,9 @@ func (r *Retry) Close() error { return r.inner.Close() }
 func (r *Retry) do(ctx context.Context, op string, f func() error) error {
 	var err error
 	for attempt := 1; ; attempt++ {
+		r.mu.Lock()
+		r.attempts++
+		r.mu.Unlock()
 		err = f()
 		if err == nil {
 			return nil
@@ -162,6 +199,7 @@ func (r *Retry) do(ctx context.Context, op string, f func() error) error {
 		if r.cfg.OnRetry != nil {
 			r.cfg.OnRetry(op, attempt, err)
 		}
+		r.Obs.Retried(op)
 		if werr := r.wait(ctx, attempt); werr != nil {
 			return fmt.Errorf("transport: %s retry aborted: %w (last error: %v)", op, werr, err)
 		}
@@ -185,6 +223,10 @@ func (r *Retry) wait(ctx context.Context, attempt int) error {
 	defer t.Stop()
 	select {
 	case <-t.C:
+		r.mu.Lock()
+		r.slept += d
+		r.mu.Unlock()
+		r.Obs.Slept(d)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

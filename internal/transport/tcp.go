@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"powl/internal/ntriples"
+	"powl/internal/obs"
 	"powl/internal/rdf"
 )
 
@@ -22,6 +23,10 @@ import (
 // guarantee. Compared with File it removes the filesystem round trip, which
 // is exactly the improvement the paper projects from switching to MPI (§VI-B).
 type TCP struct {
+	// Obs, when non-nil, receives one Batch call per sent message with the
+	// serialized frame payload size (self-sends carry interned IDs, 0 bytes).
+	Obs *obs.TransportRecorder
+
 	dict  *rdf.Dict
 	k     int
 	mu    sync.Mutex
@@ -114,6 +119,7 @@ func (t *TCP) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) er
 	}
 	if from == to {
 		t.deliver(round, to, ts)
+		t.Obs.Batch(from, to, len(ts), 0)
 		return nil
 	}
 	var buf bytes.Buffer
@@ -145,6 +151,7 @@ func (t *TCP) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) er
 	if _, err := io.ReadFull(conn, ack); err != nil {
 		return fmt.Errorf("transport/tcp: ack %d->%d: %w", from, to, err)
 	}
+	t.Obs.Batch(from, to, len(ts), int64(buf.Len()))
 	return nil
 }
 
