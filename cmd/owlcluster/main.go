@@ -22,6 +22,9 @@ import (
 	"sort"
 	"time"
 
+	"powl/internal/cluster"
+	"powl/internal/core"
+	"powl/internal/datagen"
 	"powl/internal/faultinject"
 	"powl/internal/fscluster"
 	"powl/internal/gpart"
@@ -42,8 +45,9 @@ func main() {
 		run       = flag.Bool("run", false, "spawn owlnode processes locally and merge the closures")
 		nodeBin   = flag.String("node-bin", "", "owlnode binary for -run ('' = go run ./cmd/owlnode)")
 		engine    = flag.String("engine", "forward", "engine passed to the nodes")
+		transport = flag.String("transport", "file", "cluster transport: file (owlnode processes over the shared work dir), tcp or mem (in-process workers with transport-generic recovery)")
 		out       = flag.String("o", "", "merged closure output file (with -run)")
-		fault     = flag.String("fault", "", "fault-injection spec forwarded to one node, e.g. \"crash=2\" (see internal/faultinject)")
+		fault     = flag.String("fault", "", "fault-injection spec, e.g. \"crash=2\" or \"crash=2,drop=2,dropfrom=0,dropto=1\" (see internal/faultinject); crash targets -fault-node, the rest hits the transport")
 		faultNode = flag.Int("fault-node", -1, "node receiving the -fault spec (-1 = last node)")
 		deadline  = flag.Duration("round-deadline", 2*time.Second, "supervisor: how long a node may trail a round before being declared dead (with -run)")
 		journal   = flag.String("journal", "", "write the merged run journal (JSONL) to this file (with -run)")
@@ -83,6 +87,22 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d triples\n", n)
+
+	// The tcp and mem transports have no owlnode process to hand the work to;
+	// the cluster runs in-process with the transport-generic recovery path
+	// (checkpoints under -dir, failure detector, partition adoption).
+	if *transport != "file" {
+		if !*run {
+			fatal(fmt.Errorf("-transport %s runs the cluster in-process; add -run", *transport))
+		}
+		runInProcess(dict, g, inProcOpts{
+			in: *in, dir: *dir, k: *k, policy: *policy, seed: *seed,
+			engine: *engine, transport: *transport, out: *out,
+			fault: *fault, faultNode: *faultNode, deadline: *deadline,
+			journal: *journal, trace: *trace, report: *report,
+		})
+		return
+	}
 
 	var pol partition.Policy
 	switch *policy {
@@ -242,6 +262,121 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote trace %s (load at ui.perfetto.dev)\n", *trace)
 		}
 		if *report {
+			obs.WriteReport(os.Stdout, events, 10)
+		}
+	}
+}
+
+// inProcOpts carries the flag values the in-process path consumes.
+type inProcOpts struct {
+	in, dir, policy, engine, transport, out, journal, trace string
+	k, faultNode                                            int
+	seed                                                    int64
+	deadline                                                time.Duration
+	fault                                                   string
+	report                                                  bool
+}
+
+// runInProcess executes the cluster inside this process over the tcp or mem
+// transport with recovery armed: per-round delta checkpoints in -dir, the
+// barrier-frontier failure detector, and partition adoption by the lowest
+// live worker. The -fault spec is split the way a real deployment fails:
+// crash=N becomes the -fault-node worker's fail-stop schedule, while
+// send/recv/delay faults and the drop=N connection severing wrap the
+// transport itself.
+func runInProcess(dict *rdf.Dict, g *rdf.Graph, o inProcOpts) {
+	ds := &datagen.Dataset{Name: o.in, Dict: dict, Graph: g}
+
+	var inject []*faultinject.Injector
+	var trFault *faultinject.Injector
+	if o.fault != "" {
+		fcfg, err := faultinject.ParseSpec(o.fault)
+		if err != nil {
+			fatal(err)
+		}
+		if fcfg.CrashRound > 0 {
+			inject = make([]*faultinject.Injector, o.k)
+			inject[o.faultNode] = faultinject.New(faultinject.Config{CrashRound: fcfg.CrashRound})
+			fcfg.CrashRound = 0
+		}
+		if fcfg != (faultinject.Config{}) {
+			trFault = faultinject.New(fcfg)
+		}
+	}
+
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
+		fatal(err)
+	}
+	store, err := cluster.NewDirCheckpoints(o.dir, dict)
+	if err != nil {
+		fatal(err)
+	}
+
+	obsWanted := o.journal != "" || o.trace != "" || o.report
+	var sink *obs.MemSink
+	var orun *obs.Run
+	if obsWanted {
+		sink = &obs.MemSink{}
+		orun = obs.NewRun(sink, obs.NewRegistry())
+	}
+
+	start := time.Now()
+	res, err := core.Materialize(ds, core.Config{
+		Workers:        o.k,
+		Policy:         core.PolicyKind(o.policy),
+		Engine:         core.EngineKind(o.engine),
+		Transport:      core.TransportKind(o.transport),
+		Seed:           o.seed,
+		Obs:            orun,
+		Recovery:       &cluster.RecoveryConfig{Store: store, RoundDeadline: o.deadline},
+		Inject:         inject,
+		TransportFault: trFault,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for victim, adopter := range res.Recovered {
+		fmt.Fprintf(os.Stderr, "worker %d declared dead; partition recovered by worker %d\n",
+			victim, adopter)
+	}
+	fmt.Fprintf(os.Stderr, "closure: %d triples (%d inferred) in %d rounds, %v total\n",
+		res.Graph.Len(), res.Inferred, res.Rounds, time.Since(start).Round(time.Millisecond))
+
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := ntriples.WriteGraph(f, dict, res.Graph); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.out)
+	}
+
+	if obsWanted {
+		events := sink.Events()
+		if o.journal != "" {
+			if err := writeJournal(o.journal, events); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote journal %s (%d events)\n", o.journal, len(events))
+		}
+		if o.trace != "" {
+			f, err := os.Create(o.trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := obs.WriteTrace(f, events); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote trace %s (load at ui.perfetto.dev)\n", o.trace)
+		}
+		if o.report {
 			obs.WriteReport(os.Stdout, events, 10)
 		}
 	}

@@ -102,9 +102,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "node %d: %d rounds, derived %d, sent %d, closure %d triples, %v\n",
+	rejoined := ""
+	if res.Epoch > 1 {
+		rejoined = fmt.Sprintf(", epoch %d (rejoined at round %d)", res.Epoch, res.StartRound)
+	}
+	fmt.Fprintf(os.Stderr, "node %d: %d rounds, derived %d, sent %d, closure %d triples, %v%s\n",
 		*id, res.Rounds, res.Derived, res.Sent, res.Closure.Len(),
-		time.Since(start).Round(time.Millisecond))
+		time.Since(start).Round(time.Millisecond), rejoined)
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"powl/internal/faultinject"
 	"powl/internal/obs"
 	"powl/internal/rdf"
 	"powl/internal/reason"
@@ -82,6 +83,27 @@ type Config struct {
 	// carry exactly the durations accumulated into Timings, so a journal
 	// reconciles with Result.PerWorker. nil disables all recording.
 	Obs *obs.Run
+	// Recovery, when non-nil, arms transport-generic worker recovery:
+	// workers checkpoint per-round deltas into Recovery.Store, a failure
+	// detector watches barrier progress (and transport Health when the
+	// transport reports it), and a dead worker's partition is adopted by
+	// the lowest-numbered live worker — the closure still equals the
+	// serial fixpoint. nil keeps the original fail-stop behavior.
+	Recovery *RecoveryConfig
+	// Inject holds optional per-worker fault schedules: Inject[i], when
+	// non-nil, drives worker i (crash-at-round). Entries beyond the slice
+	// mean no injection. Transport-level faults (send/recv failures,
+	// connection drops) belong on a faultinject.Transport wrapper instead.
+	Inject []*faultinject.Injector
+}
+
+// injector returns worker i's fault injector; nil (no injection) is a valid
+// receiver for every Injector method.
+func (cfg Config) injector(i int) *faultinject.Injector {
+	if i < len(cfg.Inject) {
+		return cfg.Inject[i]
+	}
+	return nil
 }
 
 // Timings is the per-worker cost breakdown.
@@ -115,6 +137,9 @@ type Result struct {
 	// RoundStats (Simulated mode only) records, per round, the maxima that
 	// determined the round's simulated duration.
 	RoundStats []RoundStat
+	// Recovered maps each dead worker's id to the live worker that adopted
+	// its partition (recovery runs only; empty when nobody died).
+	Recovered map[int]int
 }
 
 // RoundStat is one round's cost profile in Simulated mode.
@@ -168,23 +193,42 @@ func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result,
 		for _, t := range assigns[i].Base {
 			workers[i].sent[t] = struct{}{}
 		}
+		workers[i].inj = cfg.injector(i)
 	}
 
 	if cfg.Mode == Simulated {
-		return runSimulated(ctx, cfg, workers, maxRounds)
+		return runSimulated(ctx, cfg, workers, assigns, maxRounds)
 	}
 
 	bar := newBarrier(k)
+	var coord *coordinator
+	if cfg.Recovery != nil {
+		coord = newCoordinator(k, cfg.Recovery.withDefaults(), bar, cfg.Obs, assigns)
+		for _, w := range workers {
+			w.coord = coord
+		}
+	}
 	errs := make([]error, k)
 	var wg sync.WaitGroup
 	rounds := 0
 	var roundsMu sync.Mutex
 
+	cancels := make([]context.CancelFunc, k)
 	for i := range workers {
+		// Under recovery each worker gets its own cancellable context so
+		// the coordinator can interrupt one declared dead mid-phase without
+		// touching its peers.
+		wctx := ctx
+		if coord != nil {
+			var wcancel context.CancelFunc
+			wctx, wcancel = context.WithCancel(ctx)
+			cancels[i] = wcancel
+			coord.cancels[i] = wcancel
+		}
 		wg.Add(1)
-		go func(w *worker) {
+		go func(w *worker, wctx context.Context) {
 			defer wg.Done()
-			r, err := w.run(ctx, cfg, bar, maxRounds)
+			r, err := w.run(wctx, cfg, bar, maxRounds)
 			if err != nil {
 				errs[w.id] = err
 			}
@@ -193,17 +237,44 @@ func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result,
 				rounds = r
 			}
 			roundsMu.Unlock()
-		}(workers[i])
+		}(workers[i], wctx)
+	}
+	detCancel := func() {}
+	if coord != nil {
+		var detCtx context.Context
+		detCtx, detCancel = context.WithCancel(context.Background())
+		go coord.detect(detCtx, cfg.Transport)
 	}
 	wg.Wait()
+	detCancel()
+	for _, c := range cancels {
+		if c != nil {
+			c()
+		}
+	}
+	if coord != nil {
+		// A stepped-aside worker is not a run failure: its partition was
+		// adopted and the survivors finished the fixpoint.
+		for i, err := range errs {
+			if errors.Is(err, errWorkerDead) {
+				errs[i] = nil
+			}
+		}
+		if cerr := coord.runErr(); cerr != nil {
+			return nil, cerr
+		}
+	}
 	if err := firstCause(errs); err != nil {
 		return nil, err
 	}
 
 	aggAt := cfg.Obs.Now()
-	res, err := aggregate(workers)
+	res, err := aggregate(workers, coord)
 	if err != nil {
 		return nil, err
+	}
+	if coord != nil {
+		res.Recovered = coord.recoveredMap()
 	}
 	res.Rounds = rounds
 	res.Elapsed = time.Since(start)
@@ -245,6 +316,15 @@ type worker struct {
 	// received holds the tuples absorbed in the previous round's receive
 	// phase — the seeds of the next incremental materialization.
 	received []rdf.Triple
+	// coord is the run's recovery coordinator (nil when recovery is off;
+	// its methods are nil-safe).
+	coord *coordinator
+	// inj optionally injects this worker's scheduled faults (crash-at-round).
+	inj *faultinject.Injector
+	// adopted lists the dead peers' partition ids this worker absorbed;
+	// their inboxes are drained alongside its own and sends to them are
+	// short-circuited (the partition lives here now).
+	adopted []int
 }
 
 // phaseReason runs the local materialization to fixpoint (Algorithm 3
@@ -286,15 +366,39 @@ func (w *worker) phaseReason(ctx context.Context, cfg Config) (time.Duration, er
 // number sent and the phase duration.
 func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, time.Duration, error) {
 	t0 := time.Now()
+	var adoptedSet map[int]bool
+	if len(w.adopted) > 0 {
+		adoptedSet = make(map[int]bool, len(w.adopted))
+		for _, v := range w.adopted {
+			adoptedSet[v] = true
+		}
+	}
+	var delta []rdf.Triple
 	outbox := map[int][]rdf.Triple{}
 	for _, t := range w.graph.Triples() {
 		if _, done := w.sent[t]; done {
 			continue
 		}
 		w.sent[t] = struct{}{}
+		delta = append(delta, t)
 		for _, dst := range cfg.Router.Destinations(t, w.id) {
+			// A destination this worker adopted is this worker: the triple
+			// is already in its graph and marked sent.
+			if adoptedSet[dst] {
+				continue
+			}
 			outbox[dst] = append(outbox[dst], t)
 		}
+	}
+	// Checkpoint the delta before any send leaves: if this worker dies
+	// mid-send, its adopter replays the delta and re-routes it (receivers
+	// deduplicate), so a half-finished send phase loses nothing.
+	if w.coord != nil && len(delta) > 0 {
+		if err := w.coord.store.Save(w.id, round, delta); err != nil {
+			return 0, 0, fmt.Errorf("cluster: worker %d checkpoint: %w", w.id, err)
+		}
+		cfg.Obs.Emit(obs.Event{Type: obs.EvCheckpoint, TS: cfg.Obs.Now(),
+			Worker: w.id, Round: round, N: int64(len(delta))})
 	}
 	nSent := 0
 	for dst, ts := range outbox {
@@ -309,12 +413,29 @@ func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, tim
 	return nSent, d, nil
 }
 
-// phaseRecv absorbs the tuples other workers sent this round (step 5).
+// phaseRecv absorbs the tuples other workers sent this round (step 5),
+// including anything addressed to partitions this worker adopted — peers
+// keep routing to the dead worker's id, and its mailbox now drains here.
 func (w *worker) phaseRecv(ctx context.Context, cfg Config, round int) (time.Duration, error) {
 	t0 := time.Now()
 	in, err := cfg.Transport.Recv(ctx, round, w.id)
 	if err != nil {
 		return 0, fmt.Errorf("cluster: worker %d recv: %w", w.id, err)
+	}
+	for _, v := range w.adopted {
+		more, merr := cfg.Transport.Recv(ctx, round, v)
+		if merr != nil {
+			return 0, fmt.Errorf("cluster: worker %d recv (adopted %d): %w", w.id, v, merr)
+		}
+		in = append(in, more...)
+	}
+	// Checkpoint received tuples before absorbing them: they may seed
+	// derivations that exist nowhere else once the senders have marked them
+	// shipped, so an adopter of *this* worker must be able to replay them.
+	if w.coord != nil && len(in) > 0 {
+		if err := w.coord.store.Save(w.id, round, in); err != nil {
+			return 0, fmt.Errorf("cluster: worker %d recv checkpoint: %w", w.id, err)
+		}
 	}
 	for _, t := range in {
 		// Received tuples are already global knowledge; absorbing one must
@@ -364,47 +485,73 @@ func roundCtx(ctx context.Context, cfg Config) (context.Context, context.CancelF
 func (w *worker) run(ctx context.Context, cfg Config, bar *barrier, maxRounds int) (int, error) {
 	round := 0
 	for ; round < maxRounds; round++ {
+		// Scheduled fail-stop: the worker dies at the top of the round,
+		// before doing any of its work. With recovery armed it reports its
+		// own death (the detector would find it anyway, just slower) and
+		// steps aside; without, the run aborts as it always did.
+		if w.inj.Crash(round) {
+			cfg.Obs.Emit(obs.Event{Type: obs.EvFault, TS: cfg.Obs.Now(),
+				Worker: w.id, Round: round, Name: "crash"})
+			if w.coord != nil {
+				w.coord.workerDied(w.id, round, "crash")
+				return round, errWorkerDead
+			}
+			bar.abort()
+			return round, fmt.Errorf("cluster: worker %d crashed (injected) at round %d", w.id, round)
+		}
+		if w.coord.isDead(w.id) {
+			return round, errWorkerDead
+		}
 		rctx, cancel := roundCtx(ctx, cfg)
+		if err := w.adoptPending(rctx, cfg, round); err != nil {
+			cancel()
+			return round, w.stepAsideOr(bar, err)
+		}
 
 		rd, err := w.phaseReason(rctx, cfg)
 		if err != nil {
 			cancel()
-			bar.abort()
-			return round, err
+			return round, w.stepAsideOr(bar, err)
 		}
 		emitPhase(cfg.Obs, w.id, round, obs.PhaseReason, rd, 0)
 
 		nSent, sd, err := w.phaseSend(rctx, cfg, round)
 		if err != nil {
 			cancel()
-			bar.abort()
-			return round, err
+			return round, w.stepAsideOr(bar, err)
 		}
 		emitPhase(cfg.Obs, w.id, round, obs.PhaseSend, sd, int64(nSent))
 
 		// Barrier with global sent-count reduction. The round deadline
 		// covers the wait: a worker stuck here because a peer died wakes
 		// with DeadlineExceeded instead of hanging forever.
+		w.coord.atBarrier(w.id, round)
 		t0 := time.Now()
 		totalSent, ok, berr := bar.syncCtx(rctx, nSent)
 		syncD := time.Since(t0)
 		w.tm.Sync += syncD
 		if berr != nil {
 			cancel()
-			bar.abort()
-			return round, fmt.Errorf("cluster: worker %d barrier (round %d): %w", w.id, round, berr)
+			return round, w.stepAsideOr(bar,
+				fmt.Errorf("cluster: worker %d barrier (round %d): %w", w.id, round, berr))
 		}
 		if !ok {
 			cancel()
 			return round, ErrPeerAbort
+		}
+		// Declared dead while waiting (a detector false positive, or a
+		// cancellation that lost the race with the release): the partition
+		// has been reassigned, so step aside rather than double-own it.
+		if w.coord.isDead(w.id) {
+			cancel()
+			return round, errWorkerDead
 		}
 		emitPhase(cfg.Obs, w.id, round, obs.PhaseSync, syncD, 0)
 
 		vd, err := w.phaseRecv(rctx, cfg, round)
 		cancel()
 		if err != nil {
-			bar.abort()
-			return round, err
+			return round, w.stepAsideOr(bar, err)
 		}
 		emitPhase(cfg.Obs, w.id, round, obs.PhaseRecv, vd, 0)
 
@@ -430,7 +577,14 @@ func (w *worker) run(ctx context.Context, cfg Config, bar *barrier, maxRounds in
 // round's slowest worker, and all receives after that — so the exported
 // trace shows the parallel schedule the reconstruction asserts, not the
 // sequential execution that measured it.
-func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds int) (*Result, error) {
+func runSimulated(ctx context.Context, cfg Config, workers []*worker, assigns []Assignment, maxRounds int) (*Result, error) {
+	var coord *coordinator
+	if cfg.Recovery != nil {
+		coord = newCoordinator(len(workers), cfg.Recovery.withDefaults(), nil, cfg.Obs, assigns)
+		for _, w := range workers {
+			w.coord = coord
+		}
+	}
 	var simElapsed time.Duration
 	var roundStats []RoundStat
 	rounds := 0
@@ -439,12 +593,37 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 		vt := int64(simElapsed)
 		cfg.Obs.Emit(obs.Event{Type: obs.EvRoundStart, TS: vt,
 			Worker: obs.MasterWorker, Round: round})
+		// Scheduled deaths fire at the top of the round, before any work;
+		// with recovery armed the adoption is immediate and deterministic
+		// (there is no real barrier to resize — the phase loops below just
+		// skip dead workers), without it the run aborts as Concurrent would.
+		for _, w := range workers {
+			if coord.isDead(w.id) || !w.inj.Crash(round) {
+				continue
+			}
+			cfg.Obs.Emit(obs.Event{Type: obs.EvFault, TS: vt,
+				Worker: w.id, Round: round, Name: "crash"})
+			if coord == nil {
+				return nil, fmt.Errorf("cluster: worker %d crashed (injected) at round %d", w.id, round)
+			}
+			coord.workerDied(w.id, round, "crash")
+		}
+		if err := coord.runErr(); err != nil {
+			return nil, err
+		}
 		work := make([]time.Duration, len(workers))
 		totalSent := 0
 		for i, w := range workers {
+			if coord.isDead(w.id) {
+				continue
+			}
 			// Each worker-round gets its own deadline, mirroring what the
 			// worker would experience running concurrently.
 			rctx, cancel := roundCtx(ctx, cfg)
+			if err := w.adoptPending(rctx, cfg, round); err != nil {
+				cancel()
+				return nil, err
+			}
 			d, err := w.phaseReason(rctx, cfg)
 			if err != nil {
 				cancel()
@@ -469,6 +648,9 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 			}
 		}
 		for i, w := range workers {
+			if coord.isDead(w.id) {
+				continue
+			}
 			w.tm.Sync += slowest - work[i]
 			cfg.Obs.Emit(obs.Event{Type: obs.EvPhase, TS: vt + int64(work[i]),
 				Dur: int64(slowest - work[i]), Worker: w.id, Round: round,
@@ -476,6 +658,9 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 		}
 		var slowestRecv time.Duration
 		for _, w := range workers {
+			if coord.isDead(w.id) {
+				continue
+			}
 			rctx, cancel := roundCtx(ctx, cfg)
 			rd, err := w.phaseRecv(rctx, cfg, round)
 			cancel()
@@ -500,9 +685,12 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 	for _, w := range workers {
 		w.tm.Rounds = rounds
 	}
-	res, err := aggregate(workers)
+	res, err := aggregate(workers, coord)
 	if err != nil {
 		return nil, err
+	}
+	if coord != nil {
+		res.Recovered = coord.recoveredMap()
 	}
 	res.Rounds = rounds
 	res.RoundStats = roundStats
@@ -519,7 +707,7 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, maxRounds 
 // (their implementation concatenated result files). Building the indexed
 // result Graph afterwards is load-into-a-store post-processing that a serial
 // run pays identically, so it is excluded from the timing.
-func aggregate(workers []*worker) (*Result, error) {
+func aggregate(workers []*worker, coord *coordinator) (*Result, error) {
 	maxLen := 0
 	for _, w := range workers {
 		if w.graph.Len() > maxLen {
@@ -533,10 +721,16 @@ func aggregate(workers []*worker) (*Result, error) {
 		OutputSizes: make([]int, len(workers)),
 	}
 	for i, w := range workers {
+		res.PerWorker[i] = w.tm
+		// A dead worker's graph died with it: its partition was
+		// reconstructed by its adopter, whose graph is unioned instead.
+		// Excluding it here is what makes the recovery tests honest.
+		if coord.isDead(w.id) {
+			continue
+		}
 		for _, t := range w.graph.Triples() {
 			merged[t] = struct{}{}
 		}
-		res.PerWorker[i] = w.tm
 		res.OutputSizes[i] = w.graph.Len()
 	}
 	agg := time.Since(aggStart)
@@ -594,7 +788,9 @@ func (b *barrier) syncCtx(ctx context.Context, contribution int) (sum int, ok bo
 	gen := b.gen
 	b.sum += contribution
 	b.waiting++
-	if b.waiting == b.k {
+	// >= rather than ==: remove() may shrink k below the number already
+	// waiting between this party's arrival and the release.
+	if b.waiting >= b.k {
 		b.out = b.sum
 		b.sum = 0
 		b.waiting = 0
@@ -624,6 +820,25 @@ func (b *barrier) syncCtx(ctx context.Context, contribution int) (sum int, ok bo
 		return 0, false, ctx.Err()
 	}
 	return b.out, true, nil
+}
+
+// remove shrinks the barrier by one party — a worker died and will never
+// arrive again. If the survivors are all already waiting, the generation
+// releases immediately. deposit is added to the in-progress sum: the death
+// path deposits a sentinel 1 so the death round cannot read as globally
+// quiescent before the dead worker's partition has been adopted.
+func (b *barrier) remove(deposit int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.k--
+	b.sum += deposit
+	if b.waiting >= b.k && b.waiting > 0 {
+		b.out = b.sum
+		b.sum = 0
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
 }
 
 // abort releases all waiters with ok=false; subsequent syncs fail fast.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"powl/internal/faultinject"
+	"powl/internal/obs"
 	"powl/internal/rdf"
 	"powl/internal/reason"
 	"powl/internal/transport"
@@ -282,5 +283,219 @@ func TestConcurrentWorkersUnderContention(t *testing.T) {
 	}
 	if !res.Graph.Equal(f.closed) {
 		t.Fatal("closure mismatch under contention")
+	}
+}
+
+// TestKillWorkerRecoversAcrossTransports is the recovery matrix: on every
+// transport kind a worker is fail-stopped at round N with recovery armed;
+// the survivors must finish with the closure of the serial fixpoint, and
+// the journal must show the matching death and adoption.
+func TestKillWorkerRecoversAcrossTransports(t *testing.T) {
+	for _, crashRound := range []int{1, 2, 3} {
+		f := newChainFixture(t, 12, 3)
+		for name, tr := range transportMatrix(t, 3, f.dict) {
+			sink := &obs.MemSink{}
+			o := obs.NewRun(sink, nil)
+			res, err := Run(Config{
+				Engine:    reason.Forward{},
+				Transport: tr,
+				Router:    ownerRouter{f.owner},
+				Mode:      Concurrent,
+				Obs:       o,
+				Recovery:  &RecoveryConfig{},
+				Inject: []*faultinject.Injector{
+					nil,
+					faultinject.New(faultinject.Config{CrashRound: crashRound}),
+					nil,
+				},
+			}, f.assignments(3))
+			if err != nil {
+				t.Fatalf("crash=%d %s: run failed: %v", crashRound, name, err)
+			}
+			if !res.Graph.Equal(f.closed) {
+				t.Fatalf("crash=%d %s: closure mismatch after recovery: got %d want %d",
+					crashRound, name, res.Graph.Len(), f.closed.Len())
+			}
+			if adopter, ok := res.Recovered[1]; !ok {
+				t.Fatalf("crash=%d %s: worker 1 not in Recovered %v", crashRound, name, res.Recovered)
+			} else if adopter != 0 {
+				t.Fatalf("crash=%d %s: expected lowest live worker 0 as adopter, got %d",
+					crashRound, name, adopter)
+			}
+			assertDeathAndAdopt(t, sink.Events(), 1, 0)
+			tr.Close()
+		}
+	}
+}
+
+// assertDeathAndAdopt checks the journal records the membership change:
+// a death event for the victim naming the adopter, and an adoption event
+// by the adopter naming the victim.
+func assertDeathAndAdopt(t *testing.T, events []obs.Event, victim, adopter int) {
+	t.Helper()
+	var death, adopt bool
+	for _, e := range events {
+		switch e.Type {
+		case obs.EvDeath:
+			if e.Worker == victim && e.N == int64(adopter) {
+				death = true
+			}
+		case obs.EvAdopt:
+			if e.Worker == adopter && e.N == int64(victim) {
+				adopt = true
+			}
+		}
+	}
+	if !death {
+		t.Fatalf("journal missing death event for worker %d (adopter %d)", victim, adopter)
+	}
+	if !adopt {
+		t.Fatalf("journal missing adopt event by worker %d of %d", adopter, victim)
+	}
+}
+
+// TestKillWorkerRecoversSimulated: the same recovery semantics hold in
+// Simulated mode, where deaths replay deterministically at round tops.
+func TestKillWorkerRecoversSimulated(t *testing.T) {
+	f := newChainFixture(t, 12, 3)
+	sink := &obs.MemSink{}
+	res, err := Run(Config{
+		Engine:    reason.Forward{},
+		Transport: transport.NewMem(),
+		Router:    ownerRouter{f.owner},
+		Mode:      Simulated,
+		Obs:       obs.NewRun(sink, nil),
+		Recovery:  &RecoveryConfig{},
+		Inject: []*faultinject.Injector{
+			nil,
+			faultinject.New(faultinject.Config{CrashRound: 2}),
+			nil,
+		},
+	}, f.assignments(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Graph.Equal(f.closed) {
+		t.Fatalf("closure mismatch: got %d want %d", res.Graph.Len(), f.closed.Len())
+	}
+	if res.Recovered[1] != 0 {
+		t.Fatalf("expected worker 0 to adopt 1, got %v", res.Recovered)
+	}
+	assertDeathAndAdopt(t, sink.Events(), 1, 0)
+}
+
+// TestKillTwoWorkersRecovers: a second death — including the case where the
+// second victim is the first victim's adopter candidate — cascades onto the
+// next live worker without losing either partition.
+func TestKillTwoWorkersRecovers(t *testing.T) {
+	f := newChainFixture(t, 16, 4)
+	res, err := Run(Config{
+		Engine:    reason.Forward{},
+		Transport: transport.NewMem(),
+		Router:    ownerRouter{f.owner},
+		Mode:      Concurrent,
+		Obs:       nil,
+		Recovery:  &RecoveryConfig{},
+		Inject: []*faultinject.Injector{
+			nil,
+			faultinject.New(faultinject.Config{CrashRound: 1}),
+			faultinject.New(faultinject.Config{CrashRound: 2}),
+			nil,
+		},
+	}, f.assignments(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Graph.Equal(f.closed) {
+		t.Fatalf("closure mismatch after two deaths: got %d want %d",
+			res.Graph.Len(), f.closed.Len())
+	}
+	if res.Recovered[1] != 0 || res.Recovered[2] != 0 {
+		t.Fatalf("expected worker 0 to adopt both victims, got %v", res.Recovered)
+	}
+}
+
+// TestAllWorkersDeadIsUnrecoverable: when the last worker dies the run must
+// error out rather than hang or return a partial closure.
+func TestAllWorkersDeadIsUnrecoverable(t *testing.T) {
+	f := newChainFixture(t, 8, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(Config{
+			Engine:    reason.Forward{},
+			Transport: transport.NewMem(),
+			Router:    ownerRouter{f.owner},
+			Mode:      Concurrent,
+			Recovery:  &RecoveryConfig{},
+			Inject: []*faultinject.Injector{
+				faultinject.New(faultinject.Config{CrashRound: 1}),
+				faultinject.New(faultinject.Config{CrashRound: 1}),
+			},
+		}, f.assignments(2))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "all workers dead") {
+			t.Fatalf("expected unrecoverable-run error, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("all-dead run hung instead of erroring")
+	}
+}
+
+// TestChaosRunTCP is the acceptance scenario: a 4-worker Concurrent run over
+// the real TCP mesh with one worker killed mid-run and one connection
+// severed. The run must finish with the serial-fixpoint closure and the
+// journal must show the death, the adoption, and the link reconnection.
+func TestChaosRunTCP(t *testing.T) {
+	f := newChainFixture(t, 16, 4)
+	tcp, err := transport.NewTCP(4, f.dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	sink := &obs.MemSink{}
+	o := obs.NewRun(sink, nil)
+	tcp.Obs = o.Transport()
+	dropInj := faultinject.New(faultinject.Config{DropRound: 2, DropFrom: 0, DropTo: 1})
+	res, err := Run(Config{
+		Engine:    reason.Forward{},
+		Transport: &faultinject.Transport{Inner: tcp, Inj: dropInj},
+		Router:    ownerRouter{f.owner},
+		Mode:      Concurrent,
+		Obs:       o,
+		Recovery:  &RecoveryConfig{},
+		Inject: []*faultinject.Injector{
+			nil, nil,
+			faultinject.New(faultinject.Config{CrashRound: 2}),
+			nil,
+		},
+	}, f.assignments(4))
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if !res.Graph.Equal(f.closed) {
+		t.Fatalf("closure mismatch after chaos: got %d want %d (diff %v)",
+			res.Graph.Len(), f.closed.Len(), f.closed.Diff(res.Graph))
+	}
+	if res.Recovered[2] != 0 {
+		t.Fatalf("expected worker 0 to adopt 2, got %v", res.Recovered)
+	}
+	assertDeathAndAdopt(t, sink.Events(), 2, 0)
+	if !dropInj.DropConnFired() {
+		t.Fatal("scheduled connection drop never fired (0->1 never sent at drop round?)")
+	}
+	if tcp.Redials() == 0 {
+		t.Fatal("dropped link never re-dialed")
+	}
+	var redialEvent bool
+	for _, e := range sink.Events() {
+		if e.Type == obs.EvRedial && e.Name == "0->1" && e.N > 0 {
+			redialEvent = true
+		}
+	}
+	if !redialEvent {
+		t.Fatalf("journal missing redial event for 0->1")
 	}
 }

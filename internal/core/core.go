@@ -12,6 +12,7 @@ import (
 
 	"powl/internal/cluster"
 	"powl/internal/datagen"
+	"powl/internal/faultinject"
 	"powl/internal/gpart"
 	"powl/internal/obs"
 	"powl/internal/owlhorst"
@@ -107,6 +108,18 @@ type Config struct {
 	// per-pair transport traffic); its recorder is attached to whichever
 	// transport the run constructs. nil disables all telemetry.
 	Obs *obs.Run
+	// Recovery, when non-nil, arms the cluster layer's transport-generic
+	// worker recovery: per-round delta checkpoints, a failure detector, and
+	// partition adoption by a surviving worker. nil fails the whole run on
+	// any worker error, as before.
+	Recovery *cluster.RecoveryConfig
+	// Inject holds optional per-worker fault schedules passed through to the
+	// cluster layer: Inject[i] drives worker i; nil entries inject nothing.
+	Inject []*faultinject.Injector
+	// TransportFault, when non-nil, wraps the constructed transport in a
+	// fault-injecting shim driven by this injector — send/recv faults,
+	// delays, and scheduled connection drops (drop=..,dropfrom=..,dropto=..).
+	TransportFault *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +163,9 @@ type Result struct {
 	RuleCut int64
 	// RoundStats holds per-round maxima (Simulate mode only).
 	RoundStats []cluster.RoundStat
+	// Recovered maps each dead worker to the live worker that adopted its
+	// partition (recovery runs only; empty otherwise).
+	Recovered map[int]int
 }
 
 // Materialize runs the configured parallel reasoner over the dataset and
@@ -243,6 +259,9 @@ func Materialize(ds *datagen.Dataset, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer cleanup()
+	if cfg.TransportFault != nil {
+		tr = &faultinject.Transport{Inner: tr, Inj: cfg.TransportFault}
+	}
 
 	mode := cluster.Concurrent
 	if cfg.Simulate {
@@ -255,6 +274,8 @@ func Materialize(ds *datagen.Dataset, cfg Config) (*Result, error) {
 		Mode:      mode,
 		MaxRounds: cfg.MaxRounds,
 		Obs:       cfg.Obs,
+		Recovery:  cfg.Recovery,
+		Inject:    cfg.Inject,
 	}, assigns)
 	if err != nil {
 		return nil, err
@@ -267,6 +288,7 @@ func Materialize(ds *datagen.Dataset, cfg Config) (*Result, error) {
 	res.PerWorker = cres.PerWorker
 	res.Inferred = cres.Graph.Len() - ds.Graph.Len()
 	res.OR = partition.OutputReplication(cres.OutputSizes, cres.Graph.Len())
+	res.Recovered = cres.Recovered
 	return res, nil
 }
 

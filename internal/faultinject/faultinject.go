@@ -42,6 +42,14 @@ type Config struct {
 	// CrashRound, if > 0, makes Crash(round) report true from that round
 	// on — a fail-stop node death for the fscluster recovery path.
 	CrashRound int
+	// DropRound, if > 0, makes DropConn fire once when a send of that round
+	// (1-based, same convention as CrashRound: drop=2 severs during the
+	// second round) matches the DropFrom->DropTo pair. The cluster layer
+	// relays the drop to the transport's LinkDropper, severing a live
+	// connection mid-run so the reconnect path is exercised.
+	DropRound int
+	// DropFrom / DropTo select the ordered pair whose link DropRound severs.
+	DropFrom, DropTo int
 }
 
 // Fault is an injected transient error.
@@ -64,6 +72,7 @@ type Injector struct {
 	rng          *rand.Rand
 	sends, recvs int
 	faults       int
+	dropped      bool
 }
 
 // New builds an Injector for cfg.
@@ -83,6 +92,37 @@ func (in *Injector) Recv() error { return in.op("recv") }
 // work and crash=2 dies after completing one round.
 func (in *Injector) Crash(round int) bool {
 	return in != nil && in.cfg.CrashRound > 0 && round >= in.cfg.CrashRound-1
+}
+
+// DropConn reports whether the from->to link should be severed before the
+// given (0-based) round's send — true exactly once, when the schedule's
+// DropRound has been reached and the pair matches. The caller is expected
+// to relay a true answer to the transport's DropLink.
+func (in *Injector) DropConn(round, from, to int) bool {
+	if in == nil || in.cfg.DropRound <= 0 {
+		return false
+	}
+	if round < in.cfg.DropRound-1 || from != in.cfg.DropFrom || to != in.cfg.DropTo {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.dropped {
+		return false
+	}
+	in.dropped = true
+	in.faults++
+	return true
+}
+
+// DropConnFired reports whether the scheduled connection drop has fired.
+func (in *Injector) DropConnFired() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dropped
 }
 
 // Faults reports how many faults have been injected so far.
@@ -132,7 +172,7 @@ func (in *Injector) op(op string) error {
 
 // ParseSpec parses the comma-separated key=value syntax of the -fault flag:
 //
-//	seed=7,send=0.1,recv=0.05,sendnth=3,recvnth=0,max=10,delay=5ms,delayp=0.3,crash=2
+//	seed=7,send=0.1,recv=0.05,sendnth=3,recvnth=0,max=10,delay=5ms,delayp=0.3,crash=2,drop=2,dropfrom=0,dropto=1
 //
 // Unknown keys are an error; an empty spec is the zero Config.
 func ParseSpec(spec string) (Config, error) {
@@ -165,6 +205,12 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.DelayProb, err = strconv.ParseFloat(v, 64)
 		case "crash":
 			cfg.CrashRound, err = strconv.Atoi(v)
+		case "drop":
+			cfg.DropRound, err = strconv.Atoi(v)
+		case "dropfrom":
+			cfg.DropFrom, err = strconv.Atoi(v)
+		case "dropto":
+			cfg.DropTo, err = strconv.Atoi(v)
 		default:
 			return cfg, fmt.Errorf("faultinject: unknown spec key %q", k)
 		}

@@ -110,3 +110,39 @@ func TestParseSpec(t *testing.T) {
 		t.Fatalf("empty spec: %+v, %v", cfg, err)
 	}
 }
+
+func TestDropConnSchedule(t *testing.T) {
+	inj := New(Config{DropRound: 2, DropFrom: 0, DropTo: 1})
+	if inj.DropConn(0, 0, 1) {
+		t.Fatal("drop fired before its round")
+	}
+	if inj.DropConn(1, 2, 1) || inj.DropConn(1, 0, 2) {
+		t.Fatal("drop fired on the wrong pair")
+	}
+	if !inj.DropConn(1, 0, 1) {
+		t.Fatal("drop did not fire at its round on its pair")
+	}
+	if inj.DropConn(1, 0, 1) || inj.DropConn(5, 0, 1) {
+		t.Fatal("drop fired twice")
+	}
+	if !inj.DropConnFired() {
+		t.Fatal("DropConnFired not recorded")
+	}
+	if inj.Faults() != 1 {
+		t.Fatalf("drop not counted as a fault: %d", inj.Faults())
+	}
+	var nilInj *Injector
+	if nilInj.DropConn(1, 0, 1) {
+		t.Fatal("nil injector dropped a connection")
+	}
+}
+
+func TestParseSpecDropKeys(t *testing.T) {
+	cfg, err := ParseSpec("drop=3,dropfrom=1,dropto=2,crash=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DropRound != 3 || cfg.DropFrom != 1 || cfg.DropTo != 2 || cfg.CrashRound != 4 {
+		t.Fatalf("spec mis-parsed: %+v", cfg)
+	}
+}

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"context"
+	"time"
 
 	"powl/internal/rdf"
 	"powl/internal/transport"
@@ -19,8 +20,16 @@ type Transport struct {
 // Name implements transport.Transport.
 func (f *Transport) Name() string { return f.Inner.Name() + "+fault" }
 
-// Send implements transport.Transport.
+// Send implements transport.Transport. A scheduled connection drop
+// (DropRound/DropFrom/DropTo) is applied to the inner transport's
+// LinkDropper just before the matching send, so the send itself runs over
+// the severed link and must reconnect.
 func (f *Transport) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) error {
+	if f.Inj.DropConn(round, from, to) {
+		if d, ok := f.Inner.(transport.LinkDropper); ok {
+			d.DropLink(from, to)
+		}
+	}
 	if err := f.Inj.Send(); err != nil {
 		return err
 	}
@@ -37,3 +46,19 @@ func (f *Transport) Recv(ctx context.Context, round, to int) ([]rdf.Triple, erro
 
 // Close implements transport.Transport.
 func (f *Transport) Close() error { return f.Inner.Close() }
+
+// DropLink forwards to the inner transport's LinkDropper, if any.
+func (f *Transport) DropLink(from, to int) bool {
+	if d, ok := f.Inner.(transport.LinkDropper); ok {
+		return d.DropLink(from, to)
+	}
+	return false
+}
+
+// Health forwards to the inner transport's HealthReporter, if any.
+func (f *Transport) Health() map[int]time.Time {
+	if h, ok := f.Inner.(transport.HealthReporter); ok {
+		return h.Health()
+	}
+	return nil
+}

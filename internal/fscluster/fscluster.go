@@ -84,6 +84,12 @@ func (l Layout) DeadFile(id int) string {
 	return filepath.Join(l.Dir, fmt.Sprintf("dead_n%02d", id))
 }
 
+// EpochFile counts node i's starts against this work directory; a value
+// above 1 on startup means the node is rejoining a run already in progress.
+func (l Layout) EpochFile(id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("epoch_n%02d", id))
+}
+
 // ckptGlob matches all of node i's checkpoint files.
 func (l Layout) ckptGlob(id int) string {
 	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r*_n%02d.nt", id))
@@ -198,6 +204,12 @@ type NodeResult struct {
 	Rounds  int
 	Derived int
 	Sent    int
+	// Epoch is this start's 1-based count against the work directory; a
+	// value above 1 means the node rejoined a run already in progress.
+	Epoch int
+	// StartRound is the round the node (re)entered the loop at: 0 on a
+	// fresh start, last-completed-round+1 on a rejoin.
+	StartRound int
 	// Closure is the node's final local graph (also written to disk).
 	Closure *rdf.Graph
 }
@@ -262,11 +274,60 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	for _, t := range n.g.Triples() {
 		n.sent[t] = struct{}{}
 	}
+
+	// Epoch bookkeeping: bump the start counter first thing, so a restarted
+	// process announces itself before touching any round state. A second
+	// start against the same work directory is a rejoin.
+	epoch, err := readEpoch(n.l, cfg.ID)
+	if err != nil {
+		return nil, fmt.Errorf("fscluster: node %d: %w", cfg.ID, err)
+	}
+	epoch++
+	if err := writeAtomic(n.l.EpochFile(cfg.ID), strconv.Itoa(epoch)); err != nil {
+		return nil, err
+	}
+	n.res.Epoch = epoch
+
+	startRound := 0
+	if epoch > 1 {
+		// A supervisor may already have declared this node dead, in which
+		// case an adopter owns the partition now; coming back anyway would
+		// put two nodes behind one inbox.
+		if adopter, dead := readDeadFile(n.l, cfg.ID); dead {
+			return nil, fmt.Errorf("fscluster: node %d: declared dead (partition adopted by node %d); cannot rejoin", cfg.ID, adopter)
+		}
+		last, err := lastCompletedRound(n.l, cfg.ID)
+		if err != nil {
+			return nil, err
+		}
+		if last >= 0 {
+			// Replay persisted state: delivered messages are already-routed
+			// knowledge, so they are marked sent; checkpointed deltas may
+			// have died in transit and stay unmarked, so the next route phase
+			// re-ships them (receivers deduplicate). materialized stays
+			// false — the first round after a rejoin re-reasons over the
+			// reconstructed graph, which is safe because forward inference is
+			// deterministic and monotone over the same inputs.
+			if err := reconstruct(n.l, cfg.ID, n.dict, nil, func(t rdf.Triple, routed bool) {
+				if routed {
+					n.sent[t] = struct{}{}
+				}
+				n.g.Add(t)
+			}); err != nil {
+				return nil, fmt.Errorf("fscluster: node %d rejoining: %w", cfg.ID, err)
+			}
+			startRound = last + 1
+		}
+		cfg.Obs.Emit(obs.Event{Type: obs.EvRejoin, TS: cfg.Obs.Now(),
+			Worker: cfg.ID, Round: startRound, N: int64(epoch)})
+	}
+	n.res.StartRound = startRound
+
 	materialized := false
 	// With Obs nil the collector is nil and ctx is returned unchanged.
 	ctx = obs.ContextWithRules(ctx, cfg.Obs.Rules(cfg.ID))
 
-	for round := 0; round < cfg.MaxRounds; round++ {
+	for round := startRound; round < cfg.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -217,6 +217,36 @@ func readDeadFile(l Layout, id int) (adopter int, dead bool) {
 	return a, true
 }
 
+// readEpoch returns how many times node id has started against this work
+// directory, 0 if never.
+func readEpoch(l Layout, id int) (int, error) {
+	b, err := os.ReadFile(l.EpochFile(id))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(b)))
+}
+
+// lastCompletedRound scans node id's done-markers upward from round 0 and
+// returns the last consecutive round the node completed, -1 if none. The
+// markers are written in order, so the first gap is the round the node died
+// in (or, for an adopted peer, the round its adopter has not reached yet).
+func lastCompletedRound(l Layout, id int) (int, error) {
+	last := -1
+	for r := 0; ; r++ {
+		if _, err := os.Stat(l.MarkerFile(r, id)); err != nil {
+			if os.IsNotExist(err) {
+				return last, nil
+			}
+			return last, err
+		}
+		last = r
+	}
+}
+
 // adopt takes over dead peer id during the barrier wait of the given round:
 // merge its reconstructed state, then write its marker so the round can
 // complete. See the package comment above for the full protocol.

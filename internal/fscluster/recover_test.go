@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"powl/internal/datagen"
 	"powl/internal/faultinject"
 	"powl/internal/gpart"
+	"powl/internal/obs"
 	"powl/internal/partition"
 	"powl/internal/reason"
 )
@@ -183,6 +185,108 @@ func TestMergeReconstructsLateDeath(t *testing.T) {
 	}
 	if merged.Len() != serial.Graph.Len() {
 		t.Fatalf("reconstructed closure %d != serial %d", merged.Len(), serial.Graph.Len())
+	}
+}
+
+// TestNodeRejoinsAfterRestart: a crashed node whose dead-file was never
+// written (no supervisor ran) restarts against the same work directory and
+// rejoins the run in progress — epoch bumped, state reconstructed from its
+// own checkpoints and inbox, round loop re-entered where it left off — and
+// the merged closure still matches the sequential fixpoint.
+func TestNodeRejoinsAfterRestart(t *testing.T) {
+	ds := datagen.MDC(datagen.MDCConfig{Fields: 4, Seed: 7})
+	serial, err := core.MaterializeSerial(ds, core.ForwardEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+	dir := t.TempDir()
+	pol := partition.GraphPolicy{Opts: gpart.Options{Seed: 42}}
+	if _, err := Prepare(dir, ds.Dict, ds.Graph, k, pol); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 0 runs normally; it will block at the barrier while node 1 is down.
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunNode(NodeConfig{
+			ID: 0, K: k, Dir: dir, Engine: reason.Forward{},
+			Poll: time.Millisecond, Timeout: time.Minute,
+		})
+		done <- err
+	}()
+
+	// Node 1's first incarnation completes round 0 and dies entering round 1.
+	first, err := RunNode(NodeConfig{
+		ID: 1, K: k, Dir: dir, Engine: reason.Forward{},
+		Poll: time.Millisecond, Timeout: time.Minute,
+		Inject: faultinject.New(faultinject.Config{CrashRound: 2}),
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("first incarnation: err = %v, want ErrCrashed", err)
+	}
+	if first != nil {
+		t.Fatalf("crashed node returned a result: %+v", first)
+	}
+
+	// The restarted process: same id, same dir, fresh everything else.
+	sink := &obs.MemSink{}
+	second, err := RunNode(NodeConfig{
+		ID: 1, K: k, Dir: dir, Engine: reason.Forward{},
+		Poll: time.Millisecond, Timeout: time.Minute,
+		Obs: obs.NewRun(sink, nil),
+	})
+	if err != nil {
+		t.Fatalf("rejoin failed: %v", err)
+	}
+	if second.Epoch != 2 {
+		t.Fatalf("rejoined epoch = %d, want 2", second.Epoch)
+	}
+	if second.StartRound != 1 {
+		t.Fatalf("rejoined start round = %d, want 1", second.StartRound)
+	}
+	var rejoined bool
+	for _, e := range sink.Events() {
+		if e.Type == obs.EvRejoin && e.Worker == 1 && e.N == 2 {
+			rejoined = true
+		}
+	}
+	if !rejoined {
+		t.Fatal("journal missing rejoin event")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("node 0: %v", err)
+	}
+	_, merged, err := MergeClosures(dir, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != serial.Graph.Len() {
+		t.Fatalf("rejoined closure %d != serial %d", merged.Len(), serial.Graph.Len())
+	}
+}
+
+// TestRejoinRefusedWhenAdopted: once a supervisor has handed the partition
+// to an adopter, a restart of the dead node must refuse to run — two nodes
+// serving one inbox would split the partition's state.
+func TestRejoinRefusedWhenAdopted(t *testing.T) {
+	ds := datagen.MDC(datagen.MDCConfig{Fields: 2, Seed: 7})
+	dir := t.TempDir()
+	pol := partition.GraphPolicy{Opts: gpart.Options{Seed: 42}}
+	if _, err := Prepare(dir, ds.Dict, ds.Graph, 2, pol); err != nil {
+		t.Fatal(err)
+	}
+	l := Layout{Dir: dir}
+	if err := writeAtomic(l.EpochFile(1), "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAtomic(l.DeadFile(1), "0"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunNode(NodeConfig{ID: 1, K: 2, Dir: dir,
+		Poll: time.Millisecond, Timeout: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "cannot rejoin") {
+		t.Fatalf("adopted node restarted anyway: err = %v", err)
 	}
 }
 

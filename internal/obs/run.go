@@ -128,6 +128,7 @@ type TransportRecorder struct {
 	mu      sync.Mutex
 	pairs   map[[2]int]*PairStats
 	retries map[string]int64
+	redials map[[2]int]int64
 	slept   time.Duration
 }
 
@@ -151,6 +152,20 @@ func (t *TransportRecorder) Batch(from, to, n int, bytes int64) {
 	p.Msgs++
 	p.Triples += int64(n)
 	p.Bytes += bytes
+}
+
+// Redialed records one reconnection of the from->to link (a connection-
+// oriented transport re-establishing a broken connection mid-run).
+func (t *TransportRecorder) Redialed(from, to int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.redials == nil {
+		t.redials = map[[2]int]int64{}
+	}
+	t.redials[[2]int{from, to}]++
 }
 
 // Retried records one retry of the named operation ("send", "recv").
@@ -208,6 +223,10 @@ func (t *TransportRecorder) flush(r *Run, ts int64) {
 	for op, n := range t.retries {
 		retries[op] = n
 	}
+	redials := make([]pairRow, 0, len(t.redials))
+	for k, n := range t.redials {
+		redials = append(redials, pairRow{k, PairStats{Msgs: n}})
+	}
 	slept := t.slept
 	t.mu.Unlock()
 
@@ -227,6 +246,20 @@ func (t *TransportRecorder) flush(r *Run, ts int64) {
 		r.Registry.Counter("transport.msgs").Add(row.p.Msgs)
 		r.Registry.Counter("transport.triples").Add(row.p.Triples)
 		r.Registry.Counter("transport.bytes").Add(row.p.Bytes)
+	}
+	sort.Slice(redials, func(i, j int) bool {
+		if redials[i].key[0] != redials[j].key[0] {
+			return redials[i].key[0] < redials[j].key[0]
+		}
+		return redials[i].key[1] < redials[j].key[1]
+	})
+	for _, row := range redials {
+		r.Emit(Event{
+			Type: EvRedial, TS: ts, Worker: row.key[0],
+			Name: fmt.Sprintf("%d->%d", row.key[0], row.key[1]),
+			N:    row.p.Msgs,
+		})
+		r.Registry.Counter("transport.redials").Add(row.p.Msgs)
 	}
 	ops := make([]string, 0, len(retries))
 	for op := range retries {

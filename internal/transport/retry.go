@@ -180,6 +180,24 @@ func (r *Retry) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
 // Close implements Transport.
 func (r *Retry) Close() error { return r.inner.Close() }
 
+// DropLink forwards to the inner transport when it is a LinkDropper, so
+// fault injection reaches through the wrapper.
+func (r *Retry) DropLink(from, to int) bool {
+	if d, ok := r.inner.(LinkDropper); ok {
+		return d.DropLink(from, to)
+	}
+	return false
+}
+
+// Health forwards to the inner transport when it is a HealthReporter; a
+// non-reporting inner transport yields nil.
+func (r *Retry) Health() map[int]time.Time {
+	if h, ok := r.inner.(HealthReporter); ok {
+		return h.Health()
+	}
+	return nil
+}
+
 func (r *Retry) do(ctx context.Context, op string, f func() error) error {
 	var err error
 	for attempt := 1; ; attempt++ {

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"powl/internal/ntriples"
@@ -22,35 +24,146 @@ import (
 // inbox — which is what lets the cluster barrier double as delivery
 // guarantee. Compared with File it removes the filesystem round trip, which
 // is exactly the improvement the paper projects from switching to MPI (§VI-B).
+//
+// Unlike the original fail-stop mesh, the connection layer is survivable:
+//
+//   - Every connection opens with a session hello carrying
+//     (worker, epoch, round), so the acceptor knows who is talking and which
+//     incarnation of the link this is.
+//   - A Send whose connection breaks mid-frame marks the link broken and
+//     re-dials with bounded exponential backoff, then resends the frame.
+//   - Frames carry a per-sender sequence number; the receiver deduplicates
+//     on (round, from, seq), so a frame resent after a lost ack is delivered
+//     exactly once.
+//   - A heartbeat goroutine per link probes idle connections and feeds the
+//     Health view, so a failure detector can distinguish a dead peer from a
+//     quiet one.
+//
+// Mid-stream corruption (truncated payloads, unparseable triples, garbage
+// headers) is still fatal: re-dialing cannot repair corrupt bytes, so those
+// errors are buffered and surface on the next Send/Recv as ErrMalformed-
+// class failures.
 type TCP struct {
 	// Obs, when non-nil, receives one Batch call per sent message with the
-	// serialized frame payload size (self-sends carry interned IDs, 0 bytes).
+	// serialized frame payload size (self-sends carry interned IDs, 0 bytes)
+	// and one Redialed call per link reconnection.
 	Obs *obs.TransportRecorder
 
-	dict  *rdf.Dict
-	k     int
-	mu    sync.Mutex
-	inbox map[boxKey][]rdf.Triple
-	errs  []error
+	cfg  TCPConfig
+	dict *rdf.Dict
+	k    int
 
+	mu       sync.Mutex
+	inbox    map[boxKey][]rdf.Triple
+	seen     map[frameKey]struct{}
+	errs     []error
+	contact  map[int]time.Time // worker -> last proof of life on any link
+	accepted []net.Conn
+	redials  atomic.Int64
+	seqs     []atomic.Int64 // per-sender frame sequence counters
+
+	addrs     []string
 	listeners []net.Listener
-	conns     [][]net.Conn // conns[from][to], nil on the diagonal
+	links     [][]*link // links[from][to], nil on the diagonal
 	wg        sync.WaitGroup
+	stop      chan struct{}
 	closeOnce sync.Once
 }
 
-// NewTCP builds the k-worker mesh on loopback ephemeral ports.
+// TCPConfig tunes the reconnecting mesh. The zero value is usable.
+type TCPConfig struct {
+	// MaxRedials bounds how many times one Send re-dials a broken link
+	// before giving up; 0 means 4.
+	MaxRedials int
+	// RedialBackoff is the sleep before the first re-dial, doubling per
+	// attempt; 0 means 2ms.
+	RedialBackoff time.Duration
+	// DialTimeout bounds one dial + hello exchange; 0 means 2s.
+	DialTimeout time.Duration
+	// AckTimeout bounds one frame exchange (write + ack) when the caller's
+	// context carries no tighter deadline; 0 means 10s.
+	AckTimeout time.Duration
+	// HeartbeatInterval is the idle-link probe period feeding Health;
+	// 0 means 500ms, negative disables heartbeats.
+	HeartbeatInterval time.Duration
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.MaxRedials <= 0 {
+		c.MaxRedials = 4
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 2 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 10 * time.Second
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	return c
+}
+
+// link is the sender side of one ordered pair's connection. Its mutex
+// serializes frame exchanges (a frame and its ack must not interleave with
+// another sender-side exchange on the same connection).
+type link struct {
+	from, to int
+
+	mu    sync.Mutex
+	conn  net.Conn
+	epoch int32 // dial count, announced in the session hello
+	round int32 // last round this link carried (for hello/heartbeat frames)
+}
+
+// frame types.
+const (
+	typeData      int32 = 0 // length-prefixed N-Triples payload
+	typeHello     int32 = 1 // session hello: From = worker, Seq = epoch, Round = sender round
+	typeHeartbeat int32 = 2 // liveness probe, no payload
+)
+
+// frameHeader precedes every frame (big-endian int32s).
+type frameHeader struct {
+	Type, Round, From, To, Seq, Len int32
+}
+
+// maxFrame bounds a frame payload; larger Len values are treated as header
+// corruption rather than honored with a giant allocation.
+const maxFrame = 1 << 28
+
+// frameKey dedups delivered data frames: a frame resent after a lost ack
+// carries the same (round, from, seq) and is delivered exactly once.
+type frameKey struct {
+	round, from, seq int32
+}
+
+// NewTCP builds the k-worker mesh on loopback ephemeral ports with default
+// tuning.
 func NewTCP(k int, dict *rdf.Dict) (*TCP, error) {
+	return NewTCPWithConfig(k, dict, TCPConfig{})
+}
+
+// NewTCPWithConfig builds the k-worker mesh with explicit tuning.
+func NewTCPWithConfig(k int, dict *rdf.Dict, cfg TCPConfig) (*TCP, error) {
 	t := &TCP{
-		dict:  dict,
-		k:     k,
-		inbox: map[boxKey][]rdf.Triple{},
-		conns: make([][]net.Conn, k),
+		cfg:     cfg.withDefaults(),
+		dict:    dict,
+		k:       k,
+		inbox:   map[boxKey][]rdf.Triple{},
+		seen:    map[frameKey]struct{}{},
+		contact: map[int]time.Time{},
+		seqs:    make([]atomic.Int64, k),
+		addrs:   make([]string, k),
+		links:   make([][]*link, k),
+		stop:    make(chan struct{}),
 	}
-	for i := range t.conns {
-		t.conns[i] = make([]net.Conn, k)
+	for i := range t.links {
+		t.links[i] = make([]*link, k)
 	}
-	addrs := make([]string, k)
 	for i := 0; i < k; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -58,20 +171,24 @@ func NewTCP(k int, dict *rdf.Dict) (*TCP, error) {
 			return nil, fmt.Errorf("transport/tcp: listen: %w", err)
 		}
 		t.listeners = append(t.listeners, ln)
-		addrs[i] = ln.Addr().String()
+		t.addrs[i] = ln.Addr().String()
 	}
-	// Accept loops: each worker j accepts k-1 peers; the first frame on a
-	// connection is a hello carrying the sender index.
+	// Accept loops: each worker accepts connections for as long as the mesh
+	// lives — a re-dialing peer shows up as a fresh connection with a fresh
+	// session hello, not just at startup.
 	for j := 0; j < k; j++ {
 		ln := t.listeners[j]
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			for n := 0; n < t.k-1; n++ {
+			for {
 				conn, err := ln.Accept()
 				if err != nil {
-					return // closed
+					return // listener closed
 				}
+				t.mu.Lock()
+				t.accepted = append(t.accepted, conn)
+				t.mu.Unlock()
 				t.wg.Add(1)
 				go func() {
 					defer t.wg.Done()
@@ -85,12 +202,19 @@ func NewTCP(k int, dict *rdf.Dict) (*TCP, error) {
 			if from == to {
 				continue
 			}
-			conn, err := net.Dial("tcp", addrs[to])
+			l := &link{from: from, to: to}
+			t.links[from][to] = l
+			l.mu.Lock()
+			err := t.dialLocked(l)
+			l.mu.Unlock()
 			if err != nil {
 				t.Close()
 				return nil, fmt.Errorf("transport/tcp: dial %d->%d: %w", from, to, err)
 			}
-			t.conns[from][to] = conn
+			if t.cfg.HeartbeatInterval > 0 {
+				t.wg.Add(1)
+				go t.heartbeatLoop(l)
+			}
 		}
 	}
 	return t, nil
@@ -99,14 +223,101 @@ func NewTCP(k int, dict *rdf.Dict) (*TCP, error) {
 // Name implements Transport.
 func (*TCP) Name() string { return "tcp" }
 
-// frame header: round, to, payload length (big endian int32s).
-type frameHeader struct {
-	Round, To, Len int32
+// dialLocked (re-)establishes l's connection and completes the session
+// hello exchange. The caller holds l.mu.
+func (t *TCP) dialLocked(l *link) error {
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	conn, err := net.DialTimeout("tcp", t.addrs[l.to], t.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	l.epoch++
+	hello := frameHeader{Type: typeHello, Round: l.round,
+		From: int32(l.from), To: int32(l.to), Seq: l.epoch}
+	conn.SetDeadline(time.Now().Add(t.cfg.DialTimeout))
+	if err := binary.Write(conn, binary.BigEndian, hello); err != nil {
+		conn.Close()
+		return err
+	}
+	ack := make([]byte, 1)
+	if _, err := io.ReadFull(conn, ack); err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+	l.conn = conn
+	// Every dial after the link's first is a reconnection, whichever path
+	// triggered it (send retry, next send after a drop, heartbeat probe).
+	if l.epoch > 1 {
+		t.redials.Add(1)
+		t.Obs.Redialed(l.from, l.to)
+	}
+	return nil
+}
+
+// breakLocked marks the link broken so the next exchange re-dials; a conn
+// that failed mid-frame must never be reused — the stream may hold a
+// half-written frame, and interleaving a fresh frame into it would corrupt
+// the peer's read loop. The caller holds l.mu.
+func (l *link) breakLocked() {
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+}
+
+// DropLink severs the from->to connection as a running network fault would:
+// the conn is closed under the link lock, and the next Send on the pair must
+// re-dial. It reports whether there was a live connection to drop. Fault
+// injection uses this to exercise the reconnect path end to end.
+func (t *TCP) DropLink(from, to int) bool {
+	if from < 0 || to < 0 || from >= t.k || to >= t.k || from == to {
+		return false
+	}
+	l := t.links[from][to]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		return false
+	}
+	l.breakLocked()
+	return true
+}
+
+// exchangeLocked performs one frame exchange — header, optional payload,
+// ack — under the deadline from ctx (tightened by AckTimeout). The caller
+// holds l.mu.
+func (t *TCP) exchangeLocked(ctx context.Context, l *link, hdr frameHeader, payload []byte) error {
+	deadline := time.Now().Add(t.cfg.AckTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	l.conn.SetDeadline(deadline)
+	defer l.conn.SetDeadline(time.Time{})
+	if err := binary.Write(l.conn, binary.BigEndian, hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := l.conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	ack := make([]byte, 1)
+	if _, err := io.ReadFull(l.conn, ack); err != nil {
+		return fmt.Errorf("ack: %w", err)
+	}
+	return nil
 }
 
 // Send implements Transport. Self-sends short-circuit through the inbox.
-// Any error buffered by an async readLoop (corrupted frame, truncated
-// payload) surfaces here rather than being silently dropped.
+// A broken connection is re-dialed with bounded backoff and the frame is
+// resent under the same sequence number (the receiver deduplicates), so a
+// dropped link costs a reconnect, not the run. Any error buffered by an
+// async readLoop (corrupted frame, truncated payload) surfaces here rather
+// than being silently dropped.
 func (t *TCP) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -130,52 +341,207 @@ func (t *TCP) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) er
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	conn := t.conns[from][to]
-	if conn == nil {
-		return fmt.Errorf("transport/tcp: no connection %d->%d", from, to)
+	hdr := frameHeader{Type: typeData, Round: int32(round),
+		From: int32(from), To: int32(to),
+		Seq: int32(t.seqs[from].Add(1)), Len: int32(buf.Len())}
+
+	l := t.links[from][to]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.round = int32(round)
+	var lastErr error
+	for attempt := 0; attempt <= t.cfg.MaxRedials; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoffDelay(t.cfg.RedialBackoff, attempt)); err != nil {
+				return fmt.Errorf("transport/tcp: send %d->%d: %w (last error: %v)", from, to, err, lastErr)
+			}
+		}
+		if l.conn == nil {
+			if err := t.dialLocked(l); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := t.exchangeLocked(ctx, l, hdr, buf.Bytes()); err != nil {
+			// The stream may hold a half-written frame: poison this conn so
+			// the next attempt (and the next Send) re-dials instead of
+			// interleaving into a corrupt stream.
+			l.breakLocked()
+			lastErr = err
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("transport/tcp: send %d->%d round %d: %w", from, to, round, cerr)
+			}
+			continue
+		}
+		t.touch(to)
+		t.Obs.Batch(from, to, len(ts), int64(buf.Len()))
+		return nil
 	}
-	// A context deadline bounds the whole frame exchange, ack included.
-	if deadline, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(deadline)
-		defer conn.SetDeadline(time.Time{})
-	}
-	hdr := frameHeader{Round: int32(round), To: int32(to), Len: int32(buf.Len())}
-	if err := binary.Write(conn, binary.BigEndian, hdr); err != nil {
-		return err
-	}
-	if _, err := conn.Write(buf.Bytes()); err != nil {
-		return err
-	}
-	// Wait for the ack so delivery precedes the cluster barrier.
-	ack := make([]byte, 1)
-	if _, err := io.ReadFull(conn, ack); err != nil {
-		return fmt.Errorf("transport/tcp: ack %d->%d: %w", from, to, err)
-	}
-	t.Obs.Batch(from, to, len(ts), int64(buf.Len()))
-	return nil
+	return fmt.Errorf("transport/tcp: send %d->%d round %d failed after %d redials: %w",
+		from, to, round, t.cfg.MaxRedials, lastErr)
 }
 
+// backoffDelay is the pre-dial sleep before the attempt-th redial (1-based),
+// doubling from base and capped at 64×.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	return base << shift
+}
+
+// sleepCtx sleeps d unless ctx fires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// heartbeatLoop probes l at the configured interval so Health stays current
+// on idle links. A failed probe breaks the connection (the next Send
+// re-dials); the loop itself then re-dials on its next tick, so a healed
+// network shows up in Health without any Send traffic.
+func (t *TCP) heartbeatLoop(l *link) {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+		}
+		// TryLock: if the link is busy sending, it is visibly alive and the
+		// probe is redundant this tick.
+		if !l.mu.TryLock() {
+			continue
+		}
+		if l.conn == nil {
+			if err := t.dialLocked(l); err != nil {
+				l.mu.Unlock()
+				continue
+			}
+		}
+		hdr := frameHeader{Type: typeHeartbeat, Round: l.round,
+			From: int32(l.from), To: int32(l.to), Seq: l.epoch}
+		deadline := time.Now().Add(t.cfg.HeartbeatInterval)
+		l.conn.SetDeadline(deadline)
+		err := binary.Write(l.conn, binary.BigEndian, hdr)
+		if err == nil {
+			ack := make([]byte, 1)
+			_, err = io.ReadFull(l.conn, ack)
+		}
+		if err != nil {
+			l.breakLocked()
+		} else {
+			l.conn.SetDeadline(time.Time{})
+			t.touch(l.to)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// touch records proof of life for a worker (an acked exchange with it, or a
+// frame received from it).
+func (t *TCP) touch(worker int) {
+	t.mu.Lock()
+	t.contact[worker] = time.Now()
+	t.mu.Unlock()
+}
+
+// Health returns, per worker, the last time the mesh had proof of life for
+// it: a frame or heartbeat received from it, or an acked exchange with it.
+// A failure detector compares these against its deadline to tell dead peers
+// from quiet ones.
+func (t *TCP) Health() map[int]time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]time.Time, len(t.contact))
+	for w, ts := range t.contact {
+		out[w] = ts
+	}
+	return out
+}
+
+// Redials reports how many link reconnections the mesh has performed.
+func (t *TCP) Redials() int64 { return t.redials.Load() }
+
+// readLoop consumes one accepted connection. A clean peer close — EOF at a
+// frame boundary — ends the loop silently: that is how a re-dialing peer
+// retires its old connection. Anything else mid-stream (truncated header or
+// payload, unparseable triples, garbage frame type) is corruption and is
+// recorded via t.fail so the next Send/Recv surfaces it.
 func (t *TCP) readLoop(conn net.Conn) {
+	peer := -1
 	for {
 		var hdr frameHeader
 		if err := binary.Read(conn, binary.BigEndian, &hdr); err != nil {
-			return // peer closed
-		}
-		payload := make([]byte, hdr.Len)
-		if _, err := io.ReadFull(conn, payload); err != nil {
-			t.fail(err)
+			if err == io.EOF || errors.Is(err, net.ErrClosed) {
+				return // clean close at a frame boundary
+			}
+			t.fail(fmt.Errorf("transport/tcp: header from peer %d: %w", peer, err))
 			return
 		}
-		g := rdf.NewGraph()
-		if _, err := ntriples.ReadGraph(bytes.NewReader(payload), t.dict, g); err != nil {
-			t.fail(fmt.Errorf("transport/tcp: %w: %v", ErrMalformed, err))
+		switch hdr.Type {
+		case typeHello:
+			peer = int(hdr.From)
+			t.touch(peer)
+		case typeHeartbeat:
+			peer = int(hdr.From)
+			t.touch(peer)
+		case typeData:
+			if hdr.Len < 0 || hdr.Len > maxFrame {
+				t.fail(fmt.Errorf("transport/tcp: %w: frame length %d from peer %d",
+					ErrMalformed, hdr.Len, peer))
+				return
+			}
+			payload := make([]byte, hdr.Len)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				t.fail(fmt.Errorf("transport/tcp: payload from peer %d: %w", peer, err))
+				return
+			}
+			peer = int(hdr.From)
+			t.touch(peer)
+			key := frameKey{hdr.Round, hdr.From, hdr.Seq}
+			if !t.alreadySeen(key) {
+				g := rdf.NewGraph()
+				if _, err := ntriples.ReadGraph(bytes.NewReader(payload), t.dict, g); err != nil {
+					t.fail(fmt.Errorf("transport/tcp: %w: %v", ErrMalformed, err))
+					return
+				}
+				t.markSeen(key)
+				t.deliver(int(hdr.Round), int(hdr.To), g.Triples())
+			}
+		default:
+			t.fail(fmt.Errorf("transport/tcp: %w: unknown frame type %d from peer %d",
+				ErrMalformed, hdr.Type, peer))
 			return
 		}
-		t.deliver(int(hdr.Round), int(hdr.To), g.Triples())
 		if _, err := conn.Write([]byte{1}); err != nil {
-			return
+			return // sender will observe the lost ack and re-dial
 		}
 	}
+}
+
+// alreadySeen reports whether a data frame was delivered before (a resend
+// after a lost ack).
+func (t *TCP) alreadySeen(key frameKey) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.seen[key]
+	return ok
+}
+
+func (t *TCP) markSeen(key frameKey) {
+	t.mu.Lock()
+	t.seen[key] = struct{}{}
+	t.mu.Unlock()
 }
 
 func (t *TCP) deliver(round, to int, ts []rdf.Triple) {
@@ -217,18 +583,31 @@ func (t *TCP) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
 	return ts, nil
 }
 
-// Close implements Transport, tearing down the mesh.
+// Close implements Transport, tearing down the mesh: heartbeats stop,
+// listeners close (ending the accept loops), and every connection — dialed
+// and accepted — is closed, ending the read loops.
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
+		close(t.stop)
 		for _, ln := range t.listeners {
 			ln.Close()
 		}
-		for _, row := range t.conns {
-			for _, c := range row {
-				if c != nil {
-					c.Close()
+		for _, row := range t.links {
+			for _, l := range row {
+				if l == nil {
+					continue
 				}
+				l.mu.Lock()
+				l.breakLocked()
+				l.mu.Unlock()
 			}
+		}
+		t.mu.Lock()
+		accepted := t.accepted
+		t.accepted = nil
+		t.mu.Unlock()
+		for _, c := range accepted {
+			c.Close()
 		}
 		t.wg.Wait()
 	})

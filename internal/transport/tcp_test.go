@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestTCPDropLinkReconnects: severing a live connection mid-run must cost a
+// re-dial, not the message — the next Send re-establishes the link and the
+// payload arrives exactly once.
+func TestTCPDropLinkReconnects(t *testing.T) {
+	dict, ts := newDictWithTriples(6)
+	tr, err := NewTCP(2, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+
+	if err := tr.Send(ctx, 0, 0, 1, ts[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.DropLink(0, 1) {
+		t.Fatal("DropLink found no live connection to drop")
+	}
+	if tr.DropLink(0, 1) {
+		t.Fatal("second DropLink should find the link already down")
+	}
+	if err := tr.Send(ctx, 1, 0, 1, ts[3:]); err != nil {
+		t.Fatalf("send after drop did not reconnect: %v", err)
+	}
+	if got := tr.Redials(); got != 1 {
+		t.Fatalf("expected 1 redial, got %d", got)
+	}
+	in, err := tr.Recv(ctx, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 3 {
+		t.Fatalf("expected 3 triples after reconnect, got %d", len(in))
+	}
+}
+
+// TestTCPFrameDedup: a frame resent under the same (round, from, seq) — as a
+// sender re-dialing after a lost ack would — must be delivered exactly once.
+func TestTCPFrameDedup(t *testing.T) {
+	dict, ts := newDictWithTriples(2)
+	tr, err := NewTCPWithConfig(2, dict, TCPConfig{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	payload := []byte("<http://t/s0> <http://t/p> \"v0\" .\n")
+	hdr := frameHeader{Type: typeData, Round: 0, From: 0, To: 1, Seq: 99,
+		Len: int32(len(payload))}
+	l := tr.links[0][1]
+	l.mu.Lock()
+	for i := 0; i < 2; i++ {
+		if err := tr.exchangeLocked(context.Background(), l, hdr, payload); err != nil {
+			l.mu.Unlock()
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+	}
+	l.mu.Unlock()
+
+	in, err := tr.Recv(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 1 {
+		t.Fatalf("duplicate frame delivered: got %d triples, want 1", len(in))
+	}
+	_ = ts
+}
+
+// TestTCPCleanCloseVsCorruption: a peer closing its connection at a frame
+// boundary is normal (re-dial retires old conns); garbage mid-stream must
+// surface as an error on the next operation, not be swallowed.
+func TestTCPCleanCloseVsCorruption(t *testing.T) {
+	dict, _ := newDictWithTriples(1)
+
+	t.Run("clean close is silent", func(t *testing.T) {
+		tr, err := NewTCPWithConfig(2, dict, TCPConfig{HeartbeatInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		// Dial worker 1's listener directly, hello, then close cleanly.
+		conn, err := net.Dial("tcp", tr.addrs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hello := frameHeader{Type: typeHello, From: 0, To: 1, Seq: 7}
+		if err := binary.Write(conn, binary.BigEndian, hello); err != nil {
+			t.Fatal(err)
+		}
+		ack := make([]byte, 1)
+		if _, err := io.ReadFull(conn, ack); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+		time.Sleep(20 * time.Millisecond)
+		if _, err := tr.Recv(context.Background(), 0, 1); err != nil {
+			t.Fatalf("clean close surfaced as error: %v", err)
+		}
+	})
+
+	t.Run("mid-stream garbage surfaces", func(t *testing.T) {
+		tr, err := NewTCPWithConfig(2, dict, TCPConfig{HeartbeatInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			// Close returns the buffered corruption error; don't fail on it.
+			_ = tr.Close()
+		}()
+		conn, err := net.Dial("tcp", tr.addrs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		// A torn header: 10 bytes then close, not a multiple of the frame
+		// header size — binary.Read fails with ErrUnexpectedEOF mid-frame.
+		if _, err := conn.Write(make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if _, err := tr.Recv(context.Background(), 0, 1); err != nil {
+				break // surfaced — the fix under test
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("mid-stream corruption never surfaced on Recv")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+
+	t.Run("oversized frame length is malformed", func(t *testing.T) {
+		tr, err := NewTCPWithConfig(2, dict, TCPConfig{HeartbeatInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = tr.Close() }()
+		conn, err := net.Dial("tcp", tr.addrs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		bad := frameHeader{Type: typeData, From: 0, To: 1, Seq: 1, Len: maxFrame + 1}
+		if err := binary.Write(conn, binary.BigEndian, bad); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if _, err := tr.Recv(context.Background(), 0, 1); err != nil {
+				if !errors.Is(err, ErrMalformed) {
+					t.Fatalf("expected ErrMalformed, got %v", err)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("oversized frame never surfaced")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// TestTCPHealthHeartbeat: the heartbeat loop must keep Health fresh on idle
+// links, and a severed link must heal without any Send traffic.
+func TestTCPHealthHeartbeat(t *testing.T) {
+	dict, _ := newDictWithTriples(1)
+	tr, err := NewTCPWithConfig(2, dict, TCPConfig{HeartbeatInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		h := tr.Health()
+		if !h[0].IsZero() && !h[1].IsZero() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeats never populated Health: %v", h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	tr.DropLink(0, 1)
+	before := tr.Redials()
+	deadline = time.Now().Add(2 * time.Second)
+	for tr.Redials() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat loop never re-dialed the dropped link")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTCPSendPoisonedConnRedials: a Send that fails mid-frame must mark the
+// connection broken and succeed by re-dialing, never interleave into the
+// old stream. Simulated by closing the raw conn out from under the link.
+func TestTCPSendPoisonedConnRedials(t *testing.T) {
+	dict, ts := newDictWithTriples(4)
+	tr, err := NewTCPWithConfig(2, dict, TCPConfig{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+
+	if err := tr.Send(ctx, 0, 0, 1, ts[:2]); err != nil {
+		t.Fatal(err)
+	}
+	// Break the socket without telling the link, as a network fault would.
+	l := tr.links[0][1]
+	l.mu.Lock()
+	l.conn.Close()
+	l.mu.Unlock()
+
+	if err := tr.Send(ctx, 1, 0, 1, ts[2:]); err != nil {
+		t.Fatalf("send on poisoned conn did not recover: %v", err)
+	}
+	in, err := tr.Recv(ctx, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 2 {
+		t.Fatalf("expected 2 triples after redial, got %d", len(in))
+	}
+	if tr.Redials() == 0 {
+		t.Fatal("poisoned conn was reused instead of re-dialed")
+	}
+}

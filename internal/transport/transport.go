@@ -27,6 +27,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"time"
 
 	"powl/internal/rdf"
 )
@@ -49,4 +50,20 @@ type Transport interface {
 	Recv(ctx context.Context, round, to int) ([]rdf.Triple, error)
 	// Close releases transport resources after the run.
 	Close() error
+}
+
+// LinkDropper is implemented by connection-oriented transports whose
+// per-pair links can be severed at runtime — fault injection uses it to
+// exercise the reconnect path. DropLink reports whether a live connection
+// was actually dropped.
+type LinkDropper interface {
+	DropLink(from, to int) bool
+}
+
+// HealthReporter is implemented by transports that track peer liveness
+// (heartbeats, acked exchanges). Health returns, per worker id, the last
+// time the transport had proof of life for it; workers never heard from are
+// absent. Failure detectors consult it alongside round progress.
+type HealthReporter interface {
+	Health() map[int]time.Time
 }
