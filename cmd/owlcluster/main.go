@@ -191,8 +191,8 @@ func main() {
 		cancel()
 		sup = <-supCh
 	}
-	for victim, adopter := range sup.res.Dead {
-		fmt.Fprintf(os.Stderr, "node %d declared dead; partition recovered by node %d\n", victim, adopter)
+	for _, victim := range sortedVictims(sup.res.Dead) {
+		fmt.Fprintf(os.Stderr, "node %d declared dead; partition recovered by node %d\n", victim, sup.res.Dead[victim])
 	}
 	for i, werr := range waitErrs {
 		if werr == nil {
@@ -335,9 +335,9 @@ func runInProcess(dict *rdf.Dict, g *rdf.Graph, o inProcOpts) {
 	if err != nil {
 		fatal(err)
 	}
-	for victim, adopter := range res.Recovered {
+	for _, victim := range sortedVictims(res.Recovered) {
 		fmt.Fprintf(os.Stderr, "worker %d declared dead; partition recovered by worker %d\n",
-			victim, adopter)
+			victim, res.Recovered[victim])
 	}
 	fmt.Fprintf(os.Stderr, "closure: %d triples (%d inferred) in %d rounds, %v total\n",
 		res.Graph.Len(), res.Inferred, res.Rounds, time.Since(start).Round(time.Millisecond))
@@ -428,6 +428,17 @@ func writeJournal(path string, events []obs.Event) error {
 		return err
 	}
 	return f.Close()
+}
+
+// sortedVictims orders a victim->adopter recovery map for stable reporting
+// (and for the log lines the chaos CI job greps).
+func sortedVictims(dead map[int]int) []int {
+	victims := make([]int, 0, len(dead))
+	for v := range dead {
+		victims = append(victims, v)
+	}
+	sort.Ints(victims)
+	return victims
 }
 
 func fatal(err error) {

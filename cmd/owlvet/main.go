@@ -1,0 +1,83 @@
+// Command owlvet runs the repo's determinism/concurrency analyzer suite
+// (internal/analysis) over the module and reports findings.
+//
+// Usage:
+//
+//	go run ./cmd/owlvet [flags] [dir]
+//
+// The positional dir (default ".") only locates the module: owlvet walks up
+// to the nearest go.mod and always analyzes the whole module, so
+// `go run ./cmd/owlvet ./...` and `go run ./cmd/owlvet` are equivalent.
+//
+// Flags:
+//
+//	-json   emit findings as a JSON array ({check, file, line, col, message})
+//	        for machine consumption; CI turns these into file:line annotations
+//	-tests  include _test.go files in every analyzer (globalrand always
+//	        includes them)
+//	-list   print the analyzers and the invariant each enforces, then exit
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"powl/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	tests := flag.Bool("tests", false, "include _test.go files in all analyzers")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	suite := analysis.NewSuite()
+	suite.Tests = *tests
+	if *list {
+		for _, a := range suite.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	dir := "."
+	if args := flag.Args(); len(args) > 0 {
+		// Accept `./...`-style package patterns for muscle-memory
+		// compatibility; only the directory part matters.
+		dir = strings.TrimSuffix(args[0], "...")
+		if dir == "" {
+			dir = "."
+		}
+	}
+	mod, err := analysis.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "owlvet:", err)
+		os.Exit(2)
+	}
+	findings, err := suite.Run(mod)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "owlvet:", err)
+		os.Exit(2)
+	}
+	analysis.RelPaths(mod.Root, findings)
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "owlvet:", err)
+			os.Exit(2)
+		}
+	} else if err := analysis.WriteText(os.Stdout, findings); err != nil {
+		fmt.Fprintln(os.Stderr, "owlvet:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "owlvet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysis is a from-scratch, stdlib-only static-analysis framework
+// (go/ast + go/parser + go/token + go/types) that enforces the repo's
+// determinism and concurrency invariants. The paper's reproduction claims —
+// speedup figures reconstructed by Simulated mode, closure == serial fixpoint
+// under chaos — hold only while every run is deterministic, and that property
+// is exactly the kind that rots silently: one unsorted map iteration in a
+// writer, one stray wall-clock read in a partitioner, and the outputs stop
+// being byte-stable without any test noticing. The analyzers in this package
+// turn those conventions into machine-checked invariants; cmd/owlvet runs
+// them over the module and the self-hosting test pins the repo at zero
+// findings.
+//
+// Suppression: a finding can be acknowledged in source with
+//
+//	//powl:ignore <check>[,<check>...] <reason>
+//
+// placed on the offending line, on the line directly above it, or in the doc
+// comment of the enclosing declaration (which suppresses the named checks for
+// the whole declaration). The reason is mandatory — an ignore directive
+// without one is itself a finding — and so is naming a real check.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Check is the analyzer name that produced the finding.
+	Check string `json:"check"`
+	// Pos locates the violation (file is module-root-relative in reports).
+	Pos token.Position `json:"-"`
+	// Message states the violation and what to do about it.
+	Message string `json:"message"`
+
+	// File/Line/Col mirror Pos for the JSON reporter.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Analyzer is one check over a loaded package.
+type Analyzer interface {
+	// Name is the check's identifier, used in reports and ignore directives.
+	Name() string
+	// Doc is the one-line invariant statement for -list and DESIGN.md.
+	Doc() string
+	// Run inspects one package and reports findings through pass.Report.
+	Run(pass *Pass) error
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Pkg is the loaded package under analysis.
+	Pkg *Package
+	// Files are the syntax trees the analyzer should inspect. Test files are
+	// excluded unless the suite was configured with Tests.
+	Files []*ast.File
+
+	report func(Finding)
+}
+
+// TypeOf returns the best-effort type of e, or nil when type checking could
+// not resolve it (imports outside the module are stubbed, so expressions
+// flowing through the stdlib may be unresolved — analyzers must treat nil as
+// "unknown", not "not a match").
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg == nil || p.Pkg.Info == nil {
+		return nil
+	}
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil || t == types.Typ[types.Invalid] {
+		return nil
+	}
+	return t
+}
+
+// Suite is a configured set of analyzers plus run options.
+type Suite struct {
+	Analyzers []Analyzer
+	// Tests includes _test.go files in the analysis when set.
+	Tests bool
+}
+
+// NewSuite returns the repo's standard analyzer suite.
+func NewSuite() *Suite {
+	return &Suite{Analyzers: []Analyzer{
+		&MapIter{},
+		&WallClock{},
+		&GlobalRand{},
+		&CtxSpawn{},
+		&LockedSend{},
+	}}
+}
+
+// CheckNames returns the sorted analyzer names, the vocabulary valid in
+// ignore directives.
+func (s *Suite) CheckNames() []string {
+	names := make([]string, 0, len(s.Analyzers))
+	for _, a := range s.Analyzers {
+		names = append(names, a.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run loads nothing itself: it analyzes the already-loaded packages, applies
+// the ignore directives, and returns the surviving findings sorted by
+// position. Directive misuse (missing reason, unknown check) is returned as
+// findings of the "powlignore" pseudo-check.
+func (s *Suite) Run(mod *Module) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range mod.Packages {
+		files := pkg.Files
+		if s.Tests {
+			files = append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+		}
+		for _, a := range s.Analyzers {
+			pass := &Pass{Fset: mod.Fset, Pkg: pkg, Files: files}
+			if err := runAnalyzer(a, pass, &all); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name(), pkg.Path, err)
+			}
+		}
+	}
+	// Ignore directives are gathered over every file of every package —
+	// including test files even when analyzers skip them, so a stale
+	// directive in a test still gets validated.
+	dirs := collectDirectives(mod)
+	kept := applyDirectives(all, dirs, s.CheckNames())
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].File != kept[j].File {
+			return kept[i].File < kept[j].File
+		}
+		if kept[i].Line != kept[j].Line {
+			return kept[i].Line < kept[j].Line
+		}
+		if kept[i].Col != kept[j].Col {
+			return kept[i].Col < kept[j].Col
+		}
+		return kept[i].Check < kept[j].Check
+	})
+	return kept, nil
+}
+
+// runAnalyzer executes a with a reporting hook that stamps the check name
+// and module-relative path onto each finding.
+func runAnalyzer(a Analyzer, pass *Pass, out *[]Finding) error {
+	pass.report = func(f Finding) {
+		f.Check = a.Name()
+		*out = append(*out, f)
+	}
+	return a.Run(pass)
+}
+
+// reportf is the helper analyzers use: position + message in one call.
+func (p *Pass) reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}

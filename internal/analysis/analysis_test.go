@@ -1,0 +1,581 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays a throwaway module out on disk and loads it. Keys of files
+// are module-relative paths ("internal/core/x.go").
+func writeModule(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return mod
+}
+
+// runOne runs a single analyzer (as its own suite) over an in-memory module
+// and returns the findings with module-relative paths.
+func runOne(t *testing.T, a Analyzer, files map[string]string) []Finding {
+	t.Helper()
+	mod := writeModule(t, files)
+	suite := &Suite{Analyzers: []Analyzer{a}}
+	fs, err := suite.Run(mod)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	RelPaths(mod.Root, fs)
+	return fs
+}
+
+// runAll runs the full standard suite.
+func runAll(t *testing.T, files map[string]string) []Finding {
+	t.Helper()
+	mod := writeModule(t, files)
+	fs, err := NewSuite().Run(mod)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	RelPaths(mod.Root, fs)
+	return fs
+}
+
+func wantFindings(t *testing.T, fs []Finding, want ...string) {
+	t.Helper()
+	if len(fs) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(fs), len(want), findingLines(fs))
+	}
+	for i, w := range want {
+		if !strings.Contains(fs[i].String(), w) {
+			t.Errorf("finding %d = %q, want it to contain %q", i, fs[i].String(), w)
+		}
+	}
+}
+
+func findingLines(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestMapIterFlagsSinkInRange(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import (
+	"fmt"
+	"os"
+)
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s %d\n", k, v)
+	}
+}
+`,
+	})
+	wantFindings(t, fs, "internal/p/p.go:9:2: [mapiter]")
+}
+
+func TestMapIterFlagsChannelSend(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+func route(m map[int]string, ch chan<- string) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+`,
+	})
+	wantFindings(t, fs, "channel send")
+}
+
+func TestMapIterAllowsAccumulation(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestMapIterIgnoresNestedFuncLit(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "fmt"
+
+func collect(m map[string]int) []func() {
+	var fns []func()
+	for k := range m {
+		k := k
+		fns = append(fns, func() { fmt.Println(k) })
+	}
+	return fns
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestMapIterAllowsRangeOverSlice(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "fmt"
+
+func dump(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestWallClockFlagsOutsideAllowlist(t *testing.T) {
+	fs := runOne(t, &WallClock{}, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+func Elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`,
+	})
+	wantFindings(t, fs,
+		"internal/core/x.go:6:11: [wallclock]",
+		"internal/core/x.go:7:9: [wallclock]")
+}
+
+func TestWallClockAllowsSanctionedPackages(t *testing.T) {
+	src := `package p
+
+import "time"
+
+var T = time.Now()
+`
+	fs := runOne(t, &WallClock{}, map[string]string{
+		"internal/obs/x.go":       src,
+		"internal/transport/x.go": src,
+		"cmd/tool/x.go":           src,
+		"examples/demo/x.go":      src,
+	})
+	wantFindings(t, fs)
+}
+
+func TestWallClockDoesNotMatchPrefixOfPackageName(t *testing.T) {
+	// internal/obsolete must NOT inherit internal/obs's allowance.
+	fs := runOne(t, &WallClock{}, map[string]string{
+		"internal/obsolete/x.go": `package obsolete
+
+import "time"
+
+var T = time.Now()
+`,
+	})
+	wantFindings(t, fs, "[wallclock]")
+}
+
+func TestWallClockSkipsTestFiles(t *testing.T) {
+	fs := runOne(t, &WallClock{}, map[string]string{
+		"internal/core/x_test.go": `package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTiming(t *testing.T) { _ = time.Now() }
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestWallClockIgnoresShadowingVariable(t *testing.T) {
+	fs := runOne(t, &WallClock{}, map[string]string{
+		"internal/core/x.go": `package core
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func f() int {
+	var time clock
+	return time.Now()
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestGlobalRandFlagsGlobalState(t *testing.T) {
+	fs := runOne(t, &GlobalRand{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "math/rand"
+
+func pick(n int) int { return rand.Intn(n) }
+`,
+	})
+	wantFindings(t, fs, "rand.Intn")
+}
+
+func TestGlobalRandFlagsV2(t *testing.T) {
+	fs := runOne(t, &GlobalRand{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "math/rand/v2"
+
+func pick(n int) int { return rand.IntN(n) }
+`,
+	})
+	wantFindings(t, fs, "rand.IntN")
+}
+
+func TestGlobalRandAllowsSeededRand(t *testing.T) {
+	fs := runOne(t, &GlobalRand{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "math/rand"
+
+func pick(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestGlobalRandChecksTestFilesUnconditionally(t *testing.T) {
+	// Suite.Tests is false here, yet the _test.go violation must surface.
+	fs := runOne(t, &GlobalRand{}, map[string]string{
+		"internal/p/p.go": "package p\n",
+		"internal/p/p_test.go": `package p
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFlaky(t *testing.T) { _ = rand.Intn(3) }
+`,
+	})
+	wantFindings(t, fs, "p_test.go")
+}
+
+func TestCtxSpawnFlagsBareBlockingGoroutine(t *testing.T) {
+	fs := runOne(t, &CtxSpawn{}, map[string]string{
+		"internal/p/p.go": `package p
+
+func leak(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+`,
+	})
+	wantFindings(t, fs, "[ctxspawn]")
+}
+
+func TestCtxSpawnAllowsCancellation(t *testing.T) {
+	fs := runOne(t, &CtxSpawn{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "context"
+
+func okCtx(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-ch:
+		}
+	}()
+}
+
+func okStop(stop chan struct{}, ch chan int) {
+	go func() {
+		select {
+		case <-stop:
+		case <-ch:
+		}
+	}()
+}
+
+func okArg(ctx context.Context, ch chan int) {
+	go func(c context.Context) {
+		<-ch
+	}(ctx)
+}
+
+func okNonBlocking(n *int) {
+	go func() { *n++ }()
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestLockedSendFlagsSendUnderLock(t *testing.T) {
+	fs := runOne(t, &LockedSend{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "sync"
+
+func bad(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+`,
+	})
+	wantFindings(t, fs, "channel send on ch while holding mu")
+}
+
+func TestLockedSendFlagsDeferredUnlock(t *testing.T) {
+	fs := runOne(t, &LockedSend{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "sync"
+
+func bad(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1
+}
+`,
+	})
+	wantFindings(t, fs, "[lockedsend]")
+}
+
+func TestLockedSendFlagsWaitUnderLock(t *testing.T) {
+	fs := runOne(t, &LockedSend{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "sync"
+
+func bad(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait()
+	mu.Unlock()
+}
+`,
+	})
+	wantFindings(t, fs, "wg.Wait()")
+}
+
+func TestLockedSendAllowsReleaseBeforeSend(t *testing.T) {
+	fs := runOne(t, &LockedSend{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "sync"
+
+func ok(mu *sync.Mutex, m map[int]int, ch chan int) {
+	mu.Lock()
+	v := m[0]
+	mu.Unlock()
+	ch <- v
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestLockedSendExemptsCondWait(t *testing.T) {
+	// Cond.Wait must be called with its lock held: that is its contract.
+	fs := runOne(t, &LockedSend{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "sync"
+
+type barrier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	for b.n > 0 {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestLockedSendTreatsFuncLitAsSeparateScope(t *testing.T) {
+	// The literal runs on another goroutine's stack at another time; the
+	// enclosing function's lock state does not transfer.
+	fs := runOne(t, &LockedSend{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "sync"
+
+func ok(mu *sync.Mutex, ch chan int) func() {
+	mu.Lock()
+	f := func() { ch <- 1 }
+	mu.Unlock()
+	return f
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+var T = time.Now() //powl:ignore wallclock startup stamp, reported to the operator only
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestSuppressionLineAbove(t *testing.T) {
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+//powl:ignore wallclock startup stamp, reported to the operator only
+var T = time.Now()
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestSuppressionDocCommentCoversDeclaration(t *testing.T) {
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+// measure times one probe round.
+//powl:ignore wallclock measured duration feeds the cost model, not run output
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestSuppressionMissingReasonIsAFinding(t *testing.T) {
+	// A reasonless directive suppresses nothing: the wallclock violation AND
+	// the malformed directive both surface.
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+var T = time.Now() //powl:ignore wallclock
+`,
+	})
+	wantFindings(t, fs,
+		"[wallclock]",
+		"[powlignore] ignore directive for wallclock has no reason")
+}
+
+func TestSuppressionUnknownCheckIsAFinding(t *testing.T) {
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+//powl:ignore nosuchcheck this check does not exist
+var T = 0
+`,
+	})
+	wantFindings(t, fs, "[powlignore] ignore directive names unknown check nosuchcheck")
+}
+
+func TestSuppressionNoCheckIsAFinding(t *testing.T) {
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+//powl:ignore
+var T = 0
+`,
+	})
+	wantFindings(t, fs, "[powlignore] ignore directive names no check")
+}
+
+func TestSuppressionOnlyCoversNamedCheck(t *testing.T) {
+	// An ignore for one check must not swallow another check's finding on the
+	// same line.
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+//powl:ignore wallclock sanctioned for this test
+func f() int {
+	_ = time.Now()
+	return rand.Intn(3)
+}
+`,
+	})
+	wantFindings(t, fs, "[globalrand]")
+}
+
+func TestFindingsAreSortedByPosition(t *testing.T) {
+	fs := runAll(t, map[string]string{
+		"internal/b/b.go": `package b
+
+import "time"
+
+var T = time.Now()
+`,
+		"internal/a/a.go": `package a
+
+import "math/rand"
+
+func f() int { return rand.Intn(3) }
+`,
+	})
+	wantFindings(t, fs,
+		"internal/a/a.go:5", // globalrand, sorts first by file
+		"internal/b/b.go:5") // wallclock
+}

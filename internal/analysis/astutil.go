@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// importName returns the local name under which file imports path, and
+// whether it imports it at all. A dot or blank import returns ok=false —
+// neither produces the pkg.Func selector shape the analyzers match.
+func importName(file *ast.File, path string) (string, bool) {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name == nil {
+			return defaultImportName(p), true
+		}
+		if imp.Name.Name == "." || imp.Name.Name == "_" {
+			return "", false
+		}
+		return imp.Name.Name, true
+	}
+	return "", false
+}
+
+// defaultImportName derives the package identifier an unaliased import of
+// path binds: the last segment, skipping a major-version suffix
+// (math/rand/v2 imports as rand).
+func defaultImportName(path string) string {
+	segs := strings.Split(path, "/")
+	name := segs[len(segs)-1]
+	if len(segs) > 1 && len(name) > 1 && name[0] == 'v' && name[1] >= '0' && name[1] <= '9' {
+		name = segs[len(segs)-2]
+	}
+	return name
+}
+
+// isPkgSelector reports whether e is a selector on the package identifier
+// pkgName (e.g. time.Now with pkgName "time") — as opposed to a method or
+// field access on a variable that happens to share the name. The identifier
+// must not resolve to any local object.
+func (p *Pass) isPkgSelector(e ast.Expr, pkgName, sel string) bool {
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != sel {
+		return false
+	}
+	id, ok := s.X.(*ast.Ident)
+	if !ok || id.Name != pkgName {
+		return false
+	}
+	return p.identIsPackage(id)
+}
+
+// identIsPackage reports whether id denotes a package name rather than a
+// variable shadowing one. With best-effort type info the identifier resolves
+// to a *types.PkgName (or to nothing, when the import is stubbed and the
+// file-scope lookup failed) — a resolution to a variable, field or function
+// means it is not the package.
+func (p *Pass) identIsPackage(id *ast.Ident) bool {
+	if p.Pkg == nil || p.Pkg.Info == nil {
+		return true // no type info at all: assume package use
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		return true // unresolved: stubbed import, assume package use
+	}
+	_, isPkg := obj.(*types.PkgName)
+	return isPkg
+}
+
+// funcBodies yields every function body in f — declarations and literals —
+// paired with its declaring node. Nested literals are yielded separately AND
+// remain part of the enclosing body's subtree; analyzers that must treat
+// them as separate scopes (lockedsend) prune nested literals themselves.
+func funcBodies(f *ast.File, fn func(node ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d, d.Body)
+		}
+		return true
+	})
+}
+
+// exprString renders a small expression (receiver chains like w.coord.mu)
+// for lock-identity comparison and messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	default:
+		return "?"
+	}
+}

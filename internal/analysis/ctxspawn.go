@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CtxSpawn flags `go func() { ... }()` literals that block on channel
+// operations with no cancellation path: no ctx.Done()/context selector use,
+// no context.Context in scope being consulted, and no select case draining a
+// stop/done/quit channel. This is the goroutine-leak shape that bit the TCP
+// readLoop in PR 1 — a goroutine parked on a channel nobody will ever close
+// survives the run, holds its captures, and in tests trips the leak
+// detectors nondeterministically. A goroutine that performs no blocking
+// channel operation (e.g. one that only calls a bounded function) is not
+// flagged; neither is one that can see a cancellation signal, even if a
+// particular operation forgets to select on it — that finer discipline is
+// the -race suite's job.
+type CtxSpawn struct{}
+
+// Name implements Analyzer.
+func (*CtxSpawn) Name() string { return "ctxspawn" }
+
+// Doc implements Analyzer.
+func (*CtxSpawn) Doc() string {
+	return "no `go func` blocking on channels without a cancellation path (ctx.Done / stop channel) in scope"
+}
+
+// Run implements Analyzer.
+func (a *CtxSpawn) Run(pass *Pass) error {
+	for _, f := range pass.Files {
+		if FileIsTest(pass.Fset, f.Pos()) {
+			continue // the testing framework bounds test goroutines
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named funcs own their lifecycle; literals leak
+			}
+			if !blocksOnChannels(lit.Body) {
+				return true
+			}
+			if seesCancellation(lit) || argsCarryCancellation(g.Call) {
+				return true
+			}
+			pass.reportf(g.Pos(),
+				"goroutine blocks on channel operations with no cancellation path: plumb a context (select on ctx.Done()) or a stop channel")
+			return true
+		})
+	}
+	return nil
+}
+
+// blocksOnChannels reports whether body contains a potentially-blocking
+// channel operation: a send, a receive, a range over a channel shape, or a
+// select without a default case. Nested function literals are separate
+// goroutine bodies only when spawned — but any channel op inside still
+// executes under this goroutine unless spawned again, so they count.
+func blocksOnChannels(body *ast.BlockStmt) bool {
+	blocking := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocking {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				blocking = true
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocking = true
+			}
+			return false // cases already decided the verdict
+		}
+		return !blocking
+	})
+	return blocking
+}
+
+// seesCancellation reports whether the literal's body references a
+// cancellation signal: a .Done() call/selector, an identifier that names a
+// context (ctx, wctx, rctx, …) or a stop/done/quit channel.
+func seesCancellation(lit *ast.FuncLit) bool {
+	// A context parameter on the literal itself counts even if unused in a
+	// channel op — the author wired cancellation through.
+	if lit.Type.Params != nil {
+		for _, p := range lit.Type.Params.List {
+			for _, name := range p.Names {
+				if isCancelName(name.Name) {
+					return true
+				}
+			}
+		}
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Done" || isCancelName(x.Sel.Name) {
+				found = true
+			}
+		case *ast.Ident:
+			if isCancelName(x.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// argsCarryCancellation reports whether the spawn call passes a cancellation
+// signal in as an argument (go func(ctx context.Context) {...}(ctx)).
+func argsCarryCancellation(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok && isCancelName(id.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCancelName matches identifiers conventionally carrying a cancellation
+// signal: any *ctx/ctx* spelling, stop/done/quit/closed channels.
+func isCancelName(name string) bool {
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "ctx") || strings.Contains(lower, "context") {
+		return true
+	}
+	switch lower {
+	case "stop", "done", "quit", "closed", "closing", "shutdown", "cancel":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GlobalRand flags use of math/rand's implicit global generator. Every
+// random decision in this repo — datagen's synthetic universities, the
+// fault injector's drop schedules, retry jitter, gpart's refinement — must
+// flow through a seeded *rand.Rand so a (dataset, seed) pair reproduces
+// byte-identically and a chaos run replays the same fault schedule.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are the sanctioned
+// way in; the package-level stateful functions are the violation. Test
+// files are checked too: an unseeded test is a flaky test.
+type GlobalRand struct{}
+
+// Name implements Analyzer.
+func (*GlobalRand) Name() string { return "globalrand" }
+
+// Doc implements Analyzer.
+func (*GlobalRand) Doc() string {
+	return "no math/rand global-state use — all randomness flows through seeded *rand.Rand instances"
+}
+
+// globalRandFuncs are math/rand package-level functions backed by the
+// shared, unseeded global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings of the same global-state shape.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"UintN": true, "Uint": true, "N": true,
+}
+
+// Run implements Analyzer.
+func (a *GlobalRand) Run(pass *Pass) error {
+	// Tests included deliberately: append them regardless of suite config.
+	files := pass.Files
+	if pass.Pkg != nil {
+		seen := map[*ast.File]bool{}
+		for _, f := range files {
+			seen[f] = true
+		}
+		for _, f := range pass.Pkg.TestFiles {
+			if !seen[f] {
+				files = append(append([]*ast.File{}, files...), pass.Pkg.TestFiles...)
+				break
+			}
+		}
+	}
+	for _, f := range files {
+		name, ok := importName(f, "math/rand")
+		if !ok {
+			if name, ok = importName(f, "math/rand/v2"); !ok {
+				continue
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			if !pass.isPkgSelector(sel, name, sel.Sel.Name) {
+				return true
+			}
+			pass.reportf(sel.Pos(),
+				"global math/rand state (rand.%s): thread a seeded *rand.Rand so the run is reproducible from its seed",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

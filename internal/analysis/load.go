@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is every package of one Go module, parsed and best-effort
+// type-checked, ready for analysis.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path from go.mod (e.g. "powl").
+	Path string
+	Fset *token.FileSet
+	// Packages are sorted by import path for deterministic analysis order.
+	Packages []*Package
+}
+
+// Package is one directory's worth of parsed Go files.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Files are the non-test syntax trees, sorted by file name.
+	Files []*ast.File
+	// TestFiles are the _test.go syntax trees (both in-package and external
+	// test package files), sorted by file name.
+	TestFiles []*ast.File
+	// Types is the best-effort type-checked package (may be nil when the
+	// directory holds only test files).
+	Types *types.Package
+	// Info holds whatever the tolerant type check resolved. Imports outside
+	// the module are stubbed with empty packages, so stdlib-flavored
+	// expressions are often unresolved; analyzers treat that as "unknown".
+	Info *types.Info
+}
+
+// LoadModule walks the module rooted at or above dir, parses every package,
+// and type-checks each with a module-internal importer. It never shells out
+// and uses only the standard library, which is what lets owlvet run inside
+// `go test` with no toolchain assumptions beyond the source tree itself.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+
+	var dirs []string
+	err = filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() {
+			return nil
+		}
+		name := fi.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walk %s: %w", root, err)
+	}
+	sort.Strings(dirs)
+
+	ld := &loader{mod: mod, byPath: map[string]*Package{}, stubs: map[string]*types.Package{}, checking: map[string]bool{}}
+	for _, d := range dirs {
+		pkg, err := ld.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			mod.Packages = append(mod.Packages, pkg)
+			ld.byPath[pkg.Path] = pkg
+		}
+	}
+	for _, pkg := range mod.Packages {
+		ld.check(pkg)
+	}
+	sort.Slice(mod.Packages, func(i, j int) bool { return mod.Packages[i].Path < mod.Packages[j].Path })
+	return mod, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and extracts the module
+// path from its first `module` directive.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+	}
+}
+
+type loader struct {
+	mod    *Module
+	byPath map[string]*Package
+	// stubs caches the empty stand-in packages minted for imports outside
+	// the module (stdlib and beyond): type checking proceeds around them and
+	// every expression flowing through one simply stays unresolved.
+	stubs map[string]*types.Package
+	// checking guards against import cycles (illegal Go, but the loader must
+	// not recurse forever on code it is supposed to diagnose).
+	checking map[string]bool
+}
+
+// parseDir parses one directory into a Package, or nil when it holds no Go
+// files.
+func (ld *loader) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	rel, err := filepath.Rel(ld.mod.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := ld.mod.Path
+	if rel != "." {
+		importPath = ld.mod.Path + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: importPath, Dir: dir}
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse: %w", err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	return pkg, nil
+}
+
+// check type-checks pkg's non-test files with a tolerant configuration:
+// every error is swallowed, imports inside the module resolve to the real
+// (recursively checked) package, and everything else resolves to an empty
+// stub. The resulting Info is partial by design — see Package.Info.
+func (ld *loader) check(pkg *Package) {
+	if pkg.Types != nil || len(pkg.Files) == 0 || ld.checking[pkg.Path] {
+		return
+	}
+	ld.checking[pkg.Path] = true
+	defer delete(ld.checking, pkg.Path)
+	conf := types.Config{
+		Error:            func(error) {}, // best-effort: keep going
+		Importer:         (*moduleImporter)(ld),
+		IgnoreFuncBodies: false,
+	}
+	info := &types.Info{
+		Types:  map[ast.Expr]types.TypeAndValue{},
+		Uses:   map[*ast.Ident]types.Object{},
+		Defs:   map[*ast.Ident]types.Object{},
+		Scopes: map[ast.Node]*types.Scope{},
+	}
+	// Check never hard-fails with a non-nil Error handler short of a
+	// misconfiguration; the partially-filled package is still useful.
+	tpkg, _ := conf.Check(pkg.Path, ld.mod.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// moduleImporter resolves module-internal imports to real packages and
+// everything else to cached empty stubs.
+type moduleImporter loader
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(m)
+	if pkg, ok := ld.byPath[path]; ok {
+		ld.check(pkg)
+		if pkg.Types != nil {
+			return pkg.Types, nil
+		}
+	}
+	if stub, ok := ld.stubs[path]; ok {
+		return stub, nil
+	}
+	stub := types.NewPackage(path, defaultImportName(path))
+	stub.MarkComplete()
+	ld.stubs[path] = stub
+	return stub, nil
+}
+
+// FileIsTest reports whether the file position belongs to a _test.go file.
+func FileIsTest(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// RelPaths rewrites every finding's file to be relative to root, for stable
+// report output independent of where the tool ran.
+func RelPaths(root string, fs []Finding) {
+	for i := range fs {
+		if rel, err := filepath.Rel(root, fs[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			fs[i].File = filepath.ToSlash(rel)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockedSend flags channel sends and WaitGroup/barrier Wait calls made while
+// a sync.Mutex/RWMutex acquired in the same function is still held. A send
+// can block until a receiver runs; if every receiver needs that same lock,
+// the run deadlocks — the barrier-deadlock shape from the cluster/recover
+// work. The check is a source-order heuristic per function body: a
+// mu.Lock()/mu.RLock() (or successful TryLock) opens a held region that a
+// matching Unlock closes; `defer mu.Unlock()` holds to the end of the
+// function. sync.Cond receivers are exempt — Cond.Wait must be called with
+// the lock held, that is its contract. Nested function literals are scanned
+// as their own scopes: they run on their own goroutine's stack at their own
+// time, so the enclosing function's lock state does not transfer.
+type LockedSend struct{}
+
+// Name implements Analyzer.
+func (*LockedSend) Name() string { return "lockedsend" }
+
+// Doc implements Analyzer.
+func (*LockedSend) Doc() string {
+	return "no channel send or Wait() while holding a mutex acquired in the same function"
+}
+
+// Run implements Analyzer.
+func (a *LockedSend) Run(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
+			scanLockedSends(pass, body)
+		})
+	}
+	return nil
+}
+
+// lockEvent is one lock-state-relevant occurrence inside a function body,
+// ordered by source position.
+type lockEvent struct {
+	pos  token.Pos
+	kind string // "lock", "unlock", "deferUnlock", "send", "wait"
+	recv string // lock identity (mu, c.mu, …) or offending expression
+}
+
+// scanLockedSends performs the source-order scan of one function body.
+func scanLockedSends(pass *Pass, body *ast.BlockStmt) {
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // separate scope, scanned on its own
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			events = append(events, lockEvent{pos: x.Pos(), kind: "send", recv: exprString(x.Chan)})
+		case *ast.DeferStmt:
+			if recv, kind := lockCallKind(x.Call); kind == "unlock" {
+				events = append(events, lockEvent{pos: x.Pos(), kind: "deferUnlock", recv: recv})
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			recv, kind := lockCallKind(x)
+			switch kind {
+			case "lock", "unlock":
+				events = append(events, lockEvent{pos: x.Pos(), kind: kind, recv: recv})
+			case "wait":
+				events = append(events, lockEvent{pos: x.Pos(), kind: "wait", recv: recv})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]bool{}     // lock identity -> currently held
+	deferred := map[string]bool{} // lock identity -> held to function end
+	for _, e := range events {
+		switch e.kind {
+		case "lock":
+			held[e.recv] = true
+		case "unlock":
+			if !deferred[e.recv] {
+				delete(held, e.recv)
+			}
+		case "deferUnlock":
+			deferred[e.recv] = true
+		case "send", "wait":
+			if len(held) == 0 {
+				continue
+			}
+			locks := heldNames(held)
+			verb := "channel send on " + e.recv
+			if e.kind == "wait" {
+				verb = e.recv + ".Wait()"
+			}
+			pass.reportf(e.pos,
+				"%s while holding %s (acquired in this function): a blocked counterpart needing the lock deadlocks the run — release before blocking",
+				verb, strings.Join(locks, ", "))
+		}
+	}
+}
+
+// lockCallKind classifies a call as a lock acquire, release, or a blocking
+// Wait, returning the receiver's identity string. Cond receivers (any path
+// segment containing "cond") are exempt from the wait classification:
+// Cond.Wait is specified to be called with the lock held.
+func lockCallKind(call *ast.CallExpr) (recv, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	r := exprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		// Only treat receivers that look like mutexes: plain identifiers or
+		// field chains — a method call result is something else.
+		if strings.Contains(r, "()") {
+			return "", ""
+		}
+		return r, "lock"
+	case "Unlock", "RUnlock":
+		if strings.Contains(r, "()") {
+			return "", ""
+		}
+		return r, "unlock"
+	case "Wait":
+		if strings.Contains(strings.ToLower(r), "cond") {
+			return "", ""
+		}
+		return r, "wait"
+	}
+	return "", ""
+}
+
+func heldNames(held map[string]bool) []string {
+	out := make([]string, 0, len(held))
+	for k := range held {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelfHostZeroFindings is the suite's self-hosting gate: the repo itself
+// must be clean under every analyzer. Every sanctioned real-time read carries
+// a //powl:ignore wallclock <reason> annotation; everything else was fixed.
+// A new violation anywhere in the module fails this test with its file:line.
+func TestSelfHostZeroFindings(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if mod.Path != "powl" {
+		t.Fatalf("loaded module %q, want powl (test must run inside the repo)", mod.Path)
+	}
+	fs, err := NewSuite().Run(mod)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	RelPaths(mod.Root, fs)
+	if len(fs) != 0 {
+		t.Errorf("owlvet must report zero findings over the repo, got %d:\n%s",
+			len(fs), findingLines(fs))
+	}
+}
+
+// TestSeededViolationCaughtByOwlvet plants a deliberate violation in a
+// scratch module and runs the real cmd/owlvet binary over it: the tool must
+// exit non-zero and name the exact file:line. This exercises the whole
+// pipeline end to end — loader, analyzer, reporter, exit status — the same
+// way the CI lint job consumes it.
+func TestSeededViolationCaughtByOwlvet(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+
+	dir := t.TempDir()
+	writeFile := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module seeded\n\ngo 1.22\n")
+	writeFile("internal/core/bad.go", `package core
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}
+`)
+
+	cmd := exec.Command("go", "run", "./cmd/owlvet", dir)
+	cmd.Dir = mod.Root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("owlvet exited 0 on a seeded violation; output:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running owlvet: %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("owlvet exit code = %d, want 1 (findings); output:\n%s", code, out)
+	}
+	want := "internal/core/bad.go:6:9: [wallclock]"
+	if !strings.Contains(string(out), want) {
+		t.Errorf("owlvet output missing %q:\n%s", want, out)
+	}
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //powl:ignore comment.
+type directive struct {
+	pos    token.Position
+	checks []string // check names the directive suppresses
+	reason string   // justification text (mandatory)
+	// endLine extends the suppressed range: same line as the directive,
+	// the next line, or — when the directive sits in a declaration's doc
+	// comment — the declaration's whole extent.
+	startLine, endLine int
+	file               string
+	used               bool
+}
+
+const ignorePrefix = "//powl:ignore"
+
+// collectDirectives parses every powl:ignore comment in the module,
+// including test files (a directive in a test is still validated).
+func collectDirectives(mod *Module) []*directive {
+	var out []*directive
+	for _, pkg := range mod.Packages {
+		for _, files := range [2][]*ast.File{pkg.Files, pkg.TestFiles} {
+			for _, f := range files {
+				out = append(out, fileDirectives(mod.Fset, f)...)
+			}
+		}
+	}
+	return out
+}
+
+// fileDirectives extracts the directives of one file and computes each one's
+// suppressed line range.
+func fileDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	// Doc-comment directives cover the whole declaration they document.
+	docScope := map[*ast.Comment][2]int{} // comment -> [startLine, endLine]
+	for _, decl := range f.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc == nil {
+			continue
+		}
+		start := fset.Position(decl.Pos()).Line
+		end := fset.Position(decl.End()).Line
+		for _, c := range doc.List {
+			docScope[c] = [2]int{start, end}
+		}
+	}
+
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &directive{pos: pos, file: pos.Filename}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						d.checks = append(d.checks, name)
+					}
+				}
+				d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+			}
+			if scope, ok := docScope[c]; ok {
+				d.startLine, d.endLine = scope[0], scope[1]
+			} else {
+				// Same line (trailing comment) or the next code line.
+				d.startLine, d.endLine = pos.Line, pos.Line+1
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applyDirectives filters findings through the directives and appends the
+// directive-misuse findings (missing reason, unknown check). Every directive
+// must name at least one known check and carry a non-empty reason.
+func applyDirectives(fs []Finding, dirs []*directive, known []string) []Finding {
+	knownSet := make(map[string]bool, len(known))
+	for _, k := range known {
+		knownSet[k] = true
+	}
+	var out []Finding
+	for _, f := range fs {
+		suppressed := false
+		for _, d := range dirs {
+			if d.file != f.Pos.Filename {
+				continue
+			}
+			if f.Line < d.startLine || f.Line > d.endLine {
+				continue
+			}
+			if !d.matches(f.Check) {
+				continue
+			}
+			// A malformed directive suppresses nothing: the violation and the
+			// bad directive both surface.
+			if d.reason == "" || !allKnown(d.checks, knownSet) {
+				continue
+			}
+			d.used = true
+			suppressed = true
+			break
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case len(d.checks) == 0:
+			out = append(out, directiveFinding(d, "ignore directive names no check: want //powl:ignore <check> <reason>"))
+		case d.reason == "":
+			out = append(out, directiveFinding(d, "ignore directive for "+strings.Join(d.checks, ",")+" has no reason: a suppression must say why the violation is sanctioned"))
+		default:
+			for _, c := range d.checks {
+				if !knownSet[c] {
+					out = append(out, directiveFinding(d, "ignore directive names unknown check "+c))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (d *directive) matches(check string) bool {
+	for _, c := range d.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+func allKnown(checks []string, known map[string]bool) bool {
+	for _, c := range checks {
+		if !known[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func directiveFinding(d *directive, msg string) Finding {
+	return Finding{
+		Check:   "powlignore",
+		Pos:     d.pos,
+		File:    d.pos.Filename,
+		Line:    d.pos.Line,
+		Col:     d.pos.Column,
+		Message: msg,
+	}
+}

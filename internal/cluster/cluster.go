@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -162,6 +163,8 @@ func Run(cfg Config, assigns []Assignment) (*Result, error) {
 // RunContext executes Algorithm 3 over the given assignments under ctx.
 // Cancelling ctx aborts the run (the barrier wakes all workers), and
 // cfg.RoundTimeout additionally bounds each worker's individual rounds.
+//
+//powl:ignore wallclock Concurrent-mode Elapsed is defined as real wall-clock; Simulated takes the runSimulated path, which reconstructs its own clock.
 func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result, error) {
 	k := len(assigns)
 	if k == 0 {
@@ -332,6 +335,8 @@ type worker struct {
 // subsequent rounds exploit that the graph was at fixpoint before the
 // received tuples arrived: nothing received means nothing to do, and an
 // Incremental engine closes over just the received seeds.
+//
+//powl:ignore wallclock measures the real phase duration that feeds Timings and, in Simulated mode, the reconstructed clock — an input to the cost model, not a timestamp in its output.
 func (w *worker) phaseReason(ctx context.Context, cfg Config) (time.Duration, error) {
 	// Attach the worker's rule collector so the engines profile per-rule
 	// work; with Obs nil this returns ctx unchanged.
@@ -364,6 +369,8 @@ func (w *worker) phaseReason(ctx context.Context, cfg Config) (time.Duration, er
 
 // phaseSend routes every not-yet-shipped triple (step 4) and returns the
 // number sent and the phase duration.
+//
+//powl:ignore wallclock measures the real phase duration that feeds Timings and the Simulated reconstruction.
 func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, time.Duration, error) {
 	t0 := time.Now()
 	var adoptedSet map[int]bool
@@ -400,8 +407,17 @@ func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, tim
 		cfg.Obs.Emit(obs.Event{Type: obs.EvCheckpoint, TS: cfg.Obs.Now(),
 			Worker: w.id, Round: round, N: int64(len(delta))})
 	}
+	// Send in ascending destination order: map order would make the send
+	// sequence — and therefore which send an injected transport fault hits —
+	// differ from run to run.
+	dsts := make([]int, 0, len(outbox))
+	for dst := range outbox {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
 	nSent := 0
-	for dst, ts := range outbox {
+	for _, dst := range dsts {
+		ts := outbox[dst]
 		if err := cfg.Transport.Send(ctx, round, w.id, dst, ts); err != nil {
 			return 0, 0, fmt.Errorf("cluster: worker %d send: %w", w.id, err)
 		}
@@ -416,6 +432,8 @@ func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, tim
 // phaseRecv absorbs the tuples other workers sent this round (step 5),
 // including anything addressed to partitions this worker adopted — peers
 // keep routing to the dead worker's id, and its mailbox now drains here.
+//
+//powl:ignore wallclock measures the real phase duration that feeds Timings and the Simulated reconstruction.
 func (w *worker) phaseRecv(ctx context.Context, cfg Config, round int) (time.Duration, error) {
 	t0 := time.Now()
 	in, err := cfg.Transport.Recv(ctx, round, w.id)
@@ -482,6 +500,8 @@ func roundCtx(ctx context.Context, cfg Config) (context.Context, context.CancelF
 }
 
 // run is one worker's round loop in Concurrent mode.
+//
+//powl:ignore wallclock barrier-wait duration is a real measurement (Concurrent mode only; Simulated derives Sync analytically).
 func (w *worker) run(ctx context.Context, cfg Config, bar *barrier, maxRounds int) (int, error) {
 	round := 0
 	for ; round < maxRounds; round++ {
@@ -707,6 +727,8 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, assigns []
 // (their implementation concatenated result files). Building the indexed
 // result Graph afterwards is load-into-a-store post-processing that a serial
 // run pays identically, so it is excluded from the timing.
+//
+//powl:ignore wallclock aggregation is real master-side work, timed on the real clock in both modes (Simulated adds it on top of the reconstructed time).
 func aggregate(workers []*worker, coord *coordinator) (*Result, error) {
 	maxLen := 0
 	for _, w := range workers {

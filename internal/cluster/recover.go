@@ -200,6 +200,7 @@ type coordinator struct {
 	err        error
 }
 
+//powl:ignore wallclock the failure detector compares real arrival times against real deadlines by design — detection latency is an operational property, not run output.
 func newCoordinator(k int, rc RecoveryConfig, bar *barrier, o *obs.Run, assigns []Assignment) *coordinator {
 	c := &coordinator{
 		store: rc.Store, rc: rc, bar: bar, obs: o, assigns: assigns,
@@ -233,6 +234,8 @@ func (c *coordinator) isDead(id int) bool {
 
 // atBarrier records that a worker reached the round's barrier — the
 // progress signal the failure detector watches. Nil-safe.
+//
+//powl:ignore wallclock frontier arrival times exist only to feed the real-time failure detector.
 func (c *coordinator) atBarrier(id, round int) {
 	if c == nil {
 		return
@@ -356,6 +359,8 @@ func (c *coordinator) runErr() error {
 // reports one — has had no proof of life from it past RoundDeadline. A
 // false positive is safe: the declared worker steps aside at its next
 // coordination point and its partition is re-derived by the adopter.
+//
+//powl:ignore wallclock liveness deadlines are real time by definition; nothing here is stamped into run output.
 func (c *coordinator) detect(ctx context.Context, tr transport.Transport) {
 	hr, _ := tr.(transport.HealthReporter)
 	ticker := time.NewTicker(c.rc.Poll)

@@ -170,6 +170,8 @@ type Result struct {
 
 // Materialize runs the configured parallel reasoner over the dataset and
 // returns the materialized KB.
+//
+//powl:ignore wallclock cost-model timing is a real measurement reported as a duration, never a timestamp in serialized output.
 func Materialize(ds *datagen.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	compiled := owlhorst.Compile(ds.Dict, ds.Graph)
@@ -302,6 +304,8 @@ type SerialResult struct {
 // MaterializeSerial closes the dataset on one processor with the given
 // engine — the baseline all speedups are measured against. It uses the same
 // compile-then-run pipeline as the parallel path.
+//
+//powl:ignore wallclock the serial baseline's Elapsed is the paper's wall-clock measurement (Table I).
 func MaterializeSerial(ds *datagen.Dataset, kind EngineKind) (*SerialResult, error) {
 	engine, err := engineFor(kind)
 	if err != nil {

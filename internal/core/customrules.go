@@ -162,6 +162,8 @@ func sharesOwnedVariable(r rules.Rule) bool {
 
 // SerialRules closes the dataset under rs on one processor — the baseline
 // for MaterializeRules.
+//
+//powl:ignore wallclock serial baseline Elapsed is a wall-clock measurement, mirroring MaterializeSerial.
 func SerialRules(ds *datagen.Dataset, rs []rules.Rule, kind EngineKind) (*SerialResult, error) {
 	engine, err := engineFor(kind)
 	if err != nil {

@@ -215,4 +215,3 @@ func TestObsRecorderOnAllTransports(t *testing.T) {
 		}
 	}
 }
-

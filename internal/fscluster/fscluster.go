@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -144,12 +145,19 @@ func Prepare(dir string, dict *rdf.Dict, g *rdf.Graph, k int, pol partition.Poli
 		return nil, err
 	}
 
-	// Ownership table.
+	// Ownership table, in ascending resource-ID order so the file is
+	// byte-stable across runs of the same (input, seed) — map order would
+	// reshuffle it every run.
+	ids := make([]rdf.ID, 0, len(pres.Owner))
+	for id := range pres.Owner {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var ob strings.Builder
-	for id, p := range pres.Owner {
+	for _, id := range ids {
 		ob.WriteString(dict.Term(id).String())
 		ob.WriteByte('\t')
-		ob.WriteString(strconv.Itoa(p))
+		ob.WriteString(strconv.Itoa(pres.Owner[id]))
 		ob.WriteByte('\n')
 	}
 	if err := os.WriteFile(l.OwnerFile(), []byte(ob.String()), 0o644); err != nil {
@@ -241,6 +249,8 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 // RunNodeContext is RunNode with cancellation: the context is checked each
 // round, passed to the engine's fixpoint loop, and honoured by the barrier
 // poll, so a cancelled node stops within one round phase.
+//
+//powl:ignore wallclock per-phase durations are real measurements journaled per node; the shared-FS deployment has no simulated mode.
 func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	if cfg.Engine == nil {
 		cfg.Engine = reason.Forward{}
@@ -403,7 +413,16 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 					Worker: cfg.ID, Round: round, N: int64(len(delta)), Bytes: size})
 			}
 		}
-		for dst, ts := range outbox {
+		// Ascending destination order: the injected fault schedule counts
+		// Send calls, so map order would change which destination a
+		// deterministic fault hits from run to run.
+		dsts := make([]int, 0, len(outbox))
+		for dst := range outbox {
+			dsts = append(dsts, dst)
+		}
+		sort.Ints(dsts)
+		for _, dst := range dsts {
+			ts := outbox[dst]
 			// An injected send fault is a node failure here: there is no
 			// transport to retry through, so the node fail-stops and the
 			// recovery path takes over.
@@ -512,6 +531,8 @@ func (n *node) isAdopted(id int) bool {
 // sent counts. A peer whose marker is missing but whose dead-file names this
 // node as adopter is taken over on the spot (recover.go); its marker then
 // appears and the barrier completes for everyone.
+//
+//powl:ignore wallclock the shared-FS barrier polls against a real deadline — liveness, not output.
 func (n *node) awaitMarkers(ctx context.Context, round int) (int, error) {
 	l, cfg := n.l, n.cfg
 	deadline := time.Now().Add(cfg.Timeout)

@@ -2,6 +2,7 @@ package fscluster
 
 import (
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -154,5 +155,46 @@ func TestRoundsProgress(t *testing.T) {
 	}
 	if totalSent == 0 {
 		t.Error("no tuples exchanged on a partitioned chain dataset")
+	}
+}
+
+// TestPrepareIsByteStable: two Prepare runs over the same (dataset, seed)
+// must lay out byte-identical work directories — the ownership table, part
+// files and rule file are run artifacts that checkpoint replay and the chaos
+// CI diff both compare. Map iteration order must never leak into them
+// (owlvet's mapiter check guards the code path; this pins the bytes).
+func TestPrepareIsByteStable(t *testing.T) {
+	const k = 3
+	pol := partition.GraphPolicy{Opts: gpart.Options{Seed: 42}}
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for _, dir := range dirs {
+		// A fresh dataset per run: internal map layouts differ, bytes must not.
+		ds := datagen.LUBM(datagen.LUBMConfig{Universities: 1, Seed: 7, DeptsPerUniv: 3})
+		if _, err := Prepare(dir, ds.Dict, ds.Graph, k, pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l0, l1 := Layout{Dir: dirs[0]}, Layout{Dir: dirs[1]}
+	files := [][2]string{
+		{l0.OwnerFile(), l1.OwnerFile()},
+		{l0.RulesFile(), l1.RulesFile()},
+		{l0.MetaFile(), l1.MetaFile()},
+	}
+	for i := 0; i < k; i++ {
+		files = append(files, [2]string{l0.PartFile(i), l1.PartFile(i)})
+	}
+	for _, pair := range files {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between identical Prepare runs (%d vs %d bytes)",
+				filepath.Base(pair[0]), len(a), len(b))
+		}
 	}
 }

@@ -75,6 +75,8 @@ type SuperviseResult struct {
 // Supervise watches a running cluster's work directory until every live node
 // has written its closure file, declaring nodes dead when they miss the round
 // deadline. Run it concurrently with the nodes (cmd/owlcluster -run does).
+//
+//powl:ignore wallclock the supervisor's round deadlines are real-time liveness checks by design.
 func Supervise(ctx context.Context, cfg SuperviseConfig) (*SuperviseResult, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 20 * time.Millisecond

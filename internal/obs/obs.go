@@ -125,10 +125,10 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // HistSnapshot is a point-in-time view of a histogram.
 type HistSnapshot struct {
-	Count int64           `json:"count"`
-	Sum   time.Duration   `json:"sum_ns"`
-	Min   time.Duration   `json:"min_ns"`
-	Max   time.Duration   `json:"max_ns"`
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
 	// Buckets[i] counts observations below BucketBound(i).
 	Buckets []int64 `json:"buckets"`
 }

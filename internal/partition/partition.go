@@ -84,6 +84,8 @@ type Result struct {
 }
 
 // Partition runs Algorithm 1 with the given policy.
+//
+//powl:ignore wallclock Elapsed reproduces the paper's Part. Time measurement (Table I) — a reported duration, not an ordering input.
 func Partition(in *Input, k int, pol Policy) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k must be ≥ 1, got %d", k)

@@ -37,6 +37,8 @@ func (f Forward) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Ru
 }
 
 // materialize runs semi-naive evaluation with the given initial delta.
+//
+//powl:ignore wallclock per-rule profiling accumulates real durations into RuleStats; disabled entirely when no collector is attached.
 func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) (int, error) {
 	crs := compileRules(rs)
 	prof := newRuleProf(ctx, crs)

@@ -207,6 +207,8 @@ func (s *solver) solve(goal rdf.Triple) *tableEntry {
 
 // evaluateOnce runs one resolution pass for e's goal: base facts plus every
 // rule whose head unifies, with bodies evaluated left-to-right.
+//
+//powl:ignore wallclock per-rule profiling clock, same contract as forward.materialize.
 func (s *solver) evaluateOnce(e *tableEntry) {
 	goal := e.goal
 	s.g.ForEachMatch(goal.S, goal.P, goal.O, func(t rdf.Triple) bool {

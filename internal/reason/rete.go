@@ -183,6 +183,8 @@ func buildNetwork(crs []cRule) *network {
 
 // assert feeds one triple through the network, calling emit for each head
 // instantiation produced.
+//
+//powl:ignore wallclock per-rule profiling clock, same contract as forward.materialize.
 func (n *network) assert(t rdf.Triple, emit func(rdf.Triple)) {
 	if n.prof == nil {
 		for _, a := range n.alphasByPred[t.P] {

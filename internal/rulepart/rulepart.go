@@ -41,6 +41,8 @@ type Options struct {
 }
 
 // Partition runs Algorithm 2 over rs.
+//
+//powl:ignore wallclock Elapsed reproduces the paper's rule-partitioning time measurement — a reported duration only.
 func Partition(rs []rules.Rule, k int, opts Options) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("rulepart: k must be ≥ 1, got %d", k)

@@ -152,7 +152,7 @@ func TestPercentile(t *testing.T) {
 	}{
 		{0, 15}, {100, 50}, {50, 35},
 		{25, 20}, {75, 40},
-		{40, 29}, // rank 1.6: 20 + 0.6*(35-20)
+		{40, 29},            // rank 1.6: 20 + 0.6*(35-20)
 		{-5, 15}, {120, 50}, // clamped
 	}
 	for _, c := range cases {

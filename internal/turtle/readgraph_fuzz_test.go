@@ -1,0 +1,70 @@
+package turtle_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"powl/internal/rdf"
+	"powl/internal/transport"
+	"powl/internal/turtle"
+)
+
+// FuzzTurtleReadGraph drives turtle.ReadGraph the way a loader fed from the
+// network or a shared file system would: an arbitrary payload is parsed into
+// a fresh graph, and a parse failure is wrapped as transport.ErrMalformed.
+// Mirrors ntriples.FuzzReadGraph: the properties under test are no panic,
+// termination on any input (the Turtle grammar has nesting — blank-node
+// property lists and collections — so runaway recursion and stuck-position
+// loops are the specific risks), and malformed payloads classifying fatal,
+// never transient, under transport.DefaultClassify.
+func FuzzTurtleReadGraph(f *testing.F) {
+	seeds := []string{
+		"@prefix ex: <http://x/> .\nex:a ex:p ex:b .",
+		"@prefix ex: <http://x/> .\nex:a ex:p ex:b , ex:c ; ex:q ex:d .",
+		"@prefix ex: <http://x/> .\nex:a ex:p [ a ex:T ] .",
+		"@prefix ex: <http://x/> .\nex:C ex:l ( ex:a ex:b ) .",
+		"@base <http://b/> .\n<a> <p> <o> .",
+		"@prefix ex: <http://x/> .\nex:a ex:p ex:b",    // missing dot
+		"@prefix ex: <http://x/> .\nex:a ex:p \"torn",  // torn literal
+		"@prefix ex: <http://x/> .\nex:a ex:p [ a ex:", // torn blank node
+		"@prefix ex: <http://x/> .\nex:C ex:l ( ex:a",  // torn collection
+		"\x00\xff\xfe frame garbage",                   // binary noise
+		strings.Repeat("<a> <b> <c> .\n", 10) + "<d>",  // good prefix, torn tail
+		"@prefix : <u", // torn directive
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, payload string) {
+		done := make(chan struct{})
+		var n int
+		var err error
+		go func() {
+			defer close(done)
+			dict := rdf.NewDict()
+			g := rdf.NewGraph()
+			n, err = turtle.ReadGraph(strings.NewReader(payload), dict, g)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("ReadGraph looped on %d-byte payload", len(payload))
+		}
+		if err == nil {
+			if n < 0 {
+				t.Fatalf("accepted payload reported %d triples", n)
+			}
+			return
+		}
+		// Wrap as a receive path would and check the classification: a
+		// malformed payload must be fatal, not retried — re-reading cannot
+		// repair corrupt bytes.
+		framed := fmt.Errorf("loader: %w: %v", transport.ErrMalformed, err)
+		if transport.DefaultClassify(framed) {
+			t.Fatalf("malformed payload classified transient: %v", framed)
+		}
+	})
+}
