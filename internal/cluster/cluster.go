@@ -183,18 +183,16 @@ func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result,
 	start := time.Now()
 	workers := make([]*worker, k)
 	for i := range workers {
-		g := rdf.NewGraph()
+		g := rdf.NewGraphCap(len(assigns[i].Base))
 		g.AddAll(assigns[i].Base)
 		workers[i] = &worker{
 			id:    i,
 			graph: g,
 			rules: assigns[i].Rules,
-			sent:  make(map[rdf.Triple]struct{}, len(assigns[i].Base)),
-		}
-		// Base tuples are known to every worker that should have them
-		// (the partitioner placed them); never re-ship them.
-		for _, t := range assigns[i].Base {
-			workers[i].sent[t] = struct{}{}
+			// Base tuples are known to every worker that should have them
+			// (the partitioner placed them); the shipping watermark starts
+			// past them so they are never re-shipped.
+			shipped: g.Len(),
 		}
 		workers[i].inj = cfg.injector(i)
 	}
@@ -311,8 +309,18 @@ type worker struct {
 	id    int
 	graph *rdf.Graph
 	rules []rules.Rule
-	sent  map[rdf.Triple]struct{} // triples already routed (or base)
-	tm    Timings
+	// shipped is the graph-log watermark of routed knowledge: every triple
+	// at log offset < shipped is base, already routed, or received (global
+	// knowledge). The graph log is append-only and deduplicated, so the send
+	// phase's delta is exactly TriplesSince(shipped) — no per-triple
+	// membership map, no full-graph walk per round.
+	shipped int
+	// reship holds adopted checkpoint triples that sit below the watermark
+	// but still need routing: a dead peer may have derived them without
+	// completing its sends, so the adopter re-routes them (receivers
+	// deduplicate). Empty except after an adoption.
+	reship map[rdf.Triple]struct{}
+	tm     Timings
 	// materialized is set after the first full materialization; later
 	// rounds only need to close over the tuples received since.
 	materialized bool
@@ -368,7 +376,10 @@ func (w *worker) phaseReason(ctx context.Context, cfg Config) (time.Duration, er
 }
 
 // phaseSend routes every not-yet-shipped triple (step 4) and returns the
-// number sent and the phase duration.
+// number sent and the phase duration. The delta is read straight off the
+// graph's append-only log above the shipping watermark — the reason phase's
+// new derivations — plus any adopted checkpoint triples queued for
+// re-routing.
 //
 //powl:ignore wallclock measures the real phase duration that feeds Timings and the Simulated reconstruction.
 func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, time.Duration, error) {
@@ -382,11 +393,7 @@ func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, tim
 	}
 	var delta []rdf.Triple
 	outbox := map[int][]rdf.Triple{}
-	for _, t := range w.graph.Triples() {
-		if _, done := w.sent[t]; done {
-			continue
-		}
-		w.sent[t] = struct{}{}
+	route := func(t rdf.Triple) {
 		delta = append(delta, t)
 		for _, dst := range cfg.Router.Destinations(t, w.id) {
 			// A destination this worker adopted is this worker: the triple
@@ -396,6 +403,23 @@ func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, tim
 			}
 			outbox[dst] = append(outbox[dst], t)
 		}
+	}
+	for _, t := range w.graph.TriplesSince(w.shipped) {
+		route(t)
+	}
+	w.shipped = w.graph.Len()
+	if len(w.reship) > 0 {
+		// Adopted checkpoint triples, in sorted order: map order would make
+		// the send sequence differ from run to run.
+		rs := make([]rdf.Triple, 0, len(w.reship))
+		for t := range w.reship {
+			rs = append(rs, t)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Less(rs[j]) })
+		for _, t := range rs {
+			route(t)
+		}
+		clear(w.reship)
 	}
 	// Checkpoint the delta before any send leaves: if this worker dies
 	// mid-send, its adopter replays the delta and re-routes it (receivers
@@ -456,13 +480,15 @@ func (w *worker) phaseRecv(ctx context.Context, cfg Config, round int) (time.Dur
 		}
 	}
 	for _, t := range in {
-		// Received tuples are already global knowledge; absorbing one must
-		// not re-ship it.
-		w.sent[t] = struct{}{}
 		if w.graph.Add(t) {
 			w.received = append(w.received, t)
 		}
 	}
+	// Received tuples are already global knowledge; advancing the watermark
+	// past them means the next send phase never re-ships them. Receive is the
+	// round's last phase, so everything above the send-phase watermark here
+	// is exactly what this receive absorbed.
+	w.shipped = w.graph.Len()
 	d := time.Since(t0)
 	w.tm.IO += d
 	return d, nil
@@ -750,7 +776,8 @@ func aggregate(workers []*worker, coord *coordinator) (*Result, error) {
 		if coord.isDead(w.id) {
 			continue
 		}
-		for _, t := range w.graph.Triples() {
+		// Zero-copy log walk: the merge only reads, so the shared view is safe.
+		for _, t := range w.graph.TriplesSince(0) {
 			merged[t] = struct{}{}
 		}
 		res.OutputSizes[i] = w.graph.Len()

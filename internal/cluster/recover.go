@@ -400,16 +400,21 @@ func (c *coordinator) detect(ctx context.Context, tr transport.Transport) {
 // victim's base partition, every checkpointed delta it saved before dying,
 // its undelivered inbox, and its rules are merged into this worker's state,
 // and the absorbed tuples seed the next incremental materialization.
-// Checkpointed triples are left unmarked in `sent` so the next send phase
-// re-routes them — the victim may have died before its last sends
-// completed, and receivers deduplicate through Graph.Add.
+// Already-routed knowledge (base, delivered inbox) is swallowed by advancing
+// the shipping watermark past the adoption; checkpointed triples are queued
+// in `reship` so the next send phase re-routes them — the victim may have
+// died before its last sends completed, and receivers deduplicate through
+// Graph.Add.
 func (w *worker) adoptPending(ctx context.Context, cfg Config, round int) error {
 	victims := w.coord.takePending(w.id)
+	if len(victims) > 0 && w.reship == nil {
+		w.reship = map[rdf.Triple]struct{}{}
+	}
 	for _, v := range victims {
 		absorbed := 0
 		for _, t := range w.coord.assigns[v].Base {
 			// Base tuples were placed by the partitioner; never re-ship.
-			w.sent[t] = struct{}{}
+			delete(w.reship, t)
 			if w.graph.Add(t) {
 				w.received = append(w.received, t)
 				absorbed++
@@ -423,19 +428,21 @@ func (w *worker) adoptPending(ctx context.Context, cfg Config, round int) error 
 			if w.graph.Add(t) {
 				w.received = append(w.received, t)
 				absorbed++
+				w.reship[t] = struct{}{}
 			}
 		}
 		// Drain the victim's inbox from round 0: transports still hold the
 		// undelivered rounds (and File re-serves delivered ones — harmless,
 		// Add deduplicates). These were routed by live senders to every
-		// destination, so they are global knowledge: mark them sent.
+		// destination, so they are global knowledge: never re-ship them, even
+		// if a previous victim's checkpoint queued them.
 		for r := 0; r <= round; r++ {
 			in, err := cfg.Transport.Recv(ctx, r, v)
 			if err != nil {
 				return fmt.Errorf("cluster: worker %d adopt %d inbox round %d: %w", w.id, v, r, err)
 			}
 			for _, t := range in {
-				w.sent[t] = struct{}{}
+				delete(w.reship, t)
 				if w.graph.Add(t) {
 					w.received = append(w.received, t)
 					absorbed++

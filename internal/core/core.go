@@ -312,8 +312,9 @@ func MaterializeSerial(ds *datagen.Dataset, kind EngineKind) (*SerialResult, err
 		return nil, err
 	}
 	compiled := owlhorst.Compile(ds.Dict, ds.Graph)
-	g := rdf.NewGraph()
-	g.AddAll(owlhorst.SplitInstance(ds.Dict, ds.Graph))
+	instance := owlhorst.SplitInstance(ds.Dict, ds.Graph)
+	g := rdf.NewGraphCap(len(instance) + compiled.Schema.Len())
+	g.AddAll(instance)
 	g.Union(compiled.Schema)
 	start := time.Now()
 	n := engine.Materialize(g, compiled.InstanceRules)
@@ -328,7 +329,7 @@ func closureCostWeights(instance []rdf.Triple, compiled *owlhorst.Compiled) map[
 	g.Union(compiled.Schema)
 	reason.Forward{}.Materialize(g, compiled.InstanceRules)
 	w := map[rdf.ID]int64{}
-	for _, t := range g.Triples() {
+	for _, t := range g.TriplesSince(0) {
 		w[t.S]++
 		w[t.O]++
 	}

@@ -75,7 +75,7 @@ func measureOR(compiled *owlhorst.Compiled, res *partition.Result) (float64, err
 	union := rdf.NewGraph()
 	schema := compiled.Schema.Triples()
 	for i, part := range res.Parts {
-		g := rdf.NewGraph()
+		g := rdf.NewGraphCap(2 * (len(part) + len(schema)))
 		g.AddAll(part)
 		g.AddAll(schema)
 		reason.Forward{}.Materialize(g, compiled.InstanceRules)

@@ -231,9 +231,17 @@ type node struct {
 	g     *rdf.Graph
 	rules []rules.Rule
 	owner map[rdf.ID]int
-	// sent marks tuples that no longer need routing: the base partition,
-	// everything already shipped, and everything received (global knowledge).
-	sent     map[rdf.Triple]struct{}
+	// shipped is the graph-log watermark of routed knowledge: every triple
+	// at log offset < shipped is base, already routed, or received (global
+	// knowledge). The graph log is append-only and deduplicated, so the
+	// route phase's delta is exactly TriplesSince(shipped) — no per-tuple
+	// membership map, no full-graph walk per round.
+	shipped int
+	// reship holds adopted checkpoint tuples that sit below the watermark
+	// but still need routing: a dead peer may have derived them without
+	// completing its sends, so the adopter re-routes them (receivers
+	// deduplicate). Empty except after an adoption or rejoin.
+	reship   map[rdf.Triple]struct{}
 	received []rdf.Triple
 	// adopted lists dead peers this node has taken over (recover.go).
 	adopted []int
@@ -280,10 +288,9 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		return nil, fmt.Errorf("fscluster: node %d: %w", cfg.ID, err)
 	}
 
-	n.sent = make(map[rdf.Triple]struct{}, n.g.Len())
-	for _, t := range n.g.Triples() {
-		n.sent[t] = struct{}{}
-	}
+	// The base partition was placed by the partitioner; it never routes.
+	n.shipped = n.g.Len()
+	n.reship = map[rdf.Triple]struct{}{}
 
 	// Epoch bookkeeping: bump the start counter first thing, so a restarted
 	// process announces itself before touching any round state. A second
@@ -312,20 +319,25 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		}
 		if last >= 0 {
 			// Replay persisted state: delivered messages are already-routed
-			// knowledge, so they are marked sent; checkpointed deltas may
-			// have died in transit and stay unmarked, so the next route phase
-			// re-ships them (receivers deduplicate). materialized stays
+			// knowledge and land below the shipping watermark; checkpointed
+			// deltas may have died in transit, so they are queued for
+			// re-shipping (receivers deduplicate). materialized stays
 			// false — the first round after a rejoin re-reasons over the
 			// reconstructed graph, which is safe because forward inference is
 			// deterministic and monotone over the same inputs.
 			if err := reconstruct(n.l, cfg.ID, n.dict, nil, func(t rdf.Triple, routed bool) {
 				if routed {
-					n.sent[t] = struct{}{}
+					n.g.Add(t)
+					delete(n.reship, t)
+					return
 				}
-				n.g.Add(t)
+				if n.g.Add(t) {
+					n.reship[t] = struct{}{}
+				}
 			}); err != nil {
 				return nil, fmt.Errorf("fscluster: node %d rejoining: %w", cfg.ID, err)
 			}
+			n.shipped = n.g.Len()
 			startRound = last + 1
 		}
 		cfg.Obs.Emit(obs.Event{Type: obs.EvRejoin, TS: cfg.Obs.Now(),
@@ -383,11 +395,7 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		outbox := map[int][]rdf.Triple{}
 		var delta []rdf.Triple
 		nSent := 0
-		for _, t := range n.g.Triples() {
-			if _, done := n.sent[t]; done {
-				continue
-			}
-			n.sent[t] = struct{}{}
+		route := func(t rdf.Triple) {
 			delta = append(delta, t)
 			for _, dst := range destinations(n.owner, t, cfg.ID) {
 				if n.isAdopted(dst) {
@@ -396,6 +404,24 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				outbox[dst] = append(outbox[dst], t)
 				nSent++
 			}
+		}
+		for _, t := range n.g.TriplesSince(n.shipped) {
+			route(t)
+		}
+		n.shipped = n.g.Len()
+		if len(n.reship) > 0 {
+			// Adopted checkpoint tuples, in sorted order: the injected fault
+			// schedule counts Send calls, so map order would change which
+			// write a deterministic fault hits from run to run.
+			rs := make([]rdf.Triple, 0, len(n.reship))
+			for t := range n.reship {
+				rs = append(rs, t)
+			}
+			sort.Slice(rs, func(i, j int) bool { return rs[i].Less(rs[j]) })
+			for _, t := range rs {
+				route(t)
+			}
+			clear(n.reship)
 		}
 		if len(delta) > 0 {
 			cg := rdf.NewGraphCap(len(delta))
@@ -485,14 +511,19 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				if err := readGraphFile(path, n.dict, in); err != nil {
 					return nil, err
 				}
-				for _, t := range in.Triples() {
-					n.sent[t] = struct{}{}
+				for _, t := range in.TriplesSince(0) {
+					delete(n.reship, t)
 					if n.g.Add(t) {
 						n.received = append(n.received, t)
 					}
 				}
 			}
 		}
+		// Everything in the graph is now global knowledge — received tuples,
+		// and any state an adoption merged during the barrier wait; only the
+		// reship queue carries adopted checkpoint tuples into the next route
+		// phase.
+		n.shipped = n.g.Len()
 		n.emitPhase(round, obs.PhaseRecv, time.Since(recvT0), int64(len(n.received)))
 
 		if totalSent == 0 {

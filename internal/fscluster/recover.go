@@ -28,9 +28,9 @@
 //     its inbox: the ownership table is immutable, so the rest of the cluster
 //     keeps routing to the dead node's inbox files and correctness is
 //     preserved without re-partitioning. Checkpointed tuples are deliberately
-//     NOT marked as sent when merged — the dead node may have checkpointed
-//     them and died before shipping, so the adopter re-routes them (receivers
-//     deduplicate).
+//     queued for re-shipping when merged — the dead node may have
+//     checkpointed them and died before shipping, so the adopter re-routes
+//     them in its next route phase (receivers deduplicate).
 //
 // A second failure — in particular of an adopter — is not tolerated; the
 // barrier then times out and the run fails, which is the pre-recovery
@@ -254,20 +254,21 @@ func lastCompletedRound(l Layout, id int) (int, error) {
 // complete. See the package comment above for the full protocol.
 func (n *node) adopt(id, round int) error {
 	absorbed := 0
-	markSent := func(t rdf.Triple) { n.sent[t] = struct{}{} }
-	keep := func(t rdf.Triple) {
+	if err := reconstruct(n.l, id, n.dict, nil, func(t rdf.Triple, routed bool) {
+		if routed {
+			// Already-routed knowledge: the recv phase's watermark advance
+			// will swallow it; drop any reship claim a previous adoption made.
+			delete(n.reship, t)
+		}
 		if n.g.Add(t) {
 			// New knowledge: seed the next reasoning round with it, so joins
 			// across the two merged partitions are derived.
 			n.received = append(n.received, t)
 			absorbed++
+			if !routed {
+				n.reship[t] = struct{}{}
+			}
 		}
-	}
-	if err := reconstruct(n.l, id, n.dict, nil, func(t rdf.Triple, routed bool) {
-		if routed {
-			markSent(t)
-		}
-		keep(t)
 	}); err != nil {
 		return fmt.Errorf("fscluster: node %d adopting %d: %w", n.cfg.ID, id, err)
 	}
@@ -290,7 +291,7 @@ func reconstruct(l Layout, id int, dict *rdf.Dict, g *rdf.Graph, visit func(t rd
 		if err := readGraphFile(path, dict, in); err != nil {
 			return err
 		}
-		for _, t := range in.Triples() {
+		for _, t := range in.TriplesSince(0) {
 			if visit != nil {
 				visit(t, routed)
 			} else {

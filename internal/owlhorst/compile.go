@@ -29,7 +29,7 @@ type Compiled struct {
 func Compile(dict *rdf.Dict, g *rdf.Graph) *Compiled {
 	v := newVocabIDs(dict)
 	schema := rdf.NewGraph()
-	for _, t := range g.Triples() {
+	for _, t := range g.TriplesSince(0) {
 		if v.isSchemaTriple(dict, t) {
 			schema.Add(t)
 		}
@@ -43,7 +43,7 @@ func Compile(dict *rdf.Dict, g *rdf.Graph) *Compiled {
 func SplitInstance(dict *rdf.Dict, g *rdf.Graph) []rdf.Triple {
 	v := newVocabIDs(dict)
 	var out []rdf.Triple
-	for _, t := range g.Triples() {
+	for _, t := range g.TriplesSince(0) {
 		if !v.isSchemaTriple(dict, t) {
 			out = append(out, t)
 		}
@@ -59,7 +59,7 @@ func SplitInstance(dict *rdf.Dict, g *rdf.Graph) []rdf.Triple {
 // replicated everywhere instead.
 func SchemaElements(dict *rdf.Dict, schema *rdf.Graph) map[rdf.ID]struct{} {
 	out := map[rdf.ID]struct{}{}
-	for _, t := range schema.Triples() {
+	for _, t := range schema.TriplesSince(0) {
 		out[t.S] = struct{}{}
 		out[t.P] = struct{}{}
 		out[t.O] = struct{}{}

@@ -79,6 +79,32 @@ func BenchmarkDictIntern(b *testing.B) {
 	}
 }
 
+func BenchmarkGraphClone(b *testing.B) {
+	g, _ := benchGraph(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		if c.Len() != g.Len() {
+			b.Fatal("clone lost triples")
+		}
+	}
+	b.ReportMetric(float64(g.Len()), "triples/op")
+}
+
+func BenchmarkGraphCountMatch(b *testing.B) {
+	g, ts := benchGraph(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		// The three shapes the join planner ranks on every step.
+		if g.CountMatch(t.S, t.P, Wildcard) == 0 ||
+			g.CountMatch(Wildcard, t.P, t.O) == 0 ||
+			g.CountMatch(Wildcard, t.P, Wildcard) == 0 {
+			b.Fatal("stored triple has empty extent")
+		}
+	}
+}
+
 func BenchmarkGraphUnion(b *testing.B) {
 	g1, _ := benchGraph(20000)
 	g2, _ := benchGraph(20000)

@@ -1,20 +1,38 @@
 package rdf
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
-// Graph is an in-memory triple store with set semantics and indexes for the
-// access patterns rule engines need: by subject, predicate, object, and the
-// composite (subject, predicate) and (predicate, object) keys.
+// Graph is an in-memory triple store with set semantics, laid out as a
+// structure of arrays: a single append-only triple log plus slice-backed
+// per-key posting lists. The log holds each distinct triple exactly once, in
+// insertion order; the five indexes the rule engines need are:
+//
+//	byS, byP, byO — posting lists of log offsets (4 bytes/entry), for the
+//	                one-bound patterns and the (s,·,o) two-sided scan;
+//	bySP, byPO    — posting lists of the completing term (object resp.
+//	                subject, 4 bytes/entry): the pattern already fixes the
+//	                other two positions, so the join path reads the answer
+//	                directly with no log indirection.
+//
+// Compared with the previous maps-of-[]Triple layout this stores each triple
+// once (12 bytes) plus five 4-byte postings instead of materializing it three
+// times in value slices, and makes whole-graph iteration (Triples, Union,
+// Equal, Diff, Resources) a deterministic linear walk of the log instead of a
+// map range.
 //
 // Graph is not safe for concurrent mutation; in powl each cluster worker owns
 // its graph exclusively and exchanges triples by value.
 type Graph struct {
+	log  []Triple
 	set  map[Triple]struct{}
-	byS  map[ID][]Triple
-	byP  map[ID][]Triple
-	byO  map[ID][]Triple
-	bySP map[[2]ID][]ID // objects for (s, p)
-	byPO map[[2]ID][]ID // subjects for (p, o)
+	byS  map[ID][]uint32
+	byP  map[ID][]uint32
+	byO  map[ID][]uint32
+	bySP map[[2]ID][]ID // objects for (s, p), in insertion order
+	byPO map[[2]ID][]ID // subjects for (p, o), in insertion order
 }
 
 // NewGraph returns an empty graph.
@@ -24,13 +42,22 @@ func NewGraph() *Graph { return NewGraphCap(0) }
 // avoids rehashing when bulk-loading (e.g. when aggregating worker outputs).
 func NewGraphCap(n int) *Graph {
 	return &Graph{
+		log:  make([]Triple, 0, n),
 		set:  make(map[Triple]struct{}, n),
-		byS:  make(map[ID][]Triple, n/4+1),
-		byP:  make(map[ID][]Triple, 64),
-		byO:  make(map[ID][]Triple, n/4+1),
+		byS:  make(map[ID][]uint32, n/4+1),
+		byP:  make(map[ID][]uint32, 64),
+		byO:  make(map[ID][]uint32, n/4+1),
 		bySP: make(map[[2]ID][]ID, n),
 		byPO: make(map[[2]ID][]ID, n/2+1),
 	}
+}
+
+// Grow pre-sizes the triple log for n additional triples. The posting-list
+// maps grow incrementally regardless; the log is the bulk of the appended
+// bytes, so reserving it up front is what the bulk-load paths (AddAll,
+// Union) benefit from.
+func (g *Graph) Grow(n int) {
+	g.log = slices.Grow(g.log, n)
 }
 
 // Add inserts t and reports whether it was not already present.
@@ -39,9 +66,11 @@ func (g *Graph) Add(t Triple) bool {
 		return false
 	}
 	g.set[t] = struct{}{}
-	g.byS[t.S] = append(g.byS[t.S], t)
-	g.byP[t.P] = append(g.byP[t.P], t)
-	g.byO[t.O] = append(g.byO[t.O], t)
+	off := uint32(len(g.log))
+	g.log = append(g.log, t)
+	g.byS[t.S] = append(g.byS[t.S], off)
+	g.byP[t.P] = append(g.byP[t.P], off)
+	g.byO[t.O] = append(g.byO[t.O], off)
 	g.bySP[[2]ID{t.S, t.P}] = append(g.bySP[[2]ID{t.S, t.P}], t.O)
 	g.byPO[[2]ID{t.P, t.O}] = append(g.byPO[[2]ID{t.P, t.O}], t.S)
 	return true
@@ -49,6 +78,7 @@ func (g *Graph) Add(t Triple) bool {
 
 // AddAll inserts every triple in ts and returns the number newly added.
 func (g *Graph) AddAll(ts []Triple) int {
+	g.Grow(len(ts))
 	n := 0
 	for _, t := range ts {
 		if g.Add(t) {
@@ -65,15 +95,25 @@ func (g *Graph) Has(t Triple) bool {
 }
 
 // Len reports the number of triples.
-func (g *Graph) Len() int { return len(g.set) }
+func (g *Graph) Len() int { return len(g.log) }
 
-// Triples returns all triples in unspecified order.
+// Triples returns all triples in insertion order, as a fresh slice the
+// caller may modify.
 func (g *Graph) Triples() []Triple {
-	out := make([]Triple, 0, len(g.set))
-	for t := range g.set {
-		out = append(out, t)
-	}
+	out := make([]Triple, len(g.log))
+	copy(out, g.log)
 	return out
+}
+
+// TriplesSince returns a read-only view of the triples added at log offset n
+// or later — the graph's delta since the caller last observed Len() == n.
+// The log is append-only, so the view stays valid across later Adds, but the
+// caller must not modify it; use Triples for an owned copy.
+func (g *Graph) TriplesSince(n int) []Triple {
+	if n >= len(g.log) {
+		return nil
+	}
+	return g.log[n:len(g.log):len(g.log)]
 }
 
 // SortedTriples returns all triples ordered by (S, P, O), for deterministic
@@ -84,18 +124,46 @@ func (g *Graph) SortedTriples() []Triple {
 	return out
 }
 
-// Clone returns a deep copy of the graph.
+// clonePostings deep-copies one posting-list map: all lists land in a single
+// flat backing buffer of exactly cap n (full-capacity subslices, so a later
+// append to any list copies out instead of clobbering its neighbour), which
+// costs one allocation instead of one per key.
+func clonePostings[K comparable, V ID | uint32](m map[K][]V, n int) map[K][]V {
+	out := make(map[K][]V, len(m))
+	buf := make([]V, 0, n)
+	for k, v := range m {
+		start := len(buf)
+		buf = append(buf, v...)
+		out[k] = buf[start:len(buf):len(buf)]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph. It copies the log and the index
+// posting lists directly — no per-triple re-insertion, no map rehashing —
+// so cloning costs a handful of bulk copies plus one map insert per distinct
+// index key.
 func (g *Graph) Clone() *Graph {
-	c := NewGraph()
-	for t := range g.set {
-		c.Add(t)
+	n := len(g.log)
+	c := &Graph{
+		log:  slices.Clone(g.log),
+		set:  make(map[Triple]struct{}, n),
+		byS:  clonePostings(g.byS, n),
+		byP:  clonePostings(g.byP, n),
+		byO:  clonePostings(g.byO, n),
+		bySP: clonePostings(g.bySP, n),
+		byPO: clonePostings(g.byPO, n),
+	}
+	for _, t := range c.log {
+		c.set[t] = struct{}{}
 	}
 	return c
 }
 
 // ForEachMatch calls fn for every triple matching the pattern, where Wildcard
 // in any position matches all terms. Iteration stops early if fn returns
-// false. The graph must not be mutated during iteration.
+// false. Iteration order is the insertion order of the matching triples. The
+// graph must not be mutated during iteration.
 func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 	switch {
 	case s != Wildcard && p != Wildcard && o != Wildcard:
@@ -116,31 +184,41 @@ func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 			}
 		}
 	case s != Wildcard && o != Wildcard:
-		for _, t := range g.byS[s] {
-			if t.O == o && !fn(t) {
-				return
+		// Scan the shorter of the two posting lists; both sides index the
+		// same log, so either yields exactly the (s,·,o) matches.
+		if sl, ol := g.byS[s], g.byO[o]; len(sl) <= len(ol) {
+			for _, off := range sl {
+				if t := g.log[off]; t.O == o && !fn(t) {
+					return
+				}
+			}
+		} else {
+			for _, off := range ol {
+				if t := g.log[off]; t.S == s && !fn(t) {
+					return
+				}
 			}
 		}
 	case s != Wildcard:
-		for _, t := range g.byS[s] {
-			if !fn(t) {
+		for _, off := range g.byS[s] {
+			if !fn(g.log[off]) {
 				return
 			}
 		}
 	case p != Wildcard:
-		for _, t := range g.byP[p] {
-			if !fn(t) {
+		for _, off := range g.byP[p] {
+			if !fn(g.log[off]) {
 				return
 			}
 		}
 	case o != Wildcard:
-		for _, t := range g.byO[o] {
-			if !fn(t) {
+		for _, off := range g.byO[o] {
+			if !fn(g.log[off]) {
 				return
 			}
 		}
 	default:
-		for t := range g.set {
+		for _, t := range g.log {
 			if !fn(t) {
 				return
 			}
@@ -159,21 +237,54 @@ func (g *Graph) Match(s, p, o ID) []Triple {
 }
 
 // CountMatch returns the number of triples matching the pattern without
-// materializing them.
+// materializing them. Every pattern that lands on an index whose length is
+// the answer — all but (s,·,o) — is O(1): the stored posting-list cardinality
+// is returned directly. (s,·,o) scans the shorter of the two posting lists.
+// The rule engines use this as the selectivity estimate for join ordering,
+// so it must stay cheap for every pattern shape.
 func (g *Graph) CountMatch(s, p, o ID) int {
-	n := 0
-	g.ForEachMatch(s, p, o, func(Triple) bool {
-		n++
-		return true
-	})
-	return n
+	switch {
+	case s != Wildcard && p != Wildcard && o != Wildcard:
+		if g.Has(Triple{s, p, o}) {
+			return 1
+		}
+		return 0
+	case s != Wildcard && p != Wildcard:
+		return len(g.bySP[[2]ID{s, p}])
+	case p != Wildcard && o != Wildcard:
+		return len(g.byPO[[2]ID{p, o}])
+	case s != Wildcard && o != Wildcard:
+		n := 0
+		if sl, ol := g.byS[s], g.byO[o]; len(sl) <= len(ol) {
+			for _, off := range sl {
+				if g.log[off].O == o {
+					n++
+				}
+			}
+		} else {
+			for _, off := range ol {
+				if g.log[off].S == s {
+					n++
+				}
+			}
+		}
+		return n
+	case s != Wildcard:
+		return len(g.byS[s])
+	case p != Wildcard:
+		return len(g.byP[p])
+	case o != Wildcard:
+		return len(g.byO[o])
+	default:
+		return len(g.log)
+	}
 }
 
 // Resources returns the set of IDs that appear as subject or object of some
 // triple (the nodes of the RDF graph, excluding predicates).
 func (g *Graph) Resources() map[ID]struct{} {
-	res := make(map[ID]struct{})
-	for t := range g.set {
+	res := make(map[ID]struct{}, len(g.byS)+len(g.byO))
+	for _, t := range g.log {
 		res[t.S] = struct{}{}
 		res[t.O] = struct{}{}
 	}
@@ -182,17 +293,20 @@ func (g *Graph) Resources() map[ID]struct{} {
 
 // Subjects returns the set of IDs appearing in subject position.
 func (g *Graph) Subjects() map[ID]struct{} {
-	res := make(map[ID]struct{})
-	for t := range g.set {
+	res := make(map[ID]struct{}, len(g.byS))
+	for _, t := range g.log {
 		res[t.S] = struct{}{}
 	}
 	return res
 }
 
-// Union adds every triple of other into g and returns the number newly added.
+// Union adds every triple of other into g and returns the number newly
+// added. It walks other's log — deterministic order, no map iteration — and
+// pre-sizes g's log for the incoming bulk.
 func (g *Graph) Union(other *Graph) int {
+	g.Grow(other.Len())
 	n := 0
-	for t := range other.set {
+	for _, t := range other.log {
 		if g.Add(t) {
 			n++
 		}
@@ -205,7 +319,7 @@ func (g *Graph) Equal(other *Graph) bool {
 	if g.Len() != other.Len() {
 		return false
 	}
-	for t := range g.set {
+	for _, t := range g.log {
 		if !other.Has(t) {
 			return false
 		}
@@ -216,7 +330,7 @@ func (g *Graph) Equal(other *Graph) bool {
 // Diff returns the triples present in g but not in other, sorted.
 func (g *Graph) Diff(other *Graph) []Triple {
 	var out []Triple
-	for t := range g.set {
+	for _, t := range g.log {
 		if !other.Has(t) {
 			out = append(out, t)
 		}

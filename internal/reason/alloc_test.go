@@ -1,0 +1,129 @@
+package reason
+
+import (
+	"math/rand"
+	"testing"
+
+	"powl/internal/rdf"
+	"powl/internal/rules"
+)
+
+// allocFixture builds a graph and rule set exercising the full join path:
+// a two-atom transitive-style chain rule and a three-atom rule, over data
+// dense enough that joins succeed and fail on every delta triple.
+func allocFixture() (*rdf.Graph, []rules.Rule, []rdf.Triple) {
+	const (
+		pLink = rdf.ID(1)
+		pType = rdf.ID(2)
+		pNear = rdf.ID(3)
+		cNode = rdf.ID(4)
+	)
+	rs := []rules.Rule{
+		{
+			Name: "chain",
+			Body: []rules.Atom{
+				{S: rules.Var("x"), P: rules.Const(pLink), O: rules.Var("y")},
+				{S: rules.Var("y"), P: rules.Const(pLink), O: rules.Var("z")},
+			},
+			Head: []rules.Atom{{S: rules.Var("x"), P: rules.Const(pNear), O: rules.Var("z")}},
+		},
+		{
+			Name: "typed-near",
+			Body: []rules.Atom{
+				{S: rules.Var("x"), P: rules.Const(pType), O: rules.Const(cNode)},
+				{S: rules.Var("x"), P: rules.Const(pLink), O: rules.Var("y")},
+				{S: rules.Var("y"), P: rules.Const(pType), O: rules.Const(cNode)},
+			},
+			Head: []rules.Atom{{S: rules.Var("x"), P: rules.Const(pNear), O: rules.Var("y")}},
+		},
+	}
+	rng := rand.New(rand.NewSource(7))
+	g := rdf.NewGraphCap(4096)
+	var deltas []rdf.Triple
+	for i := 0; i < 400; i++ {
+		s := rdf.ID(10 + rng.Intn(60))
+		o := rdf.ID(10 + rng.Intn(60))
+		t := rdf.Triple{S: s, P: pLink, O: o}
+		if g.Add(t) {
+			deltas = append(deltas, t)
+		}
+		g.Add(rdf.Triple{S: s, P: pType, O: cNode})
+		g.Add(rdf.Triple{S: o, P: pType, O: cNode})
+	}
+	return g, rs, deltas
+}
+
+// TestJoinPathZeroAllocs pins the steady-state join path at zero heap
+// allocations per delta triple: once the graph is at fixpoint and the
+// scratch buffers are warm, firing every trigger for a delta triple —
+// binding, selectivity ranking, index scans, head instantiation, and the
+// duplicate-suppressing emit — must not allocate. A regression here is the
+// per-firing garbage the compact store was built to eliminate.
+func TestJoinPathZeroAllocs(t *testing.T) {
+	g, rs, deltas := allocFixture()
+	// Close the graph so every emit during measurement hits the Has fast
+	// path (steady state: re-deriving known triples).
+	Forward{}.Materialize(g, rs)
+
+	crs := compileRules(rs)
+	byPred := map[rdf.ID][]trigger{}
+	for i := range crs {
+		r := &crs[i]
+		for j, a := range r.body {
+			if a.p.isVar {
+				t.Fatalf("fixture rules must have constant predicates")
+			} else {
+				byPred[a.p.id] = append(byPred[a.p.id], trigger{r, j})
+			}
+		}
+	}
+	sc := newScratch(crs)
+	pending := map[rdf.Triple]struct{}{}
+	emit := func(tr rdf.Triple) {
+		if !g.Has(tr) {
+			pending[tr] = struct{}{}
+		}
+	}
+	fired := 0
+	run := func() {
+		for _, d := range deltas {
+			for _, tr := range byPred[d.P] {
+				m, _ := fireOn(g, sc, tr, d, emit)
+				fired += int(m)
+			}
+		}
+	}
+	run() // warm up scratch and any lazy state before measuring
+	if fired == 0 {
+		t.Fatal("fixture produced no body matches; the test would measure nothing")
+	}
+	if len(pending) != 0 {
+		t.Fatalf("graph not at fixpoint: %d pending emits", len(pending))
+	}
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Errorf("join path allocates %.1f times per %d delta firings, want 0", avg, len(deltas))
+	}
+}
+
+// TestBindTripleNoAlloc pins the binding primitive itself: bitmask
+// bind/unbind over a scratch environment must be allocation-free.
+func TestBindTripleNoAlloc(t *testing.T) {
+	g, rs, deltas := allocFixture()
+	_ = g
+	crs := compileRules(rs)
+	sc := newScratch(crs)
+	r := &crs[0]
+	if avg := testing.AllocsPerRun(100, func() {
+		e := sc.env[:r.nslot]
+		for i := range e {
+			e[i] = 0
+		}
+		for _, d := range deltas {
+			if bound, ok := e.bindTriple(r.body[0], d); ok {
+				e.unbind(bound)
+			}
+		}
+	}); avg != 0 {
+		t.Errorf("bindTriple/unbind allocates %.1f times per run, want 0", avg)
+	}
+}

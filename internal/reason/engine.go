@@ -16,6 +16,8 @@ package reason
 
 import (
 	"context"
+	"fmt"
+	"math/bits"
 
 	"powl/internal/rdf"
 	"powl/internal/rules"
@@ -93,6 +95,11 @@ type cRule struct {
 	idx int
 }
 
+// maxSlots bounds the variables of one rule: slot sets are tracked as uint64
+// bitmasks on the zero-allocation bind/unbind path. OWL-Horst rules use at
+// most a handful of variables, so the bound is far from any real rule set.
+const maxSlots = 64
+
 // compileRules lowers parsed rules into slot-indexed form. Variable names are
 // assigned dense slots per rule.
 func compileRules(rs []rules.Rule) []cRule {
@@ -121,6 +128,9 @@ func compileRules(rs []rules.Rule) []cRule {
 			cr.head = append(cr.head, lowerAtom(a))
 		}
 		cr.nslot = len(slots)
+		if cr.nslot > maxSlots {
+			panic(fmt.Sprintf("reason: rule %q uses %d variables; the engines support at most %d", r.Name, cr.nslot, maxSlots))
+		}
 		out = append(out, cr)
 	}
 	return out
@@ -140,43 +150,41 @@ func (e env) resolve(t slotTerm) rdf.ID {
 }
 
 // bindTriple attempts to extend e so that atom a matches triple t. It
-// returns the slots newly bound (for undoing) and whether the match is
-// consistent.
-func (e env) bindTriple(a cAtom, t rdf.Triple) ([]int, bool) {
-	var bound []int
-	undo := func() {
-		for _, s := range bound {
-			e[s] = 0
-		}
-	}
+// returns a bitmask of the slots newly bound (for undoing) and whether the
+// match is consistent. The mask representation keeps the hot join path free
+// of per-bind slice allocations; compileRules enforces nslot <= maxSlots.
+func (e env) bindTriple(a cAtom, t rdf.Triple) (uint64, bool) {
+	var bound uint64
 	for _, pv := range [3]struct {
 		term slotTerm
 		val  rdf.ID
 	}{{a.s, t.S}, {a.p, t.P}, {a.o, t.O}} {
 		if !pv.term.isVar {
 			if pv.term.id != pv.val {
-				undo()
-				return nil, false
+				e.unbind(bound)
+				return 0, false
 			}
 			continue
 		}
 		if cur := e[pv.term.slot]; cur != 0 {
 			if cur != pv.val {
-				undo()
-				return nil, false
+				e.unbind(bound)
+				return 0, false
 			}
 			continue
 		}
 		e[pv.term.slot] = pv.val
-		bound = append(bound, pv.term.slot)
+		bound |= 1 << pv.term.slot
 	}
 	return bound, true
 }
 
-// unbind clears the given slots.
-func (e env) unbind(slots []int) {
-	for _, s := range slots {
+// unbind clears the slots named by the bitmask.
+func (e env) unbind(bound uint64) {
+	for bound != 0 {
+		s := bits.TrailingZeros64(bound)
 		e[s] = 0
+		bound &= bound - 1
 	}
 }
 

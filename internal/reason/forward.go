@@ -61,15 +61,19 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 	}
 
 	added := 0
+	sc := newScratch(crs)
+	// pending is the round's dedup buffer, reused (cleared, not reallocated)
+	// across semi-naive rounds so the steady state allocates nothing per
+	// round beyond genuine map growth.
+	pending := map[rdf.Triple]struct{}{}
+	emit := func(t rdf.Triple) {
+		if !g.Has(t) {
+			pending[t] = struct{}{}
+		}
+	}
 	for len(delta) > 0 {
 		if err := ctx.Err(); err != nil {
 			return added, err
-		}
-		pending := map[rdf.Triple]struct{}{}
-		emit := func(t rdf.Triple) {
-			if !g.Has(t) {
-				pending[t] = struct{}{}
-			}
 		}
 		for i, t := range delta {
 			if i&1023 == 1023 {
@@ -79,10 +83,10 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 			}
 			if prof == nil {
 				for _, tr := range byPred[t.P] {
-					fireOn(g, tr, t, emit)
+					fireOn(g, sc, tr, t, emit)
 				}
 				for _, tr := range anyPred {
-					fireOn(g, tr, t, emit)
+					fireOn(g, sc, tr, t, emit)
 				}
 			} else {
 				// Chained timestamps: consecutive activations share one
@@ -90,13 +94,13 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 				// instead of two.
 				t0 := time.Now()
 				for _, tr := range byPred[t.P] {
-					m, f := fireOn(g, tr, t, emit)
+					m, f := fireOn(g, sc, tr, t, emit)
 					t1 := time.Now()
 					prof.add(tr.rule.idx, f, m, t1.Sub(t0))
 					t0 = t1
 				}
 				for _, tr := range anyPred {
-					m, f := fireOn(g, tr, t, emit)
+					m, f := fireOn(g, sc, tr, t, emit)
 					t1 := time.Now()
 					prof.add(tr.rule.idx, f, m, t1.Sub(t0))
 					t0 = t1
@@ -110,23 +114,47 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 				added++
 			}
 		}
+		clear(pending)
 	}
 	return added, nil
+}
+
+// scratch holds the reusable join buffers of one materialization: a binding
+// environment sized for the widest rule and a rest-atom order buffer sized
+// for the longest body. fireOn re-slices them per rule, so the steady-state
+// join path performs no per-firing allocations.
+type scratch struct {
+	env  env
+	rest []int
+}
+
+func newScratch(crs []cRule) *scratch {
+	maxSlot, maxBody := 1, 1
+	for i := range crs {
+		if crs[i].nslot > maxSlot {
+			maxSlot = crs[i].nslot
+		}
+		if len(crs[i].body) > maxBody {
+			maxBody = len(crs[i].body)
+		}
+	}
+	return &scratch{env: make(env, maxSlot), rest: make([]int, 0, maxBody)}
 }
 
 // fireOn seeds rule tr.rule with delta triple t at body position tr.atomIdx,
 // joins the remaining body atoms against the full graph, and emits every
 // resulting head instantiation. It reports the complete body matches and
 // head emissions it produced, for the per-rule profile.
-func fireOn(g *rdf.Graph, tr trigger, t rdf.Triple, emit func(rdf.Triple)) (matches, firings int64) {
+func fireOn(g *rdf.Graph, sc *scratch, tr trigger, t rdf.Triple, emit func(rdf.Triple)) (matches, firings int64) {
 	r := tr.rule
-	e := make(env, r.nslot)
-	bound, ok := e.bindTriple(r.body[tr.atomIdx], t)
-	if !ok {
+	e := sc.env[:r.nslot]
+	for i := range e {
+		e[i] = 0
+	}
+	if _, ok := e.bindTriple(r.body[tr.atomIdx], t); !ok {
 		return 0, 0
 	}
-	_ = bound
-	rest := make([]int, 0, len(r.body)-1)
+	rest := sc.rest[:0]
 	for i := range r.body {
 		if i != tr.atomIdx {
 			rest = append(rest, i)
@@ -144,35 +172,36 @@ func fireOn(g *rdf.Graph, tr trigger, t rdf.Triple, emit func(rdf.Triple)) (matc
 
 // joinRest extends e over the body atoms listed in rest (indices into
 // r.body), calling yield for every complete assignment. At each step it
-// greedily picks the most-bound remaining atom, which keeps the join cheap
-// for the ≤4-atom OWL-Horst bodies.
+// picks the remaining atom with the smallest index cardinality under the
+// current bindings (CountMatch is O(1) for every pattern the OWL-Horst
+// bodies produce), which starts each join from its most selective extent —
+// the rule-body ordering RORS and the dynamic-exchange Datalog stores
+// attribute their throughput to. Selection reorders rest in place, so the
+// whole join runs on the caller's scratch buffer with no per-level copies.
 func joinRest(g *rdf.Graph, r *cRule, rest []int, e env, yield func()) {
 	if len(rest) == 0 {
 		yield()
 		return
 	}
-	best, bestScore := 0, -1
+	best, bestCount := 0, -1
 	for i, ai := range rest {
-		score := 0
 		a := r.body[ai]
-		for _, t := range [3]slotTerm{a.s, a.p, a.o} {
-			if e.resolve(t) != rdf.Wildcard {
-				score++
+		n := g.CountMatch(e.resolve(a.s), e.resolve(a.p), e.resolve(a.o))
+		if bestCount < 0 || n < bestCount {
+			best, bestCount = i, n
+			if n == 0 {
+				// An empty extent annihilates the join; no need to rank the
+				// other atoms.
+				return
 			}
 		}
-		if score > bestScore {
-			best, bestScore = i, score
-		}
 	}
-	ai := rest[best]
-	remaining := make([]int, 0, len(rest)-1)
-	remaining = append(remaining, rest[:best]...)
-	remaining = append(remaining, rest[best+1:]...)
-
-	a := r.body[ai]
+	rest[0], rest[best] = rest[best], rest[0]
+	a := r.body[rest[0]]
+	tail := rest[1:]
 	g.ForEachMatch(e.resolve(a.s), e.resolve(a.p), e.resolve(a.o), func(t rdf.Triple) bool {
 		if bound, ok := e.bindTriple(a, t); ok {
-			joinRest(g, r, remaining, e, yield)
+			joinRest(g, r, tail, e, yield)
 			e.unbind(bound)
 		}
 		return true

@@ -130,13 +130,22 @@ type solver struct {
 	// though SLD subgoal resolution recurses through other rules.
 	prof      *ruleProf
 	profDepth int
+	// envPool recycles binding environments across rule resolutions. SLD
+	// evaluation nests (a body atom's subgoal resolves other rules), so a
+	// single scratch buffer would be clobbered; a stack of retired envs
+	// keeps the steady state allocation-free instead.
+	envPool []env
+	maxSlot int
 }
 
 func newSolver(g *rdf.Graph, crs []cRule) *solver {
 	s := &solver{g: g, rules: crs, table: map[rdf.Triple]*tableEntry{},
-		byHeadPred: map[rdf.ID][]headRef{}}
+		byHeadPred: map[rdf.ID][]headRef{}, maxSlot: 1}
 	for ri := range crs {
 		r := &crs[ri]
+		if r.nslot > s.maxSlot {
+			s.maxSlot = r.nslot
+		}
 		for hi, h := range r.head {
 			if h.p.isVar {
 				s.anyHeadPred = append(s.anyHeadPred, headRef{r, hi})
@@ -146,6 +155,28 @@ func newSolver(g *rdf.Graph, crs []cRule) *solver {
 		}
 	}
 	return s
+}
+
+// getEnv pops a zeroed environment of the given width from the pool (or
+// grows the pool by one buffer sized for the widest rule); putEnv retires it
+// for reuse once a resolution completes.
+func (s *solver) getEnv(n int) env {
+	var e env
+	if k := len(s.envPool); k > 0 {
+		e = s.envPool[k-1]
+		s.envPool = s.envPool[:k-1]
+	} else {
+		e = make(env, s.maxSlot)
+	}
+	e = e[:n]
+	for i := range e {
+		e[i] = 0
+	}
+	return e
+}
+
+func (s *solver) putEnv(e env) {
+	s.envPool = append(s.envPool, e[:cap(e)])
 }
 
 func (s *solver) entry(goal rdf.Triple) *tableEntry {
@@ -218,7 +249,8 @@ func (s *solver) evaluateOnce(e *tableEntry) {
 	resolve := func(ref headRef) {
 		r := ref.rule
 		hAtom := r.head[ref.head]
-		env := make(env, r.nslot)
+		env := s.getEnv(r.nslot)
+		defer s.putEnv(env)
 		if !unifyGoal(hAtom, goal, env) {
 			return
 		}

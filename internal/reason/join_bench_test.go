@@ -1,0 +1,54 @@
+package reason
+
+import (
+	"testing"
+
+	"powl/internal/rdf"
+)
+
+// BenchmarkJoinFireOn measures the steady-state per-delta join path: the
+// graph is at fixpoint, so every firing runs the full bind → selectivity
+// rank → index scan → emit-dedup sequence without growing anything. This is
+// the path the zero-allocation regression test pins; allocs/op here should
+// stay at 0.
+func BenchmarkJoinFireOn(b *testing.B) {
+	g, rs, deltas := allocFixture()
+	Forward{}.Materialize(g, rs)
+	crs := compileRules(rs)
+	byPred := map[rdf.ID][]trigger{}
+	for i := range crs {
+		r := &crs[i]
+		for j, a := range r.body {
+			byPred[a.p.id] = append(byPred[a.p.id], trigger{r, j})
+		}
+	}
+	sc := newScratch(crs)
+	emit := func(tr rdf.Triple) {
+		if !g.Has(tr) {
+			b.Fatal("fixture not at fixpoint")
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := deltas[i%len(deltas)]
+		for _, tr := range byPred[d.P] {
+			fireOn(g, sc, tr, d, emit)
+		}
+	}
+}
+
+// BenchmarkJoinMaterialize measures a full semi-naive materialization of the
+// join fixture from scratch — clone, fixpoint rounds, pending-buffer churn —
+// i.e. everything BenchmarkJoinFireOn's steady state leaves out.
+func BenchmarkJoinMaterialize(b *testing.B) {
+	g, rs, _ := allocFixture()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		if (Forward{}).Materialize(c, rs) == 0 {
+			b.Fatal("fixture derived nothing")
+		}
+	}
+}

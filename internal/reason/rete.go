@@ -23,16 +23,18 @@ type Rete struct{}
 // Name implements Engine.
 func (Rete) Name() string { return "rete" }
 
-// Materialize implements Engine.
+// Materialize implements Engine. The assert set is a read-only view of the
+// log: the network's emits grow g past the view's end, which is safe — the
+// log is append-only, so the snapshot's contents never move.
 func (r Rete) Materialize(g *rdf.Graph, rs []rules.Rule) int {
-	n, _ := r.materialize(context.Background(), g, rs, g.Triples())
+	n, _ := r.materialize(context.Background(), g, rs, g.TriplesSince(0))
 	return n
 }
 
 // MaterializeCtx implements ContextEngine: the assert loop checks ctx
 // between assertions, so cancellation lands within one network activation.
 func (r Rete) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule) (int, error) {
-	return r.materialize(ctx, g, rs, g.Triples())
+	return r.materialize(ctx, g, rs, g.TriplesSince(0))
 }
 
 // MaterializeFrom implements Incremental: Rete is inherently incremental —
@@ -51,7 +53,7 @@ func (r Rete) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules.R
 	if len(seeds) == 0 {
 		return 0, ctx.Err()
 	}
-	return r.materialize(ctx, g, rs, g.Triples())
+	return r.materialize(ctx, g, rs, g.TriplesSince(0))
 }
 
 func (Rete) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, assertSet []rdf.Triple) (int, error) {
@@ -138,6 +140,29 @@ type joinNode struct {
 	emitHeads  func(env, func(rdf.Triple))
 }
 
+// envArena bump-allocates the environments of tokens that persist in beta
+// memories: envs are carved out of large shared blocks, so steady-state
+// token creation costs one allocation per block instead of one per token.
+// Arena envs live as long as the network; nothing is ever freed piecemeal.
+type envArena struct {
+	buf []rdf.ID
+}
+
+const envArenaBlock = 4096
+
+func (a *envArena) alloc(n int) env {
+	if cap(a.buf)-len(a.buf) < n {
+		size := envArenaBlock
+		if n > size {
+			size = n
+		}
+		a.buf = make([]rdf.ID, 0, size)
+	}
+	start := len(a.buf)
+	a.buf = a.buf[:start+n]
+	return env(a.buf[start : start+n : start+n])
+}
+
 // network is the compiled Rete graph.
 type network struct {
 	// alphasByPred indexes alpha nodes by their constant predicate;
@@ -145,6 +170,11 @@ type network struct {
 	alphasByPred map[rdf.ID][]*alphaNode
 	alphaAny     []*alphaNode
 	roots        []*joinNode // first stage of each rule, for token seeding
+	// scratch is the trial-binding buffer: joins bind into it first and only
+	// copy into an arena env when the binding succeeds, so failed joins
+	// allocate nothing and successful ones allocate from the arena in bulk.
+	scratch env
+	arena   envArena
 	// prof, when non-nil, tallies per-rule activations. Alphas are not
 	// shared between rules here, so a right-activation (and the beta
 	// cascade under it, which stays inside one rule's join chain) is
@@ -154,6 +184,13 @@ type network struct {
 
 func buildNetwork(crs []cRule) *network {
 	net := &network{alphasByPred: map[rdf.ID][]*alphaNode{}}
+	maxSlot := 1
+	for i := range crs {
+		if crs[i].nslot > maxSlot {
+			maxSlot = crs[i].nslot
+		}
+	}
+	net.scratch = make(env, maxSlot)
 	for ri := range crs {
 		r := &crs[ri]
 		if len(r.body) == 0 {
@@ -219,20 +256,39 @@ func (n *network) rightActivate(a *alphaNode, t rdf.Triple, emit func(rdf.Triple
 	for _, jn := range a.consumer {
 		if jn.atomIdx == 0 {
 			// First stage: the triple itself creates a token.
-			e := make(env, jn.rule.nslot)
-			if _, ok := e.bindTriple(jn.rule.body[0], t); ok {
+			if e, ok := n.tryExtend(nil, jn.rule, 0, t); ok {
 				n.leftActivate(jn, token{env: e}, emit)
 			}
 			continue
 		}
 		// Later stage: join the new right input against the left memory.
 		for _, tok := range jn.leftMemory {
-			e := cloneEnv(tok.env)
-			if _, ok := e.bindTriple(jn.rule.body[jn.atomIdx], t); ok {
+			if e, ok := n.tryExtend(tok.env, jn.rule, jn.atomIdx, t); ok {
 				n.leftActivate(jn, token{env: e}, emit)
 			}
 		}
 	}
+}
+
+// tryExtend attempts to bind body atom atomIdx of r against t on top of the
+// base environment (nil means all-unbound). The trial happens in the shared
+// scratch buffer; only a successful binding is copied into a persistent
+// arena env, so the (dominant) failing joins are allocation-free.
+func (n *network) tryExtend(base env, r *cRule, atomIdx int, t rdf.Triple) (env, bool) {
+	sc := n.scratch[:r.nslot]
+	if base == nil {
+		for i := range sc {
+			sc[i] = 0
+		}
+	} else {
+		copy(sc, base)
+	}
+	if _, ok := sc.bindTriple(r.body[atomIdx], t); !ok {
+		return nil, false
+	}
+	e := n.arena.alloc(r.nslot)
+	copy(e, sc)
+	return e, true
 }
 
 // leftActivate receives a completed token AT jn (i.e. jn's atom is already
@@ -255,15 +311,8 @@ func (n *network) leftActivate(jn *joinNode, tok token, emit func(rdf.Triple)) {
 	next.leftMemory = append(next.leftMemory, tok)
 	// Join against everything already in the next stage's alpha memory.
 	for _, t := range next.alpha.memory {
-		e := cloneEnv(tok.env)
-		if _, ok := e.bindTriple(next.rule.body[next.atomIdx], t); ok {
+		if e, ok := n.tryExtend(tok.env, next.rule, next.atomIdx, t); ok {
 			n.leftActivate(next, token{env: e}, emit)
 		}
 	}
-}
-
-func cloneEnv(e env) env {
-	out := make(env, len(e))
-	copy(out, e)
-	return out
 }

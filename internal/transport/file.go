@@ -126,7 +126,7 @@ func (f *File) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
 			// corrupt, not in flight: retrying cannot help.
 			return nil, fmt.Errorf("transport/file: %s: %w: %v", e.Name(), ErrMalformed, perr)
 		}
-		out = append(out, g.Triples()...)
+		out = append(out, g.TriplesSince(0)...)
 	}
 	return out, nil
 }

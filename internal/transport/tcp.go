@@ -516,7 +516,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 					return
 				}
 				t.markSeen(key)
-				t.deliver(int(hdr.Round), int(hdr.To), g.Triples())
+				t.deliver(int(hdr.Round), int(hdr.To), g.TriplesSince(0))
 			}
 		default:
 			t.fail(fmt.Errorf("transport/tcp: %w: unknown frame type %d from peer %d",
