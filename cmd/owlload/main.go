@@ -1,0 +1,195 @@
+// Command owlload drives a chaos workload against a running owlserve: mixed
+// canonical reads, probe inserts into the http://loadgen.powl/ namespace,
+// injected pathological queries, and arrival bursts. Canonical answers are
+// self-calibrated at startup (one clean run of each query) and asserted on
+// every subsequent success — they are invariant under probe inserts, so any
+// deviation under load, drain, or restart is a correctness failure.
+//
+// Usage:
+//
+//	owlload -addr http://127.0.0.1:7077 -duration 10s -out BENCH_6.json
+//	owlload -addr ... -expect-outage        # CI kill+restart drill
+//
+// Exit is non-zero if any gate fails: wrong answers, unexpected failures,
+// no shedding while bursts were enabled, p99 at/over -p99-under, or no
+// retries when -expect-outage promised an outage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"powl/internal/serve/loadgen"
+)
+
+// canonicalQueries are LUBM-shaped reads whose answers exercise derived
+// triples (subclass and subproperty closure), joins, and DISTINCT.
+var canonicalQueries = []loadgen.CheckedQuery{
+	{Name: "professors", Text: `SELECT ?x WHERE { ?x a <http://benchmark.powl/lubm#Professor> . }`},
+	{Name: "members", Text: `SELECT ?x ?o WHERE { ?x <http://benchmark.powl/lubm#memberOf> ?o . }`},
+	{Name: "profDepts", Text: `PREFIX ub: <http://benchmark.powl/lubm#>
+SELECT ?x ?d WHERE { ?x a ub:Professor . ?x ub:worksFor ?d . }`},
+	{Name: "classes", Text: `SELECT DISTINCT ?t WHERE { ?x a ?t . }`},
+}
+
+type benchOut struct {
+	Bench    string          `json:"bench"`
+	Addr     string          `json:"addr"`
+	Workers  int             `json:"workers"`
+	Report   loadgen.Report  `json:"report"`
+	Stats    json.RawMessage `json:"server_stats,omitempty"`
+	Verdict  string          `json:"verdict"`
+	Failures []string        `json:"failures,omitempty"`
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", "http://127.0.0.1:7077", "owlserve base URL")
+		duration     = flag.Duration("duration", 10*time.Second, "run length")
+		workers      = flag.Int("workers", 8, "concurrent clients")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		slowEvery    = flag.Int("slow-every", 40, "inject a pathological query every n ops per worker (0 = never)")
+		insertEvery  = flag.Int("insert-every", 10, "insert a probe batch every n ops per worker")
+		burstEvery   = flag.Duration("burst-every", 500*time.Millisecond, "burst interval (0 = off)")
+		burstSize    = flag.Int("burst-size", 0, "queries per burst (0 = default)")
+		retryWindow  = flag.Duration("retry-window", 15*time.Second, "ride out unavailability this long")
+		wait         = flag.Duration("wait", 30*time.Second, "wait this long for the server to come up")
+		p99Under     = flag.Duration("p99-under", 0, "fail unless p99 of successes is under this (0 = no gate)")
+		expectOutage = flag.Bool("expect-outage", false, "fail unless retries were needed (kill+restart drill)")
+		expectShed   = flag.Bool("expect-shed", true, "fail unless shedding triggered while bursts are on")
+		out          = flag.String("out", "", "write the benchmark JSON here (empty = stdout)")
+	)
+	flag.Parse()
+
+	client := loadgen.HTTP{Base: *addr, Client: &http.Client{Timeout: 30 * time.Second}}
+	if err := waitHealthy(*addr, *wait); err != nil {
+		fatal(err)
+	}
+
+	// Self-calibrate: each canonical query's first clean answer becomes its
+	// invariant. Probe inserts never touch these namespaces.
+	queries := make([]loadgen.CheckedQuery, len(canonicalQueries))
+	copy(queries, canonicalQueries)
+	for i := range queries {
+		rows, err := client.Query(context.Background(), queries[i].Text)
+		if err != nil {
+			fatal(fmt.Errorf("calibrating %s: %w", queries[i].Name, err))
+		}
+		queries[i].Want = rows
+		fmt.Fprintf(os.Stderr, "owlload: calibrated %s = %d rows\n", queries[i].Name, rows)
+	}
+
+	slowQuery := ""
+	if *slowEvery > 0 {
+		// Triple cross product over all typed individuals: no shared
+		// variables, cubic in the individual count — pathological on any
+		// LUBM scale, so the watchdog (not completion) decides its fate.
+		slowQuery = `SELECT ?x ?y ?z WHERE { ?x a ?c . ?y a ?d . ?z a ?e . }`
+	}
+	gen := loadgen.New(client, loadgen.Options{
+		Workers:     *workers,
+		Duration:    *duration,
+		Seed:        *seed,
+		Queries:     queries,
+		SlowQuery:   slowQuery,
+		SlowEvery:   *slowEvery,
+		InsertEvery: *insertEvery,
+		BurstEvery:  *burstEvery,
+		BurstSize:   *burstSize,
+		RetryWindow: *retryWindow,
+	})
+	rep := gen.Run(context.Background())
+	fmt.Fprintf(os.Stderr, "owlload: %s\n", rep)
+
+	var failures []string
+	if rep.OK == 0 {
+		failures = append(failures, "no successful queries")
+	}
+	if rep.Wrong != 0 {
+		failures = append(failures, fmt.Sprintf("%d wrong answers", rep.Wrong))
+	}
+	if rep.Failed != 0 {
+		failures = append(failures, fmt.Sprintf("%d unexpected failures", rep.Failed))
+	}
+	if *expectShed && *burstEvery > 0 && rep.Shed == 0 {
+		failures = append(failures, "bursts enabled but shedding never triggered")
+	}
+	if *p99Under > 0 && rep.P99Millis >= float64(*p99Under)/1e6 {
+		failures = append(failures, fmt.Sprintf("p99 %.1fms not under %v", rep.P99Millis, *p99Under))
+	}
+	if *expectOutage && rep.Retried == 0 {
+		failures = append(failures, "outage expected but no retries recorded")
+	}
+
+	bo := benchOut{
+		Bench:   "serve_chaos",
+		Addr:    *addr,
+		Workers: *workers,
+		Report:  rep,
+		Stats:   fetchStats(*addr),
+		Verdict: "PASS",
+	}
+	if len(failures) > 0 {
+		bo.Verdict = "FAIL"
+		bo.Failures = failures
+	}
+	js, _ := json.MarshalIndent(bo, "", "  ")
+	js = append(js, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(js)
+	}
+	if bo.Verdict != "PASS" {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "owlload: GATE FAILED: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "owlload: all gates passed")
+}
+
+// waitHealthy polls /healthz until the server admits work.
+func waitHealthy(base string, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy within %v (last err: %v)", base, window, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetchStats grabs the server's /stats for the benchmark record;
+// best-effort (the server may already be gone in a restart drill).
+func fetchStats(base string) json.RawMessage {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var buf json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&buf); err != nil {
+		return nil
+	}
+	return buf
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

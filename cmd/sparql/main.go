@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ func main() {
 		q           = flag.String("q", "", "SPARQL-subset query (required)")
 		materialize = flag.Bool("materialize", false, "compute the OWL-Horst closure before querying")
 		workers     = flag.Int("workers", 4, "workers for -materialize")
+		timeout     = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *in == "" || *q == "" {
@@ -55,8 +58,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res := parsed.Solve(g)
+	res, err := parsed.SolveContext(ctx, g)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "query aborted after %v (%d partial rows discarded)\n", *timeout, len(res.Rows))
+		os.Exit(1)
+	}
 	res.SortRows()
 	fmt.Print(res.Format(dict))
 	fmt.Fprintf(os.Stderr, "%d rows in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))

@@ -26,6 +26,11 @@ const (
 	EvRejoin      = "rejoin"       // Worker rejoins at Round; N = epoch
 	EvRedial      = "redial"       // Name = "from->to"; N = reconnects on that link
 	EvRunEnd      = "run_end"      // Dur = elapsed, N = rounds
+
+	// Serve-layer events (cmd/owlserve). Worker is MasterWorker throughout.
+	EvQuery = "query" // one query; Name = outcome (ok/shed/deadline/watchdog/cancelled/panic/parse_error), Dur = latency, N = rows
+	EvEpoch = "epoch" // writer published a snapshot; N = watermark, N2 = triples derived from the batch
+	EvServe = "serve" // lifecycle; Name = start/drain/drained, N = in-flight at drain start
 )
 
 // Phase names used by phase events. Reason/Send/Recv/Sync are per-worker;

@@ -1,0 +1,81 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"powl/internal/rdf"
+)
+
+// legacyRowKey is the fmt.Fprintf-based dedup key the binary rowKey
+// replaced; kept here so the benchmark records the before/after delta.
+func legacyRowKey(row []rdf.ID) string {
+	var b strings.Builder
+	for _, id := range row {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+func benchRows(n int) [][]rdf.ID {
+	rows := make([][]rdf.ID, n)
+	for i := range rows {
+		rows[i] = []rdf.ID{rdf.ID(i % 97), rdf.ID(i % 31), rdf.ID(i)}
+	}
+	return rows
+}
+
+func BenchmarkDistinctKey(b *testing.B) {
+	rows := benchRows(1024)
+	b.Run("fmt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := map[string]struct{}{}
+			for _, row := range rows {
+				key := legacyRowKey(row)
+				if _, dup := seen[key]; !dup {
+					seen[key] = struct{}{}
+				}
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			seen := map[string]struct{}{}
+			for _, row := range rows {
+				buf = rowKey(buf[:0], row)
+				if _, dup := seen[string(buf)]; !dup {
+					seen[string(buf)] = struct{}{}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDistinctQuery measures the end-to-end effect on a DISTINCT-heavy
+// query: every person row projects the same type, so dedup runs per binding.
+func BenchmarkDistinctQuery(b *testing.B) {
+	dict := rdf.NewDict()
+	g := rdf.NewGraph()
+	typ := dict.InternIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+	person := dict.InternIRI("http://b/Person")
+	knows := dict.InternIRI("http://b/knows")
+	for i := 0; i < 2000; i++ {
+		s := dict.InternIRI(fmt.Sprintf("http://b/p%d", i))
+		o := dict.InternIRI(fmt.Sprintf("http://b/p%d", (i+1)%2000))
+		g.Add(rdf.Triple{S: s, P: typ, O: person})
+		g.Add(rdf.Triple{S: s, P: knows, O: o})
+	}
+	q := MustParse(`SELECT DISTINCT ?t WHERE { ?x a ?t . ?x <http://b/knows> ?y . }`, dict)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := q.Solve(g)
+		if len(res.Rows) != 1 {
+			b.Fatalf("got %d rows", len(res.Rows))
+		}
+	}
+}

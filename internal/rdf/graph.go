@@ -1,78 +1,90 @@
 package rdf
 
 import (
-	"slices"
 	"sort"
 )
 
 // Graph is an in-memory triple store with set semantics, laid out as a
-// structure of arrays: a single append-only triple log plus slice-backed
-// per-key posting lists. The log holds each distinct triple exactly once, in
-// insertion order; the five indexes the rule engines need are:
+// structure of arrays: a single append-only triple log plus per-key posting
+// lists. The log holds each distinct triple exactly once, in insertion
+// order; the five indexes the rule engines need are:
 //
 //	byS, byP, byO — posting lists of log offsets (4 bytes/entry), for the
 //	                one-bound patterns and the (s,·,o) two-sided scan;
-//	bySP, byPO    — posting lists of the completing term (object resp.
-//	                subject, 4 bytes/entry): the pattern already fixes the
-//	                other two positions, so the join path reads the answer
-//	                directly with no log indirection.
+//	bySP, byPO    — posting lists of (completing term, log offset) pairs:
+//	                the pattern already fixes the other two positions, so
+//	                the join path reads the answer directly with no log
+//	                indirection, and the offset lets a Snapshot cut the
+//	                list at its watermark.
 //
-// Compared with the previous maps-of-[]Triple layout this stores each triple
-// once (12 bytes) plus five 4-byte postings instead of materializing it three
-// times in value slices, and makes whole-graph iteration (Triples, Union,
-// Equal, Diff, Resources) a deterministic linear walk of the log instead of a
-// map range.
+// Since PR 6 the store is a single-writer / multi-reader MVCC substrate:
+// exactly one goroutine may mutate the graph, but Snapshot may be called
+// from any goroutine at any time and the returned view is stable — pinned
+// at the log watermark current when it was taken — while the writer keeps
+// appending. There are no locks anywhere: the log and every posting list
+// publish their lengths atomically and never rewrite published entries, and
+// the index tables are open-addressing with atomic slot publication (see
+// index.go for the full argument).
 //
-// Graph is not safe for concurrent mutation; in powl each cluster worker owns
-// its graph exclusively and exchanges triples by value.
+// All mutating methods (Add, AddAll, Union, Grow) and the dedup-consulting
+// reads (Has, and through it the fully-bound ForEachMatch/CountMatch case)
+// remain writer-only: they touch the private dedup map. Concurrent readers
+// must go through Snapshot.
 type Graph struct {
-	log  []Triple
-	set  map[Triple]struct{}
-	byS  map[ID][]uint32
-	byP  map[ID][]uint32
-	byO  map[ID][]uint32
-	bySP map[[2]ID][]ID // objects for (s, p), in insertion order
-	byPO map[[2]ID][]ID // subjects for (p, o), in insertion order
+	log  tripleLog
+	set  map[Triple]struct{} // writer-only dedup
+	byS  index[uint32]
+	byP  index[uint32]
+	byO  index[uint32]
+	bySP index[spEntry] // completing object for (s, p), in log order
+	byPO index[spEntry] // completing subject for (p, o), in log order
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph { return NewGraphCap(0) }
 
 // NewGraphCap returns an empty graph pre-sized for about n triples, which
-// avoids rehashing when bulk-loading (e.g. when aggregating worker outputs).
+// avoids log regrowth and index rehashing when bulk-loading (e.g. when
+// aggregating worker outputs).
 func NewGraphCap(n int) *Graph {
-	return &Graph{
-		log:  make([]Triple, 0, n),
-		set:  make(map[Triple]struct{}, n),
-		byS:  make(map[ID][]uint32, n/4+1),
-		byP:  make(map[ID][]uint32, 64),
-		byO:  make(map[ID][]uint32, n/4+1),
-		bySP: make(map[[2]ID][]ID, n),
-		byPO: make(map[[2]ID][]ID, n/2+1),
+	g := &Graph{set: make(map[Triple]struct{}, n)}
+	if n > 0 {
+		g.log.grow(n)
+		g.byS.presize(n/4 + 1)
+		g.byP.presize(64)
+		g.byO.presize(n/4 + 1)
+		g.bySP.presize(n)
+		g.byPO.presize(n/2 + 1)
 	}
+	return g
 }
 
-// Grow pre-sizes the triple log for n additional triples. The posting-list
-// maps grow incrementally regardless; the log is the bulk of the appended
-// bytes, so reserving it up front is what the bulk-load paths (AddAll,
-// Union) benefit from.
+// Grow pre-sizes the triple log for n additional triples. The posting lists
+// grow incrementally regardless; the log is the bulk of the appended bytes,
+// so reserving it up front is what the bulk-load paths (AddAll, Union)
+// benefit from.
 func (g *Graph) Grow(n int) {
-	g.log = slices.Grow(g.log, n)
+	g.log.grow(n)
 }
 
-// Add inserts t and reports whether it was not already present.
+// Add inserts t and reports whether it was not already present. Writer-only.
+//
+// The log append is last deliberately: it publishes the new watermark, and a
+// Snapshot pinned at watermark W must see every index entry for the triples
+// below W. Appending the five postings first makes the log length the commit
+// point.
 func (g *Graph) Add(t Triple) bool {
 	if _, ok := g.set[t]; ok {
 		return false
 	}
 	g.set[t] = struct{}{}
-	off := uint32(len(g.log))
-	g.log = append(g.log, t)
-	g.byS[t.S] = append(g.byS[t.S], off)
-	g.byP[t.P] = append(g.byP[t.P], off)
-	g.byO[t.O] = append(g.byO[t.O], off)
-	g.bySP[[2]ID{t.S, t.P}] = append(g.bySP[[2]ID{t.S, t.P}], t.O)
-	g.byPO[[2]ID{t.P, t.O}] = append(g.byPO[[2]ID{t.P, t.O}], t.S)
+	off := uint32(g.log.length())
+	g.byS.getOrCreate(key1(t.S)).append1(off)
+	g.byP.getOrCreate(key1(t.P)).append1(off)
+	g.byO.getOrCreate(key1(t.O)).append1(off)
+	g.bySP.getOrCreate(key2(t.S, t.P)).append1(spEntry{Term: t.O, Off: off})
+	g.byPO.getOrCreate(key2(t.P, t.O)).append1(spEntry{Term: t.S, Off: off})
+	g.log.append1(t)
 	return true
 }
 
@@ -88,32 +100,36 @@ func (g *Graph) AddAll(ts []Triple) int {
 	return n
 }
 
-// Has reports whether t is in the graph.
+// Has reports whether t is in the graph. Writer-only (it reads the dedup
+// map); concurrent readers use Snapshot.Has.
 func (g *Graph) Has(t Triple) bool {
 	_, ok := g.set[t]
 	return ok
 }
 
-// Len reports the number of triples.
-func (g *Graph) Len() int { return len(g.log) }
+// Len reports the number of triples. Safe from any goroutine.
+func (g *Graph) Len() int { return g.log.length() }
 
 // Triples returns all triples in insertion order, as a fresh slice the
 // caller may modify.
 func (g *Graph) Triples() []Triple {
-	out := make([]Triple, len(g.log))
-	copy(out, g.log)
+	v := g.log.view()
+	out := make([]Triple, len(v))
+	copy(out, v)
 	return out
 }
 
 // TriplesSince returns a read-only view of the triples added at log offset n
 // or later — the graph's delta since the caller last observed Len() == n.
 // The log is append-only, so the view stays valid across later Adds, but the
-// caller must not modify it; use Triples for an owned copy.
+// caller must not modify it; use Triples for an owned copy. Safe from any
+// goroutine.
 func (g *Graph) TriplesSince(n int) []Triple {
-	if n >= len(g.log) {
+	v := g.log.view()
+	if n >= len(v) {
 		return nil
 	}
-	return g.log[n:len(g.log):len(g.log)]
+	return v[n:]
 }
 
 // SortedTriples returns all triples ordered by (S, P, O), for deterministic
@@ -124,46 +140,50 @@ func (g *Graph) SortedTriples() []Triple {
 	return out
 }
 
-// clonePostings deep-copies one posting-list map: all lists land in a single
-// flat backing buffer of exactly cap n (full-capacity subslices, so a later
-// append to any list copies out instead of clobbering its neighbour), which
-// costs one allocation instead of one per key.
-func clonePostings[K comparable, V ID | uint32](m map[K][]V, n int) map[K][]V {
-	out := make(map[K][]V, len(m))
-	buf := make([]V, 0, n)
-	for k, v := range m {
+// cloneIndex rebuilds src's postings into dst: all lists land in a single
+// flat backing buffer of exactly cap total (capacity-capped subslices, so a
+// later append to any list reallocates instead of clobbering its
+// neighbour), which costs one big allocation instead of one per key.
+func cloneIndex[T any](dst, src *index[T], total int) {
+	dst.presize(src.count)
+	buf := make([]T, 0, total)
+	src.forEach(func(k uint64, p *posting[T]) {
+		v := p.view()
 		start := len(buf)
 		buf = append(buf, v...)
-		out[k] = buf[start:len(buf):len(buf)]
-	}
-	return out
+		seg := buf[start:len(buf):len(buf)]
+		np := dst.getOrCreate(k)
+		np.arr.Store(&seg)
+		np.n.Store(uint32(len(seg)))
+	})
 }
 
 // Clone returns a deep copy of the graph. It copies the log and the index
-// posting lists directly — no per-triple re-insertion, no map rehashing —
-// so cloning costs a handful of bulk copies plus one map insert per distinct
-// index key.
+// posting lists directly — no per-triple re-insertion — so cloning costs a
+// handful of bulk copies plus one table insert per distinct index key.
+// Writer-only on g; the clone is a fresh graph owned by the caller.
 func (g *Graph) Clone() *Graph {
-	n := len(g.log)
-	c := &Graph{
-		log:  slices.Clone(g.log),
-		set:  make(map[Triple]struct{}, n),
-		byS:  clonePostings(g.byS, n),
-		byP:  clonePostings(g.byP, n),
-		byO:  clonePostings(g.byO, n),
-		bySP: clonePostings(g.bySP, n),
-		byPO: clonePostings(g.byPO, n),
-	}
-	for _, t := range c.log {
+	v := g.log.view()
+	n := len(v)
+	c := &Graph{set: make(map[Triple]struct{}, n)}
+	c.log.grow(n)
+	for _, t := range v {
 		c.set[t] = struct{}{}
+		c.log.append1(t)
 	}
+	cloneIndex(&c.byS, &g.byS, n)
+	cloneIndex(&c.byP, &g.byP, n)
+	cloneIndex(&c.byO, &g.byO, n)
+	cloneIndex(&c.bySP, &g.bySP, n)
+	cloneIndex(&c.byPO, &g.byPO, n)
 	return c
 }
 
 // ForEachMatch calls fn for every triple matching the pattern, where Wildcard
 // in any position matches all terms. Iteration stops early if fn returns
 // false. Iteration order is the insertion order of the matching triples. The
-// graph must not be mutated during iteration.
+// graph must not be mutated during iteration; writer-only (the fully-bound
+// case consults the dedup map) — concurrent readers use Snapshot.
 func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 	switch {
 	case s != Wildcard && p != Wildcard && o != Wildcard:
@@ -172,58 +192,71 @@ func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 			fn(t)
 		}
 	case s != Wildcard && p != Wildcard:
-		for _, obj := range g.bySP[[2]ID{s, p}] {
-			if !fn(Triple{s, p, obj}) {
+		for _, e := range g.bySP.get(key2(s, p)).entries() {
+			if !fn(Triple{s, p, e.Term}) {
 				return
 			}
 		}
 	case p != Wildcard && o != Wildcard:
-		for _, subj := range g.byPO[[2]ID{p, o}] {
-			if !fn(Triple{subj, p, o}) {
+		for _, e := range g.byPO.get(key2(p, o)).entries() {
+			if !fn(Triple{e.Term, p, o}) {
 				return
 			}
 		}
 	case s != Wildcard && o != Wildcard:
 		// Scan the shorter of the two posting lists; both sides index the
 		// same log, so either yields exactly the (s,·,o) matches.
-		if sl, ol := g.byS[s], g.byO[o]; len(sl) <= len(ol) {
+		log := g.log.view()
+		if sl, ol := g.byS.get(key1(s)).entries(), g.byO.get(key1(o)).entries(); len(sl) <= len(ol) {
 			for _, off := range sl {
-				if t := g.log[off]; t.O == o && !fn(t) {
+				if t := log[off]; t.O == o && !fn(t) {
 					return
 				}
 			}
 		} else {
 			for _, off := range ol {
-				if t := g.log[off]; t.S == s && !fn(t) {
+				if t := log[off]; t.S == s && !fn(t) {
 					return
 				}
 			}
 		}
 	case s != Wildcard:
-		for _, off := range g.byS[s] {
-			if !fn(g.log[off]) {
+		log := g.log.view()
+		for _, off := range g.byS.get(key1(s)).entries() {
+			if !fn(log[off]) {
 				return
 			}
 		}
 	case p != Wildcard:
-		for _, off := range g.byP[p] {
-			if !fn(g.log[off]) {
+		log := g.log.view()
+		for _, off := range g.byP.get(key1(p)).entries() {
+			if !fn(log[off]) {
 				return
 			}
 		}
 	case o != Wildcard:
-		for _, off := range g.byO[o] {
-			if !fn(g.log[off]) {
+		log := g.log.view()
+		for _, off := range g.byO.get(key1(o)).entries() {
+			if !fn(log[off]) {
 				return
 			}
 		}
 	default:
-		for _, t := range g.log {
+		for _, t := range g.log.view() {
 			if !fn(t) {
 				return
 			}
 		}
 	}
+}
+
+// entries returns the published posting view, tolerating a nil posting (key
+// absent from the index).
+func (p *posting[T]) entries() []T {
+	if p == nil {
+		return nil
+	}
+	return p.view()
 }
 
 // Match returns all triples matching the pattern as a slice.
@@ -241,7 +274,8 @@ func (g *Graph) Match(s, p, o ID) []Triple {
 // the answer — all but (s,·,o) — is O(1): the stored posting-list cardinality
 // is returned directly. (s,·,o) scans the shorter of the two posting lists.
 // The rule engines use this as the selectivity estimate for join ordering,
-// so it must stay cheap for every pattern shape.
+// so it must stay cheap for every pattern shape. Writer-only (the
+// fully-bound case consults the dedup map).
 func (g *Graph) CountMatch(s, p, o ID) int {
 	switch {
 	case s != Wildcard && p != Wildcard && o != Wildcard:
@@ -250,41 +284,43 @@ func (g *Graph) CountMatch(s, p, o ID) int {
 		}
 		return 0
 	case s != Wildcard && p != Wildcard:
-		return len(g.bySP[[2]ID{s, p}])
+		return g.bySP.get(key2(s, p)).length()
 	case p != Wildcard && o != Wildcard:
-		return len(g.byPO[[2]ID{p, o}])
+		return g.byPO.get(key2(p, o)).length()
 	case s != Wildcard && o != Wildcard:
 		n := 0
-		if sl, ol := g.byS[s], g.byO[o]; len(sl) <= len(ol) {
+		log := g.log.view()
+		if sl, ol := g.byS.get(key1(s)).entries(), g.byO.get(key1(o)).entries(); len(sl) <= len(ol) {
 			for _, off := range sl {
-				if g.log[off].O == o {
+				if log[off].O == o {
 					n++
 				}
 			}
 		} else {
 			for _, off := range ol {
-				if g.log[off].S == s {
+				if log[off].S == s {
 					n++
 				}
 			}
 		}
 		return n
 	case s != Wildcard:
-		return len(g.byS[s])
+		return g.byS.get(key1(s)).length()
 	case p != Wildcard:
-		return len(g.byP[p])
+		return g.byP.get(key1(p)).length()
 	case o != Wildcard:
-		return len(g.byO[o])
+		return g.byO.get(key1(o)).length()
 	default:
-		return len(g.log)
+		return g.log.length()
 	}
 }
 
 // Resources returns the set of IDs that appear as subject or object of some
 // triple (the nodes of the RDF graph, excluding predicates).
 func (g *Graph) Resources() map[ID]struct{} {
-	res := make(map[ID]struct{}, len(g.byS)+len(g.byO))
-	for _, t := range g.log {
+	v := g.log.view()
+	res := make(map[ID]struct{}, len(v)/2+1)
+	for _, t := range v {
 		res[t.S] = struct{}{}
 		res[t.O] = struct{}{}
 	}
@@ -293,20 +329,21 @@ func (g *Graph) Resources() map[ID]struct{} {
 
 // Subjects returns the set of IDs appearing in subject position.
 func (g *Graph) Subjects() map[ID]struct{} {
-	res := make(map[ID]struct{}, len(g.byS))
-	for _, t := range g.log {
+	v := g.log.view()
+	res := make(map[ID]struct{}, len(v)/4+1)
+	for _, t := range v {
 		res[t.S] = struct{}{}
 	}
 	return res
 }
 
 // Union adds every triple of other into g and returns the number newly
-// added. It walks other's log — deterministic order, no map iteration — and
-// pre-sizes g's log for the incoming bulk.
+// added. It walks other's log — deterministic order — and pre-sizes g's log
+// for the incoming bulk. Writer-only on g.
 func (g *Graph) Union(other *Graph) int {
 	g.Grow(other.Len())
 	n := 0
-	for _, t := range other.log {
+	for _, t := range other.log.view() {
 		if g.Add(t) {
 			n++
 		}
@@ -319,7 +356,7 @@ func (g *Graph) Equal(other *Graph) bool {
 	if g.Len() != other.Len() {
 		return false
 	}
-	for _, t := range g.log {
+	for _, t := range g.log.view() {
 		if !other.Has(t) {
 			return false
 		}
@@ -330,7 +367,7 @@ func (g *Graph) Equal(other *Graph) bool {
 // Diff returns the triples present in g but not in other, sorted.
 func (g *Graph) Diff(other *Graph) []Triple {
 	var out []Triple
-	for _, t := range g.log {
+	for _, t := range g.log.view() {
 		if !other.Has(t) {
 			out = append(out, t)
 		}

@@ -1,0 +1,287 @@
+package rdf
+
+import "sync/atomic"
+
+// This file holds the single-writer / multi-reader structures the graph is
+// built on. The contract is the MVCC one the serving layer needs: exactly one
+// goroutine mutates (the writer that owns the Graph), while any number of
+// goroutines read *pinned* prefixes concurrently, with no locks on either
+// side. Three properties make that safe:
+//
+//  1. Element immutability below the published length. An entry, once
+//     published, is never rewritten, so a reader holding a watermark W only
+//     ever touches memory the writer finished with before publishing W.
+//  2. Atomic publication. Backing arrays and lengths are published through
+//     sync/atomic (seq-cst in Go), so a reader that observes length n also
+//     observes every element write and every index append that happened
+//     before n was stored.
+//  3. Grow-by-replacement. Appends that outgrow a backing array allocate a
+//     fresh one and publish it via an atomic pointer; readers still holding
+//     the old array see a valid (shorter) prefix, which their watermark
+//     filter already restricts them to.
+//
+// The posting lists additionally keep their entries in insertion order, which
+// is log-offset order — so "the list as of watermark W" is a binary-searched
+// prefix, not a copy. That is what makes rdf.Snapshot zero-copy.
+
+// spEntry is one bySP/byPO posting: the completing term of the triple plus
+// the triple's log offset. The offset is what lets a Snapshot cut the list at
+// its watermark; the completing term keeps the two-bound join path free of
+// log indirection (the pattern already fixes the other two positions).
+type spEntry struct {
+	Term ID
+	Off  uint32
+}
+
+// posting is an append-only list with an atomically published length. The
+// single writer appends; readers take view() and slice it down to their
+// watermark. The backing array always has len == cap and is published before
+// the length that makes its new tail element reachable.
+type posting[T any] struct {
+	arr atomic.Pointer[[]T]
+	n   atomic.Uint32
+}
+
+// append1 appends one element. Writer-only.
+func (p *posting[T]) append1(x T) {
+	n := int(p.n.Load())
+	a := p.arr.Load()
+	if a == nil || n == len(*a) {
+		na := make([]T, growCap(n))
+		if a != nil {
+			copy(na, (*a)[:n])
+		}
+		p.arr.Store(&na)
+		a = &na
+	}
+	(*a)[n] = x
+	p.n.Store(uint32(n + 1))
+}
+
+func growCap(n int) int {
+	if n == 0 {
+		return 4
+	}
+	return 2 * n
+}
+
+// view returns the published prefix of the list. Safe from any goroutine;
+// the returned slice is immutable (capacity-capped, contents never
+// rewritten). The length is loaded before the array: the array only ever
+// grows, so any array observed after a length n holds at least n elements.
+func (p *posting[T]) view() []T {
+	n := p.n.Load()
+	if n == 0 {
+		return nil
+	}
+	a := p.arr.Load()
+	return (*a)[:n:n]
+}
+
+// length returns the published element count.
+func (p *posting[T]) length() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.n.Load())
+}
+
+// islot is one open-addressing slot. key 0 means empty — valid keys are
+// always nonzero because every interned ID is >= 1 and packed two-ID keys
+// keep the low half nonzero. The posting pointer is published before the key
+// so a reader that wins the race to see the key always sees the posting.
+type islot[T any] struct {
+	key atomic.Uint64
+	p   atomic.Pointer[posting[T]]
+}
+
+// itable is one published generation of the hash table; resize builds a new
+// itable and swaps the pointer, leaving readers on the old generation with a
+// valid (if stale) view whose missing keys can only name entries above any
+// already-pinned watermark.
+type itable[T any] struct {
+	slots []islot[T]
+	shift uint // Fibonacci-hash shift: index = (key * fibMul) >> shift
+}
+
+const fibMul = 0x9E3779B97F4A7C15
+
+func (t *itable[T]) slotFor(key uint64) int {
+	return int((key * fibMul) >> t.shift)
+}
+
+// index maps a packed uint64 key to a posting list: the lock-free
+// replacement for the previous map[ID][]uint32 / map[[2]ID][]ID indexes.
+// One writer inserts; any goroutine looks up.
+type index[T any] struct {
+	tab   atomic.Pointer[itable[T]]
+	count int // distinct keys; writer-only
+}
+
+// newTable allocates a table with 1<<bits slots.
+func newTable[T any](bits uint) *itable[T] {
+	return &itable[T]{slots: make([]islot[T], 1<<bits), shift: 64 - bits}
+}
+
+// presize readies the index for about n distinct keys. Writer-only, and only
+// meaningful before heavy insertion (NewGraphCap).
+func (ix *index[T]) presize(n int) {
+	bits := uint(4)
+	for (1 << bits) < n*4/3 {
+		bits++
+	}
+	if t := ix.tab.Load(); t == nil || len(t.slots) < 1<<bits {
+		ix.rehash(bits)
+	}
+}
+
+// get returns the posting for key, or nil if absent. Safe from any
+// goroutine.
+func (ix *index[T]) get(key uint64) *posting[T] {
+	t := ix.tab.Load()
+	if t == nil {
+		return nil
+	}
+	mask := len(t.slots) - 1
+	for i := t.slotFor(key); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		k := s.key.Load()
+		if k == key {
+			return s.p.Load()
+		}
+		if k == 0 {
+			return nil
+		}
+	}
+}
+
+// getOrCreate returns the posting for key, inserting an empty one if absent.
+// Writer-only.
+func (ix *index[T]) getOrCreate(key uint64) *posting[T] {
+	t := ix.tab.Load()
+	if t == nil || (ix.count+1)*4 > len(t.slots)*3 {
+		bits := uint(4)
+		if t != nil {
+			bits = 64 - t.shift + 1
+		}
+		ix.rehash(bits)
+		t = ix.tab.Load()
+	}
+	mask := len(t.slots) - 1
+	for i := t.slotFor(key); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		switch s.key.Load() {
+		case key:
+			return s.p.Load()
+		case 0:
+			p := &posting[T]{}
+			s.p.Store(p)
+			s.key.Store(key) // publish after the posting: readers racing the probe see both
+			ix.count++
+			return p
+		}
+	}
+}
+
+// rehash publishes a fresh table of 1<<bits slots holding every existing
+// entry. Writer-only; readers continue on the old generation until they
+// reload the pointer.
+func (ix *index[T]) rehash(bits uint) {
+	old := ix.tab.Load()
+	nt := newTable[T](bits)
+	if old != nil {
+		mask := len(nt.slots) - 1
+		for si := range old.slots {
+			s := &old.slots[si]
+			k := s.key.Load()
+			if k == 0 {
+				continue
+			}
+			for i := nt.slotFor(k); ; i = (i + 1) & mask {
+				d := &nt.slots[i]
+				if d.key.Load() == 0 {
+					d.p.Store(s.p.Load())
+					d.key.Store(k)
+					break
+				}
+			}
+		}
+	}
+	ix.tab.Store(nt)
+}
+
+// forEach calls fn for every (key, posting) pair. Writer-side bulk
+// operations (Clone) use it; iteration order is table order and therefore
+// not deterministic — callers must not let it reach any ordered output.
+func (ix *index[T]) forEach(fn func(key uint64, p *posting[T])) {
+	t := ix.tab.Load()
+	if t == nil {
+		return
+	}
+	for i := range t.slots {
+		s := &t.slots[i]
+		if k := s.key.Load(); k != 0 {
+			fn(k, s.p.Load())
+		}
+	}
+}
+
+// tripleLog is the append-only triple log with an atomically published
+// length — the graph's backbone and the snapshot watermark's meaning.
+type tripleLog struct {
+	arr atomic.Pointer[[]Triple]
+	n   atomic.Uint32
+}
+
+// grow reserves capacity for n more triples. Writer-only.
+func (l *tripleLog) grow(n int) {
+	have := int(l.n.Load())
+	a := l.arr.Load()
+	if a != nil && have+n <= len(*a) {
+		return
+	}
+	c := growCap(have)
+	if c < have+n {
+		c = have + n
+	}
+	na := make([]Triple, c)
+	if a != nil {
+		copy(na, (*a)[:have])
+	}
+	l.arr.Store(&na)
+}
+
+// append1 appends one triple and publishes the new length. Writer-only.
+// This is the commit point of Graph.Add: every index append for this triple
+// happens before it, so a reader that observes length n sees a fully indexed
+// prefix of n triples.
+func (l *tripleLog) append1(t Triple) {
+	n := int(l.n.Load())
+	a := l.arr.Load()
+	if a == nil || n == len(*a) {
+		l.grow(1)
+		a = l.arr.Load()
+	}
+	(*a)[n] = t
+	l.n.Store(uint32(n + 1))
+}
+
+// view returns the published prefix of the log. Safe from any goroutine.
+func (l *tripleLog) view() []Triple {
+	n := l.n.Load()
+	if n == 0 {
+		return nil
+	}
+	a := l.arr.Load()
+	return (*a)[:n:n]
+}
+
+// length returns the published triple count.
+func (l *tripleLog) length() int { return int(l.n.Load()) }
+
+// key packing: the five indexes are keyed by one ID or an ID pair. IDs are
+// nonzero for interned terms, so both packings are nonzero and never collide
+// with the empty-slot sentinel.
+
+func key1(a ID) uint64    { return uint64(a) }
+func key2(a, b ID) uint64 { return uint64(a)<<32 | uint64(b) }

@@ -1,0 +1,219 @@
+package rdf
+
+// Snapshot is an epoch-pinned, zero-copy, read-only view of a Graph: the
+// MVCC read side of the store. Taking one costs two atomic loads (the log
+// watermark and the log array); no triples or posting lists are copied.
+//
+// A snapshot pinned at watermark W sees exactly the first W triples of the
+// log — never more, never fewer — no matter how far the writer has appended
+// since. Pattern matches run over the same posting lists the writer is
+// extending, pinned per lookup by binary-searching the list's log-offset
+// column down to W: posting lists grow in log order, so "the list as of W"
+// is a prefix, found in O(log n) with no allocation. That prefix is the
+// "pinned posting-list length" — it is computed, not stored, which is what
+// keeps Snapshot itself two words wide.
+//
+// Snapshots may be taken from any goroutine at any time while a single
+// writer mutates the graph, and any number of snapshots may be read
+// concurrently. A snapshot never blocks the writer and holds no lock; it
+// does pin the log array it captured, so an extremely long-lived snapshot
+// keeps at most one superseded backing array alive.
+//
+// The fully-bound and (s,·,o) cases deliberately avoid the writer's private
+// dedup map: they scan the shorter of the two relevant pinned posting
+// prefixes instead.
+type Snapshot struct {
+	g   *Graph
+	log []Triple // pinned log prefix; len(log) is the watermark
+}
+
+// Snapshot pins the graph's current watermark and returns the read view.
+// Safe to call from any goroutine concurrently with the single writer.
+func (g *Graph) Snapshot() Snapshot {
+	return Snapshot{g: g, log: g.log.view()}
+}
+
+// Len reports the number of triples visible in the snapshot.
+func (s Snapshot) Len() int { return len(s.log) }
+
+// Watermark returns the log offset the snapshot is pinned at — the epoch of
+// the MVCC view. Snapshots with equal watermarks over the same graph are
+// identical views.
+func (s Snapshot) Watermark() int { return len(s.log) }
+
+// Triples returns the pinned log prefix itself — a read-only view, valid
+// forever, that the caller must not modify.
+func (s Snapshot) Triples() []Triple { return s.log }
+
+// cutOffsets returns the prefix of v whose offsets are below w. Posting
+// lists grow in log-offset order, so this is the pinned view of the list.
+func cutOffsets(v []uint32, w uint32) []uint32 {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return v[:lo]
+}
+
+// cutEntries is cutOffsets for (term, offset) pair postings.
+func cutEntries(v []spEntry, w uint32) []spEntry {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid].Off < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return v[:lo]
+}
+
+// Has reports whether t is visible in the snapshot. It scans the shorter of
+// the (s,p) and (p,o) pinned posting prefixes rather than touching the
+// writer's dedup map.
+func (s Snapshot) Has(t Triple) bool {
+	w := uint32(len(s.log))
+	sp := cutEntries(s.g.bySP.get(key2(t.S, t.P)).entries(), w)
+	po := cutEntries(s.g.byPO.get(key2(t.P, t.O)).entries(), w)
+	if len(sp) <= len(po) {
+		for _, e := range sp {
+			if e.Term == t.O {
+				return true
+			}
+		}
+	} else {
+		for _, e := range po {
+			if e.Term == t.S {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ForEachMatch calls fn for every visible triple matching the pattern, where
+// Wildcard in any position matches all terms. Iteration stops early if fn
+// returns false; order is log insertion order. Safe concurrently with the
+// writer and with other readers.
+func (s Snapshot) ForEachMatch(sub, p, o ID, fn func(Triple) bool) {
+	w := uint32(len(s.log))
+	switch {
+	case sub != Wildcard && p != Wildcard && o != Wildcard:
+		t := Triple{sub, p, o}
+		if s.Has(t) {
+			fn(t)
+		}
+	case sub != Wildcard && p != Wildcard:
+		for _, e := range cutEntries(s.g.bySP.get(key2(sub, p)).entries(), w) {
+			if !fn(Triple{sub, p, e.Term}) {
+				return
+			}
+		}
+	case p != Wildcard && o != Wildcard:
+		for _, e := range cutEntries(s.g.byPO.get(key2(p, o)).entries(), w) {
+			if !fn(Triple{e.Term, p, o}) {
+				return
+			}
+		}
+	case sub != Wildcard && o != Wildcard:
+		sl := cutOffsets(s.g.byS.get(key1(sub)).entries(), w)
+		ol := cutOffsets(s.g.byO.get(key1(o)).entries(), w)
+		if len(sl) <= len(ol) {
+			for _, off := range sl {
+				if t := s.log[off]; t.O == o && !fn(t) {
+					return
+				}
+			}
+		} else {
+			for _, off := range ol {
+				if t := s.log[off]; t.S == sub && !fn(t) {
+					return
+				}
+			}
+		}
+	case sub != Wildcard:
+		for _, off := range cutOffsets(s.g.byS.get(key1(sub)).entries(), w) {
+			if !fn(s.log[off]) {
+				return
+			}
+		}
+	case p != Wildcard:
+		for _, off := range cutOffsets(s.g.byP.get(key1(p)).entries(), w) {
+			if !fn(s.log[off]) {
+				return
+			}
+		}
+	case o != Wildcard:
+		for _, off := range cutOffsets(s.g.byO.get(key1(o)).entries(), w) {
+			if !fn(s.log[off]) {
+				return
+			}
+		}
+	default:
+		for _, t := range s.log {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Match returns all visible triples matching the pattern as a fresh slice.
+func (s Snapshot) Match(sub, p, o ID) []Triple {
+	var out []Triple
+	s.ForEachMatch(sub, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// CountMatch returns the number of visible triples matching the pattern
+// without materializing them: O(log n) for every index-backed shape (the
+// binary-searched pinned prefix length), a shorter-side scan for (s,·,o).
+func (s Snapshot) CountMatch(sub, p, o ID) int {
+	w := uint32(len(s.log))
+	switch {
+	case sub != Wildcard && p != Wildcard && o != Wildcard:
+		if s.Has(Triple{sub, p, o}) {
+			return 1
+		}
+		return 0
+	case sub != Wildcard && p != Wildcard:
+		return len(cutEntries(s.g.bySP.get(key2(sub, p)).entries(), w))
+	case p != Wildcard && o != Wildcard:
+		return len(cutEntries(s.g.byPO.get(key2(p, o)).entries(), w))
+	case sub != Wildcard && o != Wildcard:
+		n := 0
+		sl := cutOffsets(s.g.byS.get(key1(sub)).entries(), w)
+		ol := cutOffsets(s.g.byO.get(key1(o)).entries(), w)
+		if len(sl) <= len(ol) {
+			for _, off := range sl {
+				if s.log[off].O == o {
+					n++
+				}
+			}
+		} else {
+			for _, off := range ol {
+				if s.log[off].S == sub {
+					n++
+				}
+			}
+		}
+		return n
+	case sub != Wildcard:
+		return len(cutOffsets(s.g.byS.get(key1(sub)).entries(), w))
+	case p != Wildcard:
+		return len(cutOffsets(s.g.byP.get(key1(p)).entries(), w))
+	case o != Wildcard:
+		return len(cutOffsets(s.g.byO.get(key1(o)).entries(), w))
+	default:
+		return len(s.log)
+	}
+}

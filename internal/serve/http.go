@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"powl/internal/ntriples"
+	"powl/internal/rdf"
+)
+
+// queryRows renders result rows as terms for the wire. Kept small and
+// schema-stable so loadgen and the CI smoke can assert on it.
+type queryReply struct {
+	Vars  []string   `json:"vars"`
+	Rows  [][]string `json:"rows"`
+	Epoch int        `json:"epoch"`
+}
+
+type insertReply struct {
+	Accepted int `json:"accepted"`
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /query   — body is the SPARQL-subset text; 200 with rows,
+//	                503 shed/draining (Retry-After), 504 deadline/watchdog,
+//	                400 parse error, 500 panic.
+//	POST /insert  — body is N-Triples; 200 with the accepted count,
+//	                503 while draining.
+//	GET  /stats   — Stats as JSON.
+//	GET  /healthz — 200 "ok\n" while admitting, 503 while draining.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Query(r.Context(), string(body))
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrShed), errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrWatchdog):
+			writeErr(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			// Client went away; best-effort status, usually unseen.
+			writeErr(w, 499, err)
+		case strings.Contains(err.Error(), "panicked"):
+			writeErr(w, http.StatusInternalServerError, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	reply := queryReply{Vars: resp.Result.Vars, Rows: make([][]string, 0, len(resp.Result.Rows)), Epoch: resp.Epoch}
+	for _, row := range resp.Result.Rows {
+		out := make([]string, len(row))
+		for i, id := range row {
+			out[i] = s.kb.Dict.Term(id).String()
+		}
+		reply.Rows = append(reply.Rows, out)
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var ts []rdf.Triple
+	rd := ntriples.NewReader(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	for {
+		st, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		d := s.kb.Dict
+		ts = append(ts, rdf.Triple{S: d.Intern(st.S), P: d.Intern(st.P), O: d.Intern(st.O)})
+	}
+	if err := s.Insert(r.Context(), ts); err != nil {
+		if errors.Is(err, ErrDraining) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, insertReply{Accepted: len(ts)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.gate.RLock()
+	draining := s.draining
+	s.gate.RUnlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprint(w, "ok\n")
+}
+
+// maxBodyBytes bounds request bodies; a query or batch beyond this is a
+// client error, not a reason to exhaust server memory.
+const maxBodyBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorReply{Error: err.Error()})
+}

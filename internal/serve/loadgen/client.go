@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"powl/internal/ntriples"
+	"powl/internal/rdf"
+	"powl/internal/serve"
+)
+
+// Local drives a serve.Server in-process — the -race chaos tests use it so
+// readers, writer, and chaos all share one memory space under the detector.
+type Local struct {
+	S *serve.Server
+}
+
+// Query implements Client.
+func (l Local) Query(ctx context.Context, text string) (int, error) {
+	resp, err := l.S.Query(ctx, text)
+	switch {
+	case err == nil:
+		return len(resp.Result.Rows), nil
+	case errors.Is(err, serve.ErrShed):
+		return 0, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	case errors.Is(err, serve.ErrDraining):
+		return 0, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, serve.ErrWatchdog):
+		return 0, fmt.Errorf("%w: %v", ErrTimeout, err)
+	default:
+		return 0, err
+	}
+}
+
+// Insert implements Client.
+func (l Local) Insert(ctx context.Context, nt string) error {
+	var ts []rdf.Triple
+	rd := ntriples.NewReader(strings.NewReader(nt))
+	d := l.S.Dict()
+	for {
+		st, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ts = append(ts, rdf.Triple{S: d.Intern(st.S), P: d.Intern(st.P), O: d.Intern(st.O)})
+	}
+	err := l.S.Insert(ctx, ts)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, serve.ErrDraining):
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	default:
+		return err
+	}
+}
+
+// HTTP drives an owlserve instance over its HTTP surface — what the CI
+// smoke uses, including across a kill+restart.
+type HTTP struct {
+	Base   string // e.g. http://127.0.0.1:7077
+	Client *http.Client
+}
+
+func (h HTTP) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+type queryReply struct {
+	Rows [][]string `json:"rows"`
+}
+
+// Query implements Client, mapping HTTP status onto the outcome sentinels:
+// 503 → unavailable-or-overloaded (Retry-After distinguishes shed from
+// draining only weakly, so shed maps to ErrOverloaded via the body), 504 →
+// timeout, connection errors → unavailable.
+func (h HTTP) Query(ctx context.Context, text string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+"/query", strings.NewReader(text))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		return 0, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		// Stream-decode: replies can be huge (a pathological query that
+		// beats the watchdog still returns its full cross product).
+		var qr queryReply
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return 0, fmt.Errorf("loadgen: bad reply: %w", err)
+		}
+		return len(qr.Rows), nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable:
+		if strings.Contains(string(body), "shed") {
+			return 0, fmt.Errorf("%w: %s", ErrOverloaded, body)
+		}
+		return 0, fmt.Errorf("%w: %s", ErrUnavailable, body)
+	case http.StatusGatewayTimeout:
+		return 0, fmt.Errorf("%w: %s", ErrTimeout, body)
+	default:
+		return 0, fmt.Errorf("loadgen: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// Insert implements Client.
+func (h HTTP) Insert(ctx context.Context, nt string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+"/insert", strings.NewReader(nt))
+	if err != nil {
+		return err
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", ErrUnavailable, body)
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("%w: %s", ErrTimeout, body)
+	default:
+		return fmt.Errorf("loadgen: status %d: %s", resp.StatusCode, body)
+	}
+}

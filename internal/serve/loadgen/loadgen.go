@@ -1,0 +1,352 @@
+// Package loadgen drives mixed read/insert workloads against a serve.Server
+// — in-process or over HTTP — with deliberate chaos: pathological slow
+// queries, arrival bursts that overflow admission, and (when the operator
+// kills the server mid-run) unavailability windows it rides out with
+// retries. It reports throughput, latency percentiles, and a correctness
+// verdict.
+//
+// Correctness under churn works by namespace separation: every triple
+// loadgen inserts lives under http://loadgen.powl/, so the canonical
+// queries' answers over the base KB are invariant no matter how many insert
+// batches land, while a probe query over the loadgen namespace must observe
+// the writer's epochs advancing. A canonical query returning the wrong row
+// count — during bursts, drains, or right after a restart — is a
+// correctness failure, not noise.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"powl/internal/stats"
+)
+
+// Outcome sentinels a Client maps transport-specific failures onto.
+var (
+	// ErrOverloaded is a shed: the server refused under load. Expected
+	// during bursts; never counted as a failure.
+	ErrOverloaded = errors.New("loadgen: overloaded")
+	// ErrTimeout is a deadline or watchdog cancellation. Expected for the
+	// injected pathological queries.
+	ErrTimeout = errors.New("loadgen: deadline")
+	// ErrUnavailable is a connection failure or draining rejection —
+	// expected while the server restarts; retried within RetryWindow.
+	ErrUnavailable = errors.New("loadgen: unavailable")
+)
+
+// Client abstracts the wire: local (in-process Server) or HTTP.
+type Client interface {
+	// Query returns the row count, or one of the outcome sentinels
+	// (possibly wrapped).
+	Query(ctx context.Context, text string) (rows int, err error)
+	// Insert submits an N-Triples batch.
+	Insert(ctx context.Context, ntriples string) error
+}
+
+// CheckedQuery is a canonical query with its invariant answer.
+type CheckedQuery struct {
+	Name string
+	Text string
+	Want int // expected row count, asserted on every successful run
+}
+
+// Options shapes the workload.
+type Options struct {
+	Workers  int           // concurrent client goroutines; 0 = 8
+	Duration time.Duration // run length; 0 = 5s
+	Seed     int64         // workload RNG seed
+
+	Queries   []CheckedQuery // canonical read set (required)
+	SlowQuery string         // pathological query text; "" disables injection
+	SlowEvery int            // inject SlowQuery every n ops per worker; 0 = 50
+
+	InsertEvery int // insert a probe batch every n ops per worker; 0 = 10
+	InsertSize  int // triples per probe batch; 0 = 8
+
+	BurstEvery time.Duration // fire a burst every interval; 0 disables
+	BurstSize  int           // extra concurrent canonical queries per burst; 0 = 4×Workers
+
+	RetryWindow time.Duration // how long to retry through unavailability; 0 = 10s
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.SlowEvery <= 0 {
+		o.SlowEvery = 50
+	}
+	if o.InsertEvery <= 0 {
+		o.InsertEvery = 10
+	}
+	if o.InsertSize <= 0 {
+		o.InsertSize = 8
+	}
+	if o.BurstSize <= 0 {
+		o.BurstSize = 4 * o.Workers
+	}
+	if o.RetryWindow <= 0 {
+		o.RetryWindow = 10 * time.Second
+	}
+	return o
+}
+
+// Report is the run's scorecard. Wrong must be zero for a correct server;
+// Shed and Timeout are the degradation the chaos is designed to provoke.
+type Report struct {
+	Duration   time.Duration `json:"duration_ns"`
+	Ops        int64         `json:"ops"`
+	OK         int64         `json:"ok"`
+	Wrong      int64         `json:"wrong"`
+	Shed       int64         `json:"shed"`
+	Timeout    int64         `json:"timeout"`
+	Retried    int64         `json:"unavailable_retries"`
+	Failed     int64         `json:"failed"` // unavailable beyond RetryWindow, or unexpected error
+	Inserts    int64         `json:"insert_batches"`
+	InsertedNT int64         `json:"inserted_triples"`
+	QPS        float64       `json:"qps"`
+	P50Millis  float64       `json:"p50_ms"`
+	P99Millis  float64       `json:"p99_ms"`
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("ops=%d ok=%d wrong=%d shed=%d timeout=%d retried=%d failed=%d inserts=%d qps=%.0f p50=%.2fms p99=%.2fms",
+		r.Ops, r.OK, r.Wrong, r.Shed, r.Timeout, r.Retried, r.Failed, r.Inserts, r.QPS, r.P50Millis, r.P99Millis)
+}
+
+// Generator runs the workload.
+type Generator struct {
+	opts Options
+	c    Client
+
+	mu        sync.Mutex
+	latencies []float64 // milliseconds, successful canonical queries only
+	rep       Report
+}
+
+// New returns a Generator over c. Options.Queries must be non-empty.
+func New(c Client, opts Options) *Generator {
+	return &Generator{opts: opts.withDefaults(), c: c}
+}
+
+// ProbeQuery is the read side of the probe namespace: counts inserted
+// marker triples. Its answer grows with the writer's epochs and never
+// intersects the canonical queries' answers.
+const ProbeQuery = `SELECT ?x ?b WHERE { ?x <http://loadgen.powl/marker> ?b . }`
+
+// probeBatch renders one insert batch in the loadgen namespace. worker and
+// seq make every subject unique so each accepted batch grows the probe
+// answer by exactly size rows.
+func probeBatch(worker, seq, size int) string {
+	var b []byte
+	for i := 0; i < size; i++ {
+		b = fmt.Appendf(b, "<http://loadgen.powl/w%d-s%d-i%d> <http://loadgen.powl/marker> <http://loadgen.powl/batch-%d-%d> .\n",
+			worker, seq, i, worker, seq)
+	}
+	return string(b)
+}
+
+// Run drives the workload until Options.Duration elapses or ctx is
+// cancelled, then returns the scorecard.
+func (g *Generator) Run(ctx context.Context) Report {
+	ctx, cancel := context.WithTimeout(ctx, g.opts.Duration)
+	defer cancel()
+	//powl:ignore wallclock loadgen measures real elapsed time for QPS — operator-facing benchmark tooling, not reasoning state
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < g.opts.Workers; w++ {
+		wg.Add(1)
+		go g.worker(ctx, &wg, w)
+	}
+	if g.opts.BurstEvery > 0 {
+		wg.Add(1)
+		go g.burster(ctx, &wg)
+	}
+	wg.Wait()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//powl:ignore wallclock loadgen measures real elapsed time for QPS — operator-facing benchmark tooling, not reasoning state
+	g.rep.Duration = time.Since(start)
+	if secs := g.rep.Duration.Seconds(); secs > 0 {
+		g.rep.QPS = float64(g.rep.OK) / secs
+	}
+	g.rep.P50Millis = stats.Percentile(g.latencies, 50)
+	g.rep.P99Millis = stats.Percentile(g.latencies, 99)
+	return g.rep
+}
+
+// worker is one closed-loop client: canonical reads, periodic probe
+// inserts, periodic pathological queries.
+func (g *Generator) worker(ctx context.Context, wg *sync.WaitGroup, id int) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(g.opts.Seed + int64(id)))
+	seq := 0
+	for op := 0; ctx.Err() == nil; op++ {
+		switch {
+		case g.opts.SlowQuery != "" && op%g.opts.SlowEvery == g.opts.SlowEvery-1:
+			g.runSlow(ctx)
+		case op%g.opts.InsertEvery == g.opts.InsertEvery-1:
+			seq++
+			g.runInsert(ctx, id, seq)
+		default:
+			q := g.opts.Queries[rng.Intn(len(g.opts.Queries))]
+			g.runChecked(ctx, q)
+		}
+	}
+}
+
+// burster periodically fires BurstSize canonical queries at once — the
+// arrival spike that must trip shedding rather than grow an unbounded
+// queue.
+func (g *Generator) burster(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	tick := time.NewTicker(g.opts.BurstEvery)
+	defer tick.Stop()
+	rng := rand.New(rand.NewSource(g.opts.Seed ^ 0x5eed))
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			var bw sync.WaitGroup
+			for i := 0; i < g.opts.BurstSize; i++ {
+				q := g.opts.Queries[rng.Intn(len(g.opts.Queries))]
+				bw.Add(1)
+				go func() {
+					defer bw.Done()
+					g.runChecked(ctx, q)
+				}()
+			}
+			bw.Wait()
+		}
+	}
+}
+
+// runChecked issues one canonical query, retrying through unavailability,
+// and scores the outcome.
+func (g *Generator) runChecked(ctx context.Context, q CheckedQuery) {
+	//powl:ignore wallclock per-op latency sample for the percentile report — benchmark tooling
+	start := time.Now()
+	rows, err := g.queryRetry(ctx, q.Text)
+	//powl:ignore wallclock per-op latency sample for the percentile report — benchmark tooling
+	lat := time.Since(start)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rep.Ops++
+	switch {
+	case err == nil && rows == q.Want:
+		g.rep.OK++
+		g.latencies = append(g.latencies, float64(lat)/1e6)
+	case err == nil:
+		g.rep.Wrong++
+	case errors.Is(err, ErrOverloaded):
+		g.rep.Shed++
+	case errors.Is(err, ErrTimeout):
+		g.rep.Timeout++
+	case ctx.Err() != nil:
+		// Run ended mid-flight; not a server failure.
+		g.rep.Ops--
+	default:
+		g.rep.Failed++
+	}
+}
+
+func (g *Generator) runSlow(ctx context.Context) {
+	_, err := g.c.Query(ctx, g.opts.SlowQuery)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rep.Ops++
+	switch {
+	case errors.Is(err, ErrTimeout):
+		g.rep.Timeout++ // the expected fate: watchdog or deadline got it
+	case errors.Is(err, ErrOverloaded):
+		g.rep.Shed++
+	case err == nil:
+		g.rep.OK++ // finished inside the budget; fine
+	case ctx.Err() != nil:
+		g.rep.Ops--
+	default:
+		g.rep.Failed++
+	}
+}
+
+func (g *Generator) runInsert(ctx context.Context, worker, seq int) {
+	batch := probeBatch(worker, seq, g.opts.InsertSize)
+	err := g.insertRetry(ctx, batch)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rep.Ops++
+	switch {
+	case err == nil:
+		g.rep.Inserts++
+		g.rep.InsertedNT += int64(g.opts.InsertSize)
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrTimeout):
+		g.rep.Shed++
+	case ctx.Err() != nil:
+		g.rep.Ops--
+	default:
+		g.rep.Failed++
+	}
+}
+
+// queryRetry rides out unavailability (drain, restart) for up to
+// RetryWindow, counting each retry.
+func (g *Generator) queryRetry(ctx context.Context, text string) (int, error) {
+	deadline := time.NewTimer(g.opts.RetryWindow)
+	defer deadline.Stop()
+	backoff := 10 * time.Millisecond
+	for {
+		rows, err := g.c.Query(ctx, text)
+		if !errors.Is(err, ErrUnavailable) {
+			return rows, err
+		}
+		g.mu.Lock()
+		g.rep.Retried++
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-deadline.C:
+			return 0, err
+		case <-time.After(backoff):
+		}
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func (g *Generator) insertRetry(ctx context.Context, batch string) error {
+	deadline := time.NewTimer(g.opts.RetryWindow)
+	defer deadline.Stop()
+	backoff := 10 * time.Millisecond
+	for {
+		err := g.c.Insert(ctx, batch)
+		if !errors.Is(err, ErrUnavailable) {
+			return err
+		}
+		g.mu.Lock()
+		g.rep.Retried++
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadline.C:
+			return err
+		case <-time.After(backoff):
+		}
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

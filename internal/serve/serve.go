@@ -1,0 +1,456 @@
+// Package serve is the live-serving layer over a materialized knowledge
+// base: a long-running concurrent query server in which any number of
+// readers evaluate SPARQL-subset queries against epoch-pinned MVCC
+// snapshots (rdf.Snapshot) while a single writer goroutine applies insert
+// batches through the incremental engine and publishes a fresh epoch after
+// each batch — no stop-the-world, no read locks.
+//
+// Robustness is the point, not an afterthought:
+//
+//   - Admission control: a fixed number of execution slots plus a bounded
+//     wait queue. When both are full, queries are shed immediately with
+//     ErrShed — the queue can never grow without bound, and a shed client
+//     learns its fate in microseconds instead of parking forever.
+//   - Deadlines: every query runs under a context deadline (the server
+//     default, tightened by whatever deadline the caller's ctx already
+//     carries) that query.SolveContext checks throughout the join.
+//   - Watchdog: a per-query timer cancels and journals queries that
+//     overstay the slow-query threshold, so one pathological cross join
+//     cannot monopolize a slot for its full deadline budget.
+//   - Panic isolation: a panicking query is recovered, counted, journaled,
+//     and converted into an error response; the server and every other
+//     in-flight query keep running.
+//   - Graceful drain: Shutdown stops admission (late arrivals get
+//     ErrDraining), lets every admitted query finish, then flushes the
+//     writer so no accepted insert is lost. Stats.Dropped is the drain
+//     contract: it must be zero after Shutdown returns.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powl/internal/obs"
+	"powl/internal/owlhorst"
+	"powl/internal/query"
+	"powl/internal/rdf"
+	"powl/internal/reason"
+	"powl/internal/rules"
+)
+
+var (
+	// ErrShed is returned when both the execution slots and the bounded
+	// admission queue are full — explicit load shedding.
+	ErrShed = errors.New("serve: overloaded, query shed")
+	// ErrDraining is returned for work arriving after Shutdown began.
+	ErrDraining = errors.New("serve: draining, not admitting")
+	// ErrWatchdog wraps the error of a query the slow-query watchdog
+	// cancelled — a server-side timeout, distinct from the caller's
+	// context being cancelled.
+	ErrWatchdog = errors.New("serve: cancelled by slow-query watchdog")
+)
+
+// KB is the served knowledge base: the closure graph (single-writer), its
+// dictionary (safe for concurrent interning), and the compiled instance
+// rules the incremental engine closes insert batches under.
+type KB struct {
+	Dict  *rdf.Dict
+	Graph *rdf.Graph
+	Rules []rules.Rule
+}
+
+// BuildKB compiles base's ontology, materializes the OWL-Horst closure, and
+// returns the servable KB — the load-time reasoning the paper trades for
+// cheap queries, packaged for serving.
+func BuildKB(dict *rdf.Dict, base *rdf.Graph) *KB {
+	compiled := owlhorst.Compile(dict, base)
+	instance := owlhorst.SplitInstance(dict, base)
+	g := rdf.NewGraphCap(2 * (len(instance) + compiled.Schema.Len()))
+	g.AddAll(instance)
+	g.Union(compiled.Schema)
+	reason.Forward{}.Materialize(g, compiled.InstanceRules)
+	return &KB{Dict: dict, Graph: g, Rules: compiled.InstanceRules}
+}
+
+// Config tunes the server's robustness envelope.
+type Config struct {
+	// MaxInflight is the number of queries executing concurrently;
+	// 0 defaults to 8.
+	MaxInflight int
+	// QueueDepth bounds how many admitted-but-waiting queries may queue
+	// beyond the execution slots; 0 defaults to 4×MaxInflight. Arrivals
+	// beyond slots+queue are shed.
+	QueueDepth int
+	// Deadline is the per-query budget, covering queue wait and
+	// execution; 0 defaults to 2s. A tighter deadline already on the
+	// caller's context wins.
+	Deadline time.Duration
+	// SlowQuery is the watchdog threshold: a query still running after
+	// this long is cancelled and journaled as an offender. 0 disables
+	// the watchdog (the deadline still applies).
+	SlowQuery time.Duration
+	// InsertBuffer is the writer's batch channel capacity; 0 defaults
+	// to 64. Insert blocks (honouring its ctx) when full — backpressure,
+	// not unbounded buffering.
+	InsertBuffer int
+	// Run receives journal events (may be nil). Reg receives metrics
+	// (may be nil); the server keeps its own authoritative counters
+	// either way.
+	Run *obs.Run
+	Reg *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxInflight
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Second
+	}
+	if c.InsertBuffer <= 0 {
+		c.InsertBuffer = 64
+	}
+	return c
+}
+
+// Stats is the server's authoritative accounting, readable at any time and
+// final after Shutdown.
+type Stats struct {
+	Admitted          int64 `json:"admitted"`  // got an execution slot
+	Completed         int64 `json:"completed"` // admitted queries that returned (any outcome)
+	Shed              int64 `json:"shed"`      // rejected: slots and queue full
+	DrainRejected     int64 `json:"drain_rejected"`
+	QueueTimeout      int64 `json:"queue_timeout"` // gave up waiting in queue (ctx done)
+	Panicked          int64 `json:"panicked"`
+	WatchdogCancelled int64 `json:"watchdog_cancelled"`
+	DeadlineExceeded  int64 `json:"deadline_exceeded"`
+	InsertBatches     int64 `json:"insert_batches"`
+	InsertedTriples   int64 `json:"inserted_triples"` // seeds accepted (pre-dedup)
+	DerivedTriples    int64 `json:"derived_triples"`  // closure growth incl. seeds
+	Epoch             int64 `json:"epoch"`            // latest published watermark
+	Dropped           int64 `json:"dropped"`          // admitted - completed; must be 0 after drain
+}
+
+// Server is the live query/insert server. Create with New, serve queries
+// with Query and inserts with Insert from any number of goroutines, and
+// stop with Shutdown.
+type Server struct {
+	cfg Config
+	kb  *KB
+
+	snap atomic.Pointer[rdf.Snapshot]
+
+	sem     chan struct{} // execution slots
+	waiters chan struct{} // bounded admission queue
+
+	gate     sync.RWMutex // guards draining against wg.Add races
+	draining bool
+	queries  sync.WaitGroup // admitted queries in flight
+	inserts  sync.WaitGroup // Insert calls in flight
+
+	batches  chan []rdf.Triple
+	writerWG sync.WaitGroup
+
+	admitted, completed, shed, drainRejected, queueTimeout  atomic.Int64
+	panicked, watchdogCancelled, deadlineExceeded           atomic.Int64
+	insertBatches, insertedTriples, derivedTriples, dropped atomic.Int64
+
+	// registry mirrors (nil-safe no-ops when Reg is nil)
+	gQueue, gInflight, gEpoch *obs.Gauge
+	hLatency                  *obs.Histogram
+	cAdmitted, cShed          *obs.Counter
+
+	// testHook, when non-nil, runs inside the query's execution slot
+	// before parsing — the seam the panic-isolation test injects through.
+	testHook func(text string)
+}
+
+// New starts a server over kb. The caller hands over ownership of kb.Graph:
+// from here on only the server's writer goroutine mutates it.
+func New(kb *KB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		kb:        kb,
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		waiters:   make(chan struct{}, cfg.QueueDepth),
+		batches:   make(chan []rdf.Triple, cfg.InsertBuffer),
+		gQueue:    cfg.Reg.Gauge("serve.queue_depth"),
+		gInflight: cfg.Reg.Gauge("serve.inflight"),
+		gEpoch:    cfg.Reg.Gauge("serve.epoch"),
+		hLatency:  cfg.Reg.Histogram("serve.query_latency"),
+		cAdmitted: cfg.Reg.Counter("serve.admitted"),
+		cShed:     cfg.Reg.Counter("serve.shed"),
+	}
+	sn := kb.Graph.Snapshot()
+	s.snap.Store(&sn)
+	s.gEpoch.Set(int64(sn.Watermark()))
+	s.writerWG.Add(1)
+	go s.writerLoop()
+	s.cfg.Run.Emit(obs.Event{Type: obs.EvServe, TS: s.cfg.Run.Now(),
+		Worker: obs.MasterWorker, Name: "start", N: int64(sn.Watermark())})
+	return s
+}
+
+// Snapshot returns the latest published epoch view — what a query admitted
+// right now would see.
+func (s *Server) Snapshot() rdf.Snapshot { return *s.snap.Load() }
+
+// Dict exposes the KB dictionary (safe for concurrent interning).
+func (s *Server) Dict() *rdf.Dict { return s.kb.Dict }
+
+// Stats returns a consistent-enough point-in-time view of the accounting.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Admitted:          s.admitted.Load(),
+		Completed:         s.completed.Load(),
+		Shed:              s.shed.Load(),
+		DrainRejected:     s.drainRejected.Load(),
+		QueueTimeout:      s.queueTimeout.Load(),
+		Panicked:          s.panicked.Load(),
+		WatchdogCancelled: s.watchdogCancelled.Load(),
+		DeadlineExceeded:  s.deadlineExceeded.Load(),
+		InsertBatches:     s.insertBatches.Load(),
+		InsertedTriples:   s.insertedTriples.Load(),
+		DerivedTriples:    s.derivedTriples.Load(),
+		Epoch:             int64(s.snap.Load().Watermark()),
+		Dropped:           s.admitted.Load() - s.completed.Load(),
+	}
+}
+
+// QueryResponse carries a query's rows plus the epoch they are consistent
+// with.
+type QueryResponse struct {
+	Result *query.Result
+	Epoch  int
+}
+
+// Query admits, evaluates, and accounts one query. It is safe to call from
+// any number of goroutines. The error reports the query's fate: ErrShed or
+// ErrDraining without admission; a context error when the deadline,
+// watchdog, or caller cancelled it; a parse or panic error otherwise.
+func (s *Server) Query(ctx context.Context, text string) (QueryResponse, error) {
+	// Drain gate: registering in-flight work and checking the drain flag
+	// must be atomic with respect to Shutdown's flag-then-wait.
+	s.gate.RLock()
+	if s.draining {
+		s.gate.RUnlock()
+		s.drainRejected.Add(1)
+		return QueryResponse{}, ErrDraining
+	}
+	s.queries.Add(1)
+	s.gate.RUnlock()
+	defer s.queries.Done()
+
+	//powl:ignore wallclock per-query deadline anchor and latency measurement for the serve metrics — operator-facing, never part of reasoning output
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Deadline)
+	defer cancel()
+
+	// Admission: an execution slot immediately, else a bounded queue
+	// spot, else shed.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.waiters <- struct{}{}:
+			s.gQueue.Set(int64(len(s.waiters)))
+			admitted := false
+			select {
+			case s.sem <- struct{}{}:
+				admitted = true
+			case <-ctx.Done():
+			}
+			<-s.waiters
+			s.gQueue.Set(int64(len(s.waiters)))
+			if !admitted {
+				s.queueTimeout.Add(1)
+				s.journalQuery("queue_timeout", start, 0)
+				return QueryResponse{}, ctx.Err()
+			}
+		default:
+			s.shed.Add(1)
+			s.cShed.Add(1)
+			s.journalQuery("shed", start, 0)
+			return QueryResponse{}, ErrShed
+		}
+	}
+	defer func() {
+		<-s.sem
+		s.gInflight.Set(int64(len(s.sem)))
+	}()
+	s.admitted.Add(1)
+	s.cAdmitted.Add(1)
+	s.gInflight.Set(int64(len(s.sem)))
+	// Whatever happens below — success, cancellation, even a panic — the
+	// admitted query is accounted as completed on the way out; Dropped
+	// stays zero unless a query genuinely never returns.
+	defer s.completed.Add(1)
+
+	return s.execute(ctx, cancel, text, start)
+}
+
+// execute runs the admitted query under watchdog and panic isolation.
+func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, text string, start time.Time) (resp QueryResponse, err error) {
+	var wdFired atomic.Bool
+	if s.cfg.SlowQuery > 0 {
+		wd := time.AfterFunc(s.cfg.SlowQuery, func() {
+			wdFired.Store(true)
+			s.watchdogCancelled.Add(1)
+			s.journalQuery("watchdog", start, 0)
+			cancel()
+		})
+		defer wd.Stop()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked.Add(1)
+			s.journalQuery("panic", start, 0)
+			resp = QueryResponse{}
+			err = fmt.Errorf("serve: query panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+
+	if s.testHook != nil {
+		s.testHook(text)
+	}
+	q, err := query.Parse(text, s.kb.Dict)
+	if err != nil {
+		s.journalQuery("parse_error", start, 0)
+		return QueryResponse{}, err
+	}
+	sn := *s.snap.Load()
+	res, err := q.SolveContext(ctx, sn)
+	//powl:ignore wallclock latency observation for the serve histogram/journal — telemetry, not reasoning state
+	lat := time.Since(start)
+	s.hLatency.Observe(lat)
+	switch {
+	case err == nil:
+		s.journalQuery("ok", start, int64(len(res.Rows)))
+		return QueryResponse{Result: res, Epoch: sn.Watermark()}, nil
+	case wdFired.Load():
+		return QueryResponse{}, fmt.Errorf("%w after %v (%v)", ErrWatchdog, s.cfg.SlowQuery, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineExceeded.Add(1)
+		s.journalQuery("deadline", start, 0)
+		return QueryResponse{}, err
+	default:
+		s.journalQuery("cancelled", start, 0)
+		return QueryResponse{}, err
+	}
+}
+
+func (s *Server) journalQuery(outcome string, start time.Time, rows int64) {
+	if s.cfg.Run == nil {
+		return
+	}
+	//powl:ignore wallclock journal latency for a serve event — telemetry only
+	dur := int64(time.Since(start))
+	s.cfg.Run.Emit(obs.Event{Type: obs.EvQuery, TS: s.cfg.Run.Now(),
+		Worker: obs.MasterWorker, Name: outcome,
+		Dur: dur, N: rows})
+}
+
+// Insert hands a batch of triples to the writer. It blocks (honouring ctx)
+// when the writer is InsertBuffer batches behind — backpressure instead of
+// unbounded queueing. Accepted batches survive Shutdown: the writer drains
+// its channel before exiting.
+func (s *Server) Insert(ctx context.Context, ts []rdf.Triple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	s.gate.RLock()
+	if s.draining {
+		s.gate.RUnlock()
+		return ErrDraining
+	}
+	s.inserts.Add(1)
+	s.gate.RUnlock()
+	defer s.inserts.Done()
+
+	batch := make([]rdf.Triple, len(ts))
+	copy(batch, ts)
+	select {
+	case s.batches <- batch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// writerLoop is the single mutator of kb.Graph: it applies each insert
+// batch through the incremental engine and publishes the new epoch.
+func (s *Server) writerLoop() {
+	defer s.writerWG.Done()
+	for batch := range s.batches {
+		s.apply(batch)
+	}
+}
+
+func (s *Server) apply(batch []rdf.Triple) {
+	g := s.kb.Graph
+	before := g.Len()
+	seeds := batch[:0]
+	for _, t := range batch {
+		if g.Add(t) {
+			seeds = append(seeds, t)
+		}
+	}
+	if len(seeds) > 0 {
+		// The graph was at fixpoint before the seeds went in, so closing
+		// over just the seeds re-establishes it (semi-naive delta round).
+		reason.Forward{}.MaterializeFrom(g, s.kb.Rules, seeds)
+	}
+	sn := g.Snapshot()
+	s.snap.Store(&sn)
+	s.insertBatches.Add(1)
+	s.insertedTriples.Add(int64(len(batch)))
+	s.derivedTriples.Add(int64(sn.Watermark() - before))
+	s.gEpoch.Set(int64(sn.Watermark()))
+	s.cfg.Run.Emit(obs.Event{Type: obs.EvEpoch, TS: s.cfg.Run.Now(),
+		Worker: obs.MasterWorker, N: int64(sn.Watermark()),
+		N2: int64(sn.Watermark() - before)})
+}
+
+// Shutdown drains the server: new queries and inserts are refused with
+// ErrDraining, every admitted query runs to completion, and every accepted
+// insert batch is applied and published before the writer exits. Returns
+// ctx.Err() if ctx expires first (the drain keeps going in the background;
+// Stats continues to update).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.gate.Lock()
+	already := s.draining
+	s.draining = true
+	s.gate.Unlock()
+	if already {
+		return nil
+	}
+	s.cfg.Run.Emit(obs.Event{Type: obs.EvServe, TS: s.cfg.Run.Now(),
+		Worker: obs.MasterWorker, Name: "drain", N: int64(len(s.sem))})
+
+	done := make(chan struct{})
+	go func() {
+		s.queries.Wait() // every admitted query finished
+		s.inserts.Wait() // every Insert call delivered or gave up
+		close(s.batches) // writer drains the backlog, then exits
+		s.writerWG.Wait()
+		s.cfg.Run.Emit(obs.Event{Type: obs.EvServe, TS: s.cfg.Run.Now(),
+			Worker: obs.MasterWorker, Name: "drained",
+			N: s.admitted.Load() - s.completed.Load()})
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
