@@ -39,6 +39,8 @@ func main() {
 		simulate  = flag.Bool("simulate", false, "sequential execution with reconstructed parallel time (for speedup measurements on few cores)")
 		seed      = flag.Int64("seed", 42, "partitioner seed")
 		ruleFile  = flag.String("rules", "", "custom rule file (Jena-style syntax); replaces the OWL-Horst compilation pipeline")
+		prov      = flag.Bool("prov", false, "record derivation provenance (rule, round, premises per inferred triple)")
+		explain   = flag.String("explain", "", "N-Triples statement to explain after materialization, e.g. '<s> <p> <o> .' (implies -prov)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -62,13 +64,14 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Workers:   *workers,
-		Strategy:  core.Strategy(*strategy),
-		Policy:    core.PolicyKind(*policy),
-		Engine:    core.EngineKind(*engine),
-		Transport: core.TransportKind(*transport),
-		Simulate:  *simulate,
-		Seed:      *seed,
+		Workers:    *workers,
+		Strategy:   core.Strategy(*strategy),
+		Policy:     core.PolicyKind(*policy),
+		Engine:     core.EngineKind(*engine),
+		Transport:  core.TransportKind(*transport),
+		Simulate:   *simulate,
+		Seed:       *seed,
+		Provenance: *prov || *explain != "",
 	}
 	start := time.Now()
 	var res *core.Result
@@ -110,6 +113,12 @@ func main() {
 			tm.Sync.Round(time.Millisecond), tm.Sent, tm.Derived)
 	}
 
+	if *explain != "" {
+		if err := explainTriple(dict, res.Graph, *explain); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *out != "" {
 		var w io.Writer
 		of, err := os.Create(*out)
@@ -123,6 +132,21 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote closure to %s\n", *out)
 	}
+}
+
+// explainTriple parses one N-Triples statement, looks it up in the closure
+// and prints its derivation DAG as a text tree on stdout.
+func explainTriple(dict *rdf.Dict, g *rdf.Graph, stmt string) error {
+	st, err := ntriples.NewReader(strings.NewReader(stmt)).Next()
+	if err != nil {
+		return fmt.Errorf("parsing -explain statement: %w", err)
+	}
+	t := rdf.Triple{S: dict.Intern(st.S), P: dict.Intern(st.P), O: dict.Intern(st.O)}
+	node, ok := g.Explain(t, 0)
+	if !ok {
+		return fmt.Errorf("triple not in closure: %s", stmt)
+	}
+	return rdf.WriteExplainText(os.Stdout, dict, node)
 }
 
 // extractKey mirrors the generators' locality-key convention: the marker

@@ -60,6 +60,7 @@ func main() {
 		retryWindow  = flag.Duration("retry-window", 15*time.Second, "ride out unavailability this long")
 		wait         = flag.Duration("wait", 30*time.Second, "wait this long for the server to come up")
 		p99Under     = flag.Duration("p99-under", 0, "fail unless p99 of successes is under this (0 = no gate)")
+		srvP99Under  = flag.Duration("server-p99-under", 0, "fail unless the server's own /stats query_p99_ms is under this (0 = no gate)")
 		expectOutage = flag.Bool("expect-outage", false, "fail unless retries were needed (kill+restart drill)")
 		expectShed   = flag.Bool("expect-shed", true, "fail unless shedding triggered while bursts are on")
 		out          = flag.String("out", "", "write the benchmark JSON here (empty = stdout)")
@@ -126,12 +127,26 @@ func main() {
 		failures = append(failures, "outage expected but no retries recorded")
 	}
 
+	stats := fetchStats(*addr)
+	if *srvP99Under > 0 {
+		// Server-side latency gate: the server's own histogram covers every
+		// admitted query (including other clients'), so it catches tail
+		// latency the client-side sample can miss.
+		p99, err := serverP99Ms(stats)
+		switch {
+		case err != nil:
+			failures = append(failures, fmt.Sprintf("server p99 gate: %v", err))
+		case p99 >= float64(*srvP99Under)/1e6:
+			failures = append(failures, fmt.Sprintf("server-side p99 %.1fms not under %v", p99, *srvP99Under))
+		}
+	}
+
 	bo := benchOut{
 		Bench:   "serve_chaos",
 		Addr:    *addr,
 		Workers: *workers,
 		Report:  rep,
-		Stats:   fetchStats(*addr),
+		Stats:   stats,
 		Verdict: "PASS",
 	}
 	if len(failures) > 0 {
@@ -187,6 +202,23 @@ func fetchStats(base string) json.RawMessage {
 		return nil
 	}
 	return buf
+}
+
+// serverP99Ms extracts query_p99_ms from a /stats payload.
+func serverP99Ms(stats json.RawMessage) (float64, error) {
+	if stats == nil {
+		return 0, fmt.Errorf("no /stats payload")
+	}
+	var st struct {
+		QueryP99Ms *float64 `json:"query_p99_ms"`
+	}
+	if err := json.Unmarshal(stats, &st); err != nil {
+		return 0, err
+	}
+	if st.QueryP99Ms == nil {
+		return 0, fmt.Errorf("/stats has no query_p99_ms field")
+	}
+	return *st.QueryP99Ms, nil
 }
 
 func fatal(err error) {

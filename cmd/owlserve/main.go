@@ -47,6 +47,7 @@ func main() {
 		slow     = flag.Duration("slow", 500*time.Millisecond, "slow-query watchdog threshold (0 = off)")
 		journal  = flag.String("journal", "", "JSONL journal path (empty = no journal)")
 		statsOut = flag.String("stats-out", "", "write final stats JSON here (empty = stderr)")
+		prov     = flag.Bool("prov", false, "record derivation provenance and serve POST /explain")
 	)
 	flag.Parse()
 
@@ -61,7 +62,11 @@ func main() {
 		dict, base = ds.Dict, ds.Graph
 	}
 	start := time.Now()
-	kb := serve.BuildKB(dict, base)
+	build := serve.BuildKB
+	if *prov {
+		build = serve.BuildKBProv
+	}
+	kb := build(dict, base)
 	fmt.Fprintf(os.Stderr, "owlserve: materialized %d -> %d triples in %v\n",
 		base.Len(), kb.Graph.Len(), time.Since(start).Round(time.Millisecond))
 

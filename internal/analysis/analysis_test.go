@@ -164,6 +164,66 @@ func dump(xs []string) {
 	wantFindings(t, fs)
 }
 
+// TestMapIterFlagsLineageMapEmit models the provenance-sidecar shape: a
+// lineage map ranged straight into an encoder would serialize records in
+// nondeterministic order, so the sidecar files would differ run to run.
+func TestMapIterFlagsLineageMapEmit(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "io"
+
+type Triple struct{ S, P, O uint32 }
+
+type Lineage struct {
+	Rule string
+}
+
+func writeSidecar(w io.Writer, lins map[Triple]Lineage) error {
+	for _, lin := range lins {
+		if _, err := io.WriteString(w, lin.Rule+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`,
+	})
+	wantFindings(t, fs, "internal/p/p.go:12:2: [mapiter]")
+}
+
+// TestMapIterAllowsLineageProbeByOrderedSlice is the clean counterpart: the
+// real sidecar code ranges the deterministic triple slice and only probes the
+// map per element, so emission order is fixed by the slice.
+func TestMapIterAllowsLineageProbeByOrderedSlice(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "io"
+
+type Triple struct{ S, P, O uint32 }
+
+type Lineage struct {
+	Rule string
+}
+
+func writeSidecar(w io.Writer, ts []Triple, lins map[Triple]Lineage) error {
+	for _, t := range ts {
+		lin, ok := lins[t]
+		if !ok {
+			continue
+		}
+		if _, err := io.WriteString(w, lin.Rule+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
 func TestWallClockFlagsOutsideAllowlist(t *testing.T) {
 	fs := runOne(t, &WallClock{}, map[string]string{
 		"internal/core/x.go": `package core

@@ -96,6 +96,16 @@ type Config struct {
 	// mean no injection. Transport-level faults (send/recv failures,
 	// connection drops) belong on a faultinject.Transport wrapper instead.
 	Inject []*faultinject.Injector
+	// Provenance enables derivation recording on every worker graph and on
+	// the aggregated result: engines record rule + premises per derived
+	// triple, shipped deltas carry lineage when the transport implements
+	// transport.LineageCarrier, checkpoints carry it when the store
+	// implements LineageCheckpointStore, and the aggregate merge preserves
+	// it — so Explain works on the merged closure and adopted partitions
+	// keep their lineage. Transports/stores without lineage support degrade
+	// to lineage-free exchange for the triples that cross them; the closure
+	// itself is unaffected.
+	Provenance bool
 }
 
 // injector returns worker i's fault injector; nil (no injection) is a valid
@@ -184,6 +194,11 @@ func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result,
 	workers := make([]*worker, k)
 	for i := range workers {
 		g := rdf.NewGraphCap(len(assigns[i].Base))
+		if cfg.Provenance {
+			// Enable before the base load so the side-column is built in
+			// lockstep instead of backfilled; base tuples read as asserted.
+			g.EnableProv()
+		}
 		g.AddAll(assigns[i].Base)
 		workers[i] = &worker{
 			id:    i,
@@ -270,7 +285,7 @@ func RunContext(ctx context.Context, cfg Config, assigns []Assignment) (*Result,
 	}
 
 	aggAt := cfg.Obs.Now()
-	res, err := aggregate(workers, coord)
+	res, err := aggregate(workers, coord, cfg.Provenance)
 	if err != nil {
 		return nil, err
 	}
@@ -423,10 +438,18 @@ func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, tim
 	}
 	// Checkpoint the delta before any send leaves: if this worker dies
 	// mid-send, its adopter replays the delta and re-routes it (receivers
-	// deduplicate), so a half-finished send phase loses nothing.
+	// deduplicate), so a half-finished send phase loses nothing. With
+	// provenance on and a lineage-capable store, the delta's lineage is
+	// checkpointed alongside, so the adopter can replay derivations with
+	// their records intact.
 	if w.coord != nil && len(delta) > 0 {
 		if err := w.coord.store.Save(w.id, round, delta); err != nil {
 			return 0, 0, fmt.Errorf("cluster: worker %d checkpoint: %w", w.id, err)
+		}
+		if ls, ok := w.coord.store.(LineageCheckpointStore); ok && w.graph.Prov() != nil {
+			if err := ls.SaveLineage(w.id, round, lineageOfAll(w.graph, delta)); err != nil {
+				return 0, 0, fmt.Errorf("cluster: worker %d lineage checkpoint: %w", w.id, err)
+			}
 		}
 		cfg.Obs.Emit(obs.Event{Type: obs.EvCheckpoint, TS: cfg.Obs.Now(),
 			Worker: w.id, Round: round, N: int64(len(delta))})
@@ -439,11 +462,20 @@ func (w *worker) phaseSend(ctx context.Context, cfg Config, round int) (int, tim
 		dsts = append(dsts, dst)
 	}
 	sort.Ints(dsts)
+	lc, _ := cfg.Transport.(transport.LineageCarrier)
+	if w.graph.Prov() == nil {
+		lc = nil
+	}
 	nSent := 0
 	for _, dst := range dsts {
 		ts := outbox[dst]
 		if err := cfg.Transport.Send(ctx, round, w.id, dst, ts); err != nil {
 			return 0, 0, fmt.Errorf("cluster: worker %d send: %w", w.id, err)
+		}
+		if lc != nil {
+			if err := lc.SendLineage(ctx, round, w.id, dst, lineageOfAll(w.graph, ts)); err != nil {
+				return 0, 0, fmt.Errorf("cluster: worker %d send lineage: %w", w.id, err)
+			}
 		}
 		nSent += len(ts)
 	}
@@ -471,6 +503,30 @@ func (w *worker) phaseRecv(ctx context.Context, cfg Config, round int) (time.Dur
 		}
 		in = append(in, more...)
 	}
+	// Lineage of the received triples, when the transport ships it and this
+	// worker records provenance. Records are matched by triple value: the
+	// triple boxes and the lineage boxes are drained independently, so
+	// positional alignment cannot be assumed.
+	var linMap map[rdf.Triple]rdf.Lineage
+	if lc, ok := cfg.Transport.(transport.LineageCarrier); ok && w.graph.Prov() != nil {
+		ls, lerr := lc.RecvLineage(ctx, round, w.id)
+		if lerr != nil {
+			return 0, fmt.Errorf("cluster: worker %d recv lineage: %w", w.id, lerr)
+		}
+		for _, v := range w.adopted {
+			more, merr := lc.RecvLineage(ctx, round, v)
+			if merr != nil {
+				return 0, fmt.Errorf("cluster: worker %d recv lineage (adopted %d): %w", w.id, v, merr)
+			}
+			ls = append(ls, more...)
+		}
+		if len(ls) > 0 {
+			linMap = make(map[rdf.Triple]rdf.Lineage, len(ls))
+			for _, l := range ls {
+				linMap[l.T] = l
+			}
+		}
+	}
 	// Checkpoint received tuples before absorbing them: they may seed
 	// derivations that exist nowhere else once the senders have marked them
 	// shipped, so an adopter of *this* worker must be able to replay them.
@@ -478,9 +534,26 @@ func (w *worker) phaseRecv(ctx context.Context, cfg Config, round int) (time.Dur
 		if err := w.coord.store.Save(w.id, round, in); err != nil {
 			return 0, fmt.Errorf("cluster: worker %d recv checkpoint: %w", w.id, err)
 		}
+		if ls, ok := w.coord.store.(LineageCheckpointStore); ok && len(linMap) > 0 {
+			lins := make([]rdf.Lineage, 0, len(linMap))
+			for _, t := range in {
+				if l, ok := linMap[t]; ok {
+					lins = append(lins, l)
+				}
+			}
+			if err := ls.SaveLineage(w.id, round, lins); err != nil {
+				return 0, fmt.Errorf("cluster: worker %d recv lineage checkpoint: %w", w.id, err)
+			}
+		}
 	}
 	for _, t := range in {
-		if w.graph.Add(t) {
+		added := false
+		if lin, ok := linMap[t]; ok {
+			added = w.graph.AddWithLineage(t, lin)
+		} else {
+			added = w.graph.Add(t)
+		}
+		if added {
 			w.received = append(w.received, t)
 		}
 	}
@@ -731,7 +804,7 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, assigns []
 	for _, w := range workers {
 		w.tm.Rounds = rounds
 	}
-	res, err := aggregate(workers, coord)
+	res, err := aggregate(workers, coord, cfg.Provenance)
 	if err != nil {
 		return nil, err
 	}
@@ -754,8 +827,16 @@ func runSimulated(ctx context.Context, cfg Config, workers []*worker, assigns []
 // result Graph afterwards is load-into-a-store post-processing that a serial
 // run pays identically, so it is excluded from the timing.
 //
+// With prov set the merge instead builds the indexed, lineage-preserving
+// union directly — walking each live worker's log in order and translating
+// lineage through AddWithLineage needs the union's own indexes, so the
+// indexed build cannot be split out of the timed section the way the plain
+// set merge can. First derivation wins across workers, which keeps the
+// merge deterministic: workers are walked in id order and each log in
+// append order.
+//
 //powl:ignore wallclock aggregation is real master-side work, timed on the real clock in both modes (Simulated adds it on top of the reconstructed time).
-func aggregate(workers []*worker, coord *coordinator) (*Result, error) {
+func aggregate(workers []*worker, coord *coordinator, prov bool) (*Result, error) {
 	maxLen := 0
 	for _, w := range workers {
 		if w.graph.Len() > maxLen {
@@ -763,7 +844,14 @@ func aggregate(workers []*worker, coord *coordinator) (*Result, error) {
 		}
 	}
 	aggStart := time.Now()
-	merged := make(map[rdf.Triple]struct{}, maxLen*2)
+	var union *rdf.Graph
+	var merged map[rdf.Triple]struct{}
+	if prov {
+		union = rdf.NewGraphCap(maxLen * 2)
+		union.EnableProv()
+	} else {
+		merged = make(map[rdf.Triple]struct{}, maxLen*2)
+	}
 	res := &Result{
 		PerWorker:   make([]Timings, len(workers)),
 		OutputSizes: make([]int, len(workers)),
@@ -777,8 +865,18 @@ func aggregate(workers []*worker, coord *coordinator) (*Result, error) {
 			continue
 		}
 		// Zero-copy log walk: the merge only reads, so the shared view is safe.
-		for _, t := range w.graph.TriplesSince(0) {
-			merged[t] = struct{}{}
+		if prov {
+			for _, t := range w.graph.TriplesSince(0) {
+				if lin, ok := w.graph.LineageOf(t); ok {
+					union.AddWithLineage(t, lin)
+				} else {
+					union.Add(t)
+				}
+			}
+		} else {
+			for _, t := range w.graph.TriplesSince(0) {
+				merged[t] = struct{}{}
+			}
 		}
 		res.OutputSizes[i] = w.graph.Len()
 	}
@@ -787,12 +885,26 @@ func aggregate(workers []*worker, coord *coordinator) (*Result, error) {
 		res.PerWorker[i].Aggregate = agg
 	}
 
-	union := rdf.NewGraphCap(len(merged))
-	for t := range merged {
-		union.Add(t)
+	if !prov {
+		union = rdf.NewGraphCap(len(merged))
+		for t := range merged {
+			union.Add(t)
+		}
 	}
 	res.Graph = union
 	return res, nil
+}
+
+// lineageOfAll collects the lineage of every derived triple among ts (base
+// triples contribute nothing).
+func lineageOfAll(g *rdf.Graph, ts []rdf.Triple) []rdf.Lineage {
+	var lins []rdf.Lineage
+	for _, t := range ts {
+		if lin, ok := g.LineageOf(t); ok {
+			lins = append(lins, lin)
+		}
+	}
+	return lins
 }
 
 // barrier is a reusable k-party barrier that also sums a per-round integer

@@ -41,12 +41,24 @@ type CheckpointStore interface {
 	Load(worker int) ([]rdf.Triple, error)
 }
 
+// LineageCheckpointStore is implemented by checkpoint stores that persist
+// derivation lineage alongside the triple deltas. Lineage records are
+// self-contained (rdf.Lineage carries premise triples by value) and matched
+// to replayed triples by value, so a store may return them in any order.
+// Stores without the interface degrade recovery to lineage-free replay;
+// the reconstructed closure is unaffected.
+type LineageCheckpointStore interface {
+	SaveLineage(worker, round int, lins []rdf.Lineage) error
+	LoadLineage(worker int) ([]rdf.Lineage, error)
+}
+
 // MemCheckpoints is the in-process CheckpointStore — survives worker
 // (goroutine) death, not process death. The default when RecoveryConfig
 // does not supply a store.
 type MemCheckpoints struct {
 	mu     sync.Mutex
 	deltas map[int][]rdf.Triple
+	lins   map[int][]rdf.Lineage
 }
 
 // NewMemCheckpoints returns an empty in-memory store.
@@ -71,6 +83,29 @@ func (s *MemCheckpoints) Load(worker int) ([]rdf.Triple, error) {
 	defer s.mu.Unlock()
 	out := make([]rdf.Triple, len(s.deltas[worker]))
 	copy(out, s.deltas[worker])
+	return out, nil
+}
+
+// SaveLineage implements LineageCheckpointStore.
+func (s *MemCheckpoints) SaveLineage(worker, round int, lins []rdf.Lineage) error {
+	if len(lins) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lins == nil {
+		s.lins = map[int][]rdf.Lineage{}
+	}
+	s.lins[worker] = append(s.lins[worker], lins...)
+	return nil
+}
+
+// LoadLineage implements LineageCheckpointStore.
+func (s *MemCheckpoints) LoadLineage(worker int) ([]rdf.Lineage, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]rdf.Lineage, len(s.lins[worker]))
+	copy(out, s.lins[worker])
 	return out, nil
 }
 
@@ -118,6 +153,51 @@ func (s *DirCheckpoints) Save(worker, round int, delta []rdf.Triple) error {
 		return err
 	}
 	return os.Rename(tmp, filepath.Join(s.dir, name))
+}
+
+// SaveLineage implements LineageCheckpointStore: one JSONL sidecar per
+// delta (ntriples lineage codec), atomically renamed like the triple
+// checkpoints.
+func (s *DirCheckpoints) SaveLineage(worker, round int, lins []rdf.Lineage) error {
+	if len(lins) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	s.seq++
+	name := fmt.Sprintf("lin_w%02d_r%03d_s%04d.jsonl", worker, round, s.seq)
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := ntriples.WriteLineage(&buf, s.dict, lins); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, name+".tmp")
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, name))
+}
+
+// LoadLineage implements LineageCheckpointStore.
+func (s *DirCheckpoints) LoadLineage(worker int) ([]rdf.Lineage, error) {
+	files, err := filepath.Glob(filepath.Join(s.dir, fmt.Sprintf("lin_w%02d_r*.jsonl", worker)))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var out []rdf.Lineage
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		lins, rerr := ntriples.ReadLineage(fh, s.dict)
+		fh.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("cluster: lineage %s: %w", filepath.Base(f), rerr)
+		}
+		out = append(out, lins...)
+	}
+	return out, nil
 }
 
 // Load implements CheckpointStore, deduplicating across deltas.
@@ -410,6 +490,21 @@ func (w *worker) adoptPending(ctx context.Context, cfg Config, round int) error 
 	if len(victims) > 0 && w.reship == nil {
 		w.reship = map[rdf.Triple]struct{}{}
 	}
+	// Lineage-capable stores/transports let the adopter keep the victim's
+	// derivation records; without them the adoption degrades to lineage-free
+	// replay and the triples read as asserted in the adopter's log.
+	var linStore LineageCheckpointStore
+	var linCarrier transport.LineageCarrier
+	if w.graph.Prov() != nil && len(victims) > 0 {
+		linStore, _ = w.coord.store.(LineageCheckpointStore)
+		linCarrier, _ = cfg.Transport.(transport.LineageCarrier)
+	}
+	addAdopted := func(t rdf.Triple, vlin map[rdf.Triple]rdf.Lineage) bool {
+		if lin, ok := vlin[t]; ok {
+			return w.graph.AddWithLineage(t, lin)
+		}
+		return w.graph.Add(t)
+	}
 	for _, v := range victims {
 		absorbed := 0
 		for _, t := range w.coord.assigns[v].Base {
@@ -420,12 +515,24 @@ func (w *worker) adoptPending(ctx context.Context, cfg Config, round int) error 
 				absorbed++
 			}
 		}
+		vlin := map[rdf.Triple]rdf.Lineage{}
+		if linStore != nil {
+			lins, err := linStore.LoadLineage(v)
+			if err != nil {
+				return fmt.Errorf("cluster: worker %d adopt %d lineage: %w", w.id, v, err)
+			}
+			for _, l := range lins {
+				if _, ok := vlin[l.T]; !ok { // first derivation wins, like Add
+					vlin[l.T] = l
+				}
+			}
+		}
 		ck, err := w.coord.store.Load(v)
 		if err != nil {
 			return fmt.Errorf("cluster: worker %d adopt %d: %w", w.id, v, err)
 		}
 		for _, t := range ck {
-			if w.graph.Add(t) {
+			if addAdopted(t, vlin) {
 				w.received = append(w.received, t)
 				absorbed++
 				w.reship[t] = struct{}{}
@@ -441,9 +548,25 @@ func (w *worker) adoptPending(ctx context.Context, cfg Config, round int) error 
 			if err != nil {
 				return fmt.Errorf("cluster: worker %d adopt %d inbox round %d: %w", w.id, v, r, err)
 			}
+			inLin := vlin
+			if linCarrier != nil {
+				ls, lerr := linCarrier.RecvLineage(ctx, r, v)
+				if lerr != nil {
+					return fmt.Errorf("cluster: worker %d adopt %d lineage round %d: %w", w.id, v, r, lerr)
+				}
+				if len(ls) > 0 {
+					inLin = make(map[rdf.Triple]rdf.Lineage, len(ls)+len(vlin))
+					for t, l := range vlin {
+						inLin[t] = l
+					}
+					for _, l := range ls {
+						inLin[l.T] = l
+					}
+				}
+			}
 			for _, t := range in {
 				delete(w.reship, t)
-				if w.graph.Add(t) {
+				if addAdopted(t, inLin) {
 					w.received = append(w.received, t)
 					absorbed++
 				}

@@ -108,6 +108,12 @@ type Config struct {
 	// per-pair transport traffic); its recorder is attached to whichever
 	// transport the run constructs. nil disables all telemetry.
 	Obs *obs.Run
+	// Provenance enables the derivation side-column on every worker graph
+	// and the aggregated result: each derived triple records the rule,
+	// round and premises that produced it, and lineage rides along with
+	// shipped deltas and checkpoints so cross-worker derivations stay
+	// explainable. Costs ~16 B per derivation plus sidecar traffic.
+	Provenance bool
 	// Recovery, when non-nil, arms the cluster layer's transport-generic
 	// worker recovery: per-round delta checkpoints, a failure detector, and
 	// partition adoption by a surviving worker. nil fails the whole run on
@@ -270,14 +276,15 @@ func Materialize(ds *datagen.Dataset, cfg Config) (*Result, error) {
 		mode = cluster.Simulated
 	}
 	cres, err := cluster.Run(cluster.Config{
-		Engine:    engine,
-		Transport: tr,
-		Router:    router,
-		Mode:      mode,
-		MaxRounds: cfg.MaxRounds,
-		Obs:       cfg.Obs,
-		Recovery:  cfg.Recovery,
-		Inject:    cfg.Inject,
+		Engine:     engine,
+		Transport:  tr,
+		Router:     router,
+		Mode:       mode,
+		MaxRounds:  cfg.MaxRounds,
+		Obs:        cfg.Obs,
+		Provenance: cfg.Provenance,
+		Recovery:   cfg.Recovery,
+		Inject:     cfg.Inject,
 	}, assigns)
 	if err != nil {
 		return nil, err

@@ -102,11 +102,12 @@ func MaterializeRules(ds *datagen.Dataset, rs []rules.Rule, cfg Config) (*Result
 		mode = cluster.Simulated
 	}
 	cres, err := cluster.Run(cluster.Config{
-		Engine:    engine,
-		Transport: tr,
-		Router:    router,
-		Mode:      mode,
-		MaxRounds: cfg.MaxRounds,
+		Engine:     engine,
+		Transport:  tr,
+		Router:     router,
+		Mode:       mode,
+		MaxRounds:  cfg.MaxRounds,
+		Provenance: cfg.Provenance,
 	}, assigns)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -121,10 +122,18 @@ func TestTraceExportFromRun(t *testing.T) {
 		t.Fatalf("trace is not valid JSON: %v", err)
 	}
 	var tracks []string
+	ruleLanes := 0
 	slices := 0
 	for _, e := range doc.TraceEvents {
 		if e["ph"] == "M" && e["name"] == "thread_name" {
-			tracks = append(tracks, e["args"].(map[string]any)["name"].(string))
+			name := e["args"].(map[string]any)["name"].(string)
+			// Per-rule lanes are additive and data-dependent; the stable
+			// contract is the master + per-worker tracks.
+			if strings.HasPrefix(name, "rule ") {
+				ruleLanes++
+				continue
+			}
+			tracks = append(tracks, name)
 		}
 		if e["ph"] == "X" {
 			slices++
@@ -139,6 +148,9 @@ func TestTraceExportFromRun(t *testing.T) {
 		if tracks[i] != want[i] {
 			t.Fatalf("tracks = %v, want %v", tracks, want)
 		}
+	}
+	if ruleLanes == 0 {
+		t.Error("trace has no per-rule lanes")
 	}
 	// At least reason+send+sync+recv per worker per round, plus aggregate.
 	if minSlices := 4*4*res.Rounds + 1; slices < minSlices {

@@ -14,6 +14,7 @@ package fscluster
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -51,6 +52,29 @@ func (l Layout) OwnerFile() string { return filepath.Join(l.Dir, "owner.tsv") }
 // MsgFile is the round-r message file from node i to node j.
 func (l Layout) MsgFile(round, from, to int) string {
 	return filepath.Join(l.Dir, fmt.Sprintf("msg_r%03d_n%02d_to_n%02d.nt", round, from, to))
+}
+
+// LinMsgFile is the lineage sidecar of MsgFile(round, from, to): derivation
+// records (JSON Lines, ntriples lineage codec) for the derived tuples of
+// that message, written only when the sender runs with provenance on. The
+// .jsonl suffix keeps sidecars out of every *.nt glob.
+func (l Layout) LinMsgFile(round, from, to int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("msg_r%03d_n%02d_to_n%02d.lin.jsonl", round, from, to))
+}
+
+// LinCkptFile is the lineage sidecar of CkptFile(round, id).
+func (l Layout) LinCkptFile(round, id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r%03d_n%02d.lin.jsonl", round, id))
+}
+
+// linMsgGlob matches all lineage sidecars of messages addressed to node i.
+func (l Layout) linMsgGlob(to int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("msg_r*_n*_to_n%02d.lin.jsonl", to))
+}
+
+// linCkptGlob matches all of node i's checkpoint lineage sidecars.
+func (l Layout) linCkptGlob(id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r*_n%02d.lin.jsonl", id))
 }
 
 // MarkerFile is node i's end-of-round marker; its content is the number of
@@ -201,6 +225,12 @@ type NodeConfig struct {
 	// Each node process journals on its own clock (ns since its own start);
 	// cmd/owlcluster merges the per-node fragments into one timeline.
 	Obs *obs.Run
+	// Provenance enables derivation recording on this node's graph: the
+	// engine records rule + premises per derived tuple, and message and
+	// checkpoint files get JSONL lineage sidecars so receivers, adopters
+	// and rejoining nodes keep the records. Nodes running without it simply
+	// ignore the sidecars; the closure is unaffected.
+	Provenance bool
 }
 
 // ErrCrashed is returned by a node whose fault injector fired its crash
@@ -274,6 +304,11 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	}
 	n := &node{cfg: cfg, l: Layout{Dir: cfg.Dir}, dict: rdf.NewDict(),
 		g: rdf.NewGraph(), res: &NodeResult{}}
+	if cfg.Provenance {
+		// Enable before the base load so the side-column is built in
+		// lockstep; base tuples read as asserted.
+		n.g.EnableProv()
+	}
 	if err := readGraphFile(n.l.PartFile(cfg.ID), n.dict, n.g); err != nil {
 		return nil, fmt.Errorf("fscluster: node %d: %w", cfg.ID, err)
 	}
@@ -325,13 +360,23 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			// false — the first round after a rejoin re-reasons over the
 			// reconstructed graph, which is safe because forward inference is
 			// deterministic and monotone over the same inputs.
+			linMap, err := loadLineageSidecars(n.l, cfg.ID, n.dict, n.g)
+			if err != nil {
+				return nil, fmt.Errorf("fscluster: node %d rejoining lineage: %w", cfg.ID, err)
+			}
+			add := func(t rdf.Triple) bool {
+				if lin, ok := linMap[t]; ok {
+					return n.g.AddWithLineage(t, lin)
+				}
+				return n.g.Add(t)
+			}
 			if err := reconstruct(n.l, cfg.ID, n.dict, nil, func(t rdf.Triple, routed bool) {
 				if routed {
-					n.g.Add(t)
+					add(t)
 					delete(n.reship, t)
 					return
 				}
-				if n.g.Add(t) {
+				if add(t) {
 					n.reship[t] = struct{}{}
 				}
 			}); err != nil {
@@ -430,6 +475,13 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			if err := writeGraphFile(ckpt, n.dict, cg); err != nil {
 				return nil, err
 			}
+			// Lineage sidecar before the marker, like the checkpoint itself:
+			// an adopter must never see a checkpoint whose sidecar is still
+			// in flight (both are atomically renamed; a crash between the two
+			// just degrades that delta to lineage-free replay).
+			if err := writeLineageFile(n.l.LinCkptFile(round, cfg.ID), n.dict, lineageOfAll(n.g, delta)); err != nil {
+				return nil, err
+			}
 			if cfg.Obs != nil {
 				var size int64
 				if fi, err := os.Stat(ckpt); err == nil {
@@ -459,6 +511,9 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			og.AddAll(ts)
 			msg := n.l.MsgFile(round, cfg.ID, dst)
 			if err := writeGraphFile(msg, n.dict, og); err != nil {
+				return nil, err
+			}
+			if err := writeLineageFile(n.l.LinMsgFile(round, cfg.ID, dst), n.dict, lineageOfAll(n.g, ts)); err != nil {
 				return nil, err
 			}
 			if cfg.Obs != nil {
@@ -511,9 +566,28 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				if err := readGraphFile(path, n.dict, in); err != nil {
 					return nil, err
 				}
+				// Sidecar lineage for the message, when this node records
+				// provenance and the sender wrote one. Records match triples
+				// by value; a missing sidecar (lineage-free sender, or a
+				// crash between message and sidecar) degrades the batch to
+				// asserted tuples.
+				var linMap map[rdf.Triple]rdf.Lineage
+				if n.g.Prov() != nil {
+					lins, lerr := readLineageFile(n.l.LinMsgFile(round, from, to), n.dict)
+					if lerr != nil {
+						return nil, lerr
+					}
+					linMap = lineageByTriple(lins)
+				}
 				for _, t := range in.TriplesSince(0) {
 					delete(n.reship, t)
-					if n.g.Add(t) {
+					added := false
+					if lin, ok := linMap[t]; ok {
+						added = n.g.AddWithLineage(t, lin)
+					} else {
+						added = n.g.Add(t)
+					}
+					if added {
 						n.received = append(n.received, t)
 					}
 				}
@@ -707,4 +781,62 @@ func readGraphFile(path string, dict *rdf.Dict, g *rdf.Graph) error {
 	defer f.Close()
 	_, err = ntriples.ReadGraph(bufio.NewReader(f), dict, g)
 	return err
+}
+
+// writeLineageFile writes a JSONL lineage sidecar next to a graph file,
+// atomically like writeGraphFile. An empty record set writes nothing: readers
+// treat a missing sidecar as lineage-free.
+func writeLineageFile(path string, dict *rdf.Dict, lins []rdf.Lineage) error {
+	if len(lins) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := ntriples.WriteLineage(&buf, dict, lins); err != nil {
+		return err
+	}
+	return writeAtomic(path, buf.String())
+}
+
+// readLineageFile reads a JSONL lineage sidecar; a missing file is not an
+// error (the writer had no derivations to describe, or predates provenance).
+func readLineageFile(path string, dict *rdf.Dict) ([]rdf.Lineage, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ntriples.ReadLineage(bufio.NewReader(f), dict)
+}
+
+// lineageOfAll collects the lineage records g holds for ts, in ts order.
+// Asserted or unrecorded triples are skipped; shipping them without a record
+// just means the receiver stores them as asserted.
+func lineageOfAll(g *rdf.Graph, ts []rdf.Triple) []rdf.Lineage {
+	if g.Prov() == nil {
+		return nil
+	}
+	var out []rdf.Lineage
+	for _, t := range ts {
+		if lin, ok := g.LineageOf(t); ok {
+			out = append(out, lin)
+		}
+	}
+	return out
+}
+
+// lineageByTriple indexes records by their subject triple, first record wins.
+func lineageByTriple(lins []rdf.Lineage) map[rdf.Triple]rdf.Lineage {
+	if len(lins) == 0 {
+		return nil
+	}
+	m := make(map[rdf.Triple]rdf.Lineage, len(lins))
+	for _, lin := range lins {
+		if _, ok := m[lin.T]; !ok {
+			m[lin.T] = lin
+		}
+	}
+	return m
 }

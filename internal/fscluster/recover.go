@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -254,13 +255,25 @@ func lastCompletedRound(l Layout, id int) (int, error) {
 // complete. See the package comment above for the full protocol.
 func (n *node) adopt(id, round int) error {
 	absorbed := 0
+	// With provenance on, replay the victim's lineage sidecars alongside its
+	// tuple files so the adopted partition keeps its derivation records.
+	linMap, err := loadLineageSidecars(n.l, id, n.dict, n.g)
+	if err != nil {
+		return fmt.Errorf("fscluster: node %d adopting %d lineage: %w", n.cfg.ID, id, err)
+	}
+	add := func(t rdf.Triple) bool {
+		if lin, ok := linMap[t]; ok {
+			return n.g.AddWithLineage(t, lin)
+		}
+		return n.g.Add(t)
+	}
 	if err := reconstruct(n.l, id, n.dict, nil, func(t rdf.Triple, routed bool) {
 		if routed {
 			// Already-routed knowledge: the recv phase's watermark advance
 			// will swallow it; drop any reship claim a previous adoption made.
 			delete(n.reship, t)
 		}
-		if n.g.Add(t) {
+		if add(t) {
 			// New knowledge: seed the next reasoning round with it, so joins
 			// across the two merged partitions are derived.
 			n.received = append(n.received, t)
@@ -322,4 +335,35 @@ func reconstruct(l Layout, id int, dict *rdf.Dict, g *rdf.Graph, visit func(t rd
 		}
 	}
 	return nil
+}
+
+// loadLineageSidecars merges node id's checkpoint and inbound-message lineage
+// sidecars into one triple-keyed map (first record wins, checkpoints first —
+// the node's own derivations beat relayed copies). Returns nil without
+// touching disk when g does not record provenance: replay then degrades to
+// plain Add, matching a lineage-free run.
+func loadLineageSidecars(l Layout, id int, dict *rdf.Dict, g *rdf.Graph) (map[rdf.Triple]rdf.Lineage, error) {
+	if g.Prov() == nil {
+		return nil, nil
+	}
+	merged := make(map[rdf.Triple]rdf.Lineage)
+	for _, glob := range []string{l.linCkptGlob(id), l.linMsgGlob(id)} {
+		paths, err := filepath.Glob(glob)
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			lins, err := readLineageFile(p, dict)
+			if err != nil {
+				return nil, err
+			}
+			for _, lin := range lins {
+				if _, ok := merged[lin.T]; !ok {
+					merged[lin.T] = lin
+				}
+			}
+		}
+	}
+	return merged, nil
 }

@@ -1,0 +1,87 @@
+package ntriples
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"powl/internal/rdf"
+)
+
+// Lineage sidecar codec: derivation lineage serialized as JSON Lines, one
+// record per derived triple, every term in N-Triples surface syntax so the
+// files are self-describing and greppable. Used for checkpoint and message
+// sidecars by the cluster layers; rdf.Lineage is self-contained (premises
+// by value), so a reader re-resolves records against its own log.
+
+// lineageJSON is the wire form of one rdf.Lineage.
+type lineageJSON struct {
+	T     [3]string   `json:"t"`
+	Rule  string      `json:"rule"`
+	Round uint16      `json:"round"`
+	Prem  [][3]string `json:"prem,omitempty"`
+}
+
+func termsOf(dict *rdf.Dict, t rdf.Triple) [3]string {
+	return [3]string{dict.Term(t.S).String(), dict.Term(t.P).String(), dict.Term(t.O).String()}
+}
+
+func tripleOf(dict *rdf.Dict, s [3]string) (rdf.Triple, error) {
+	var ids [3]rdf.ID
+	for i, v := range s {
+		term, err := ParseTerm(v)
+		if err != nil {
+			return rdf.Triple{}, err
+		}
+		ids[i] = dict.Intern(term)
+	}
+	return rdf.Triple{S: ids[0], P: ids[1], O: ids[2]}, nil
+}
+
+// WriteLineage writes lins to w as JSON Lines.
+func WriteLineage(w io.Writer, dict *rdf.Dict, lins []rdf.Lineage) error {
+	enc := json.NewEncoder(w)
+	for _, lin := range lins {
+		rec := lineageJSON{T: termsOf(dict, lin.T), Rule: lin.Rule, Round: lin.Round}
+		for _, p := range lin.Prem {
+			rec.Prem = append(rec.Prem, termsOf(dict, p))
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLineage parses a JSON Lines lineage stream, interning terms through
+// dict. Parse failures wrap ErrMalformed-style context with the record
+// index.
+func ReadLineage(r io.Reader, dict *rdf.Dict) ([]rdf.Lineage, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var out []rdf.Lineage
+	for dec.More() {
+		var rec lineageJSON
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("ntriples: lineage record %d: %w", len(out), err)
+		}
+		t, err := tripleOf(dict, rec.T)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples: lineage record %d: %w", len(out), err)
+		}
+		lin := rdf.Lineage{T: t, Rule: rec.Rule, Round: rec.Round}
+		for _, p := range rec.Prem {
+			pt, perr := tripleOf(dict, p)
+			if perr != nil {
+				return nil, fmt.Errorf("ntriples: lineage record %d: %w", len(out), perr)
+			}
+			lin.Prem = append(lin.Prem, pt)
+		}
+		out = append(out, lin)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// DeriveSampler journals a 1-in-N sample of derivations as EvDerive events:
+// enough to see which rules are producing, in which rounds, without paying a
+// journal write per derived triple. A nil sampler is a no-op, in the obs
+// nil-safe style, so engines call Sample unconditionally.
+type DeriveSampler struct {
+	run    *Run
+	worker int
+	stride int64
+	n      atomic.Int64
+}
+
+// DefaultDeriveStride is the sampling stride used when callers pass
+// stride <= 0.
+const DefaultDeriveStride = 256
+
+// DeriveSampler returns a sampler journaling under worker's track with the
+// given stride (1 = every derivation, <= 0 = DefaultDeriveStride). Nil-safe:
+// a nil run or a run without a journal sink yields nil.
+func (r *Run) DeriveSampler(worker, stride int) *DeriveSampler {
+	if r == nil || r.sink == nil {
+		return nil
+	}
+	if stride <= 0 {
+		stride = DefaultDeriveStride
+	}
+	return &DeriveSampler{run: r, worker: worker, stride: int64(stride)}
+}
+
+// Sample counts one derivation of rule at log offset off during round, and
+// journals every stride-th one. Safe for concurrent use and nil-safe.
+func (s *DeriveSampler) Sample(rule string, round int, off uint32) {
+	if s == nil {
+		return
+	}
+	if s.n.Add(1)%s.stride != 1 && s.stride != 1 {
+		return
+	}
+	s.run.Emit(Event{
+		Type: EvDerive, TS: s.run.Now(), Worker: s.worker, Round: round,
+		Name: rule, N: int64(off), N2: s.stride,
+	})
+}
+
+type derivesCtxKey struct{}
+
+// ContextWithDerives attaches a derivation sampler to ctx; engines pick it
+// up in MaterializeCtx. Attaching nil returns ctx unchanged.
+func ContextWithDerives(ctx context.Context, s *DeriveSampler) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, derivesCtxKey{}, s)
+}
+
+// DerivesFrom returns the derivation sampler attached to ctx, or nil. One
+// context lookup per materialization, not per derivation.
+func DerivesFrom(ctx context.Context) *DeriveSampler {
+	s, _ := ctx.Value(derivesCtxKey{}).(*DeriveSampler)
+	return s
+}

@@ -15,7 +15,8 @@ const (
 	EvRoundStart  = "round_start"  // Round set
 	EvRoundEnd    = "round_end"    // N = tuples sent cluster-wide this round
 	EvPhase       = "phase"        // Phase, Worker, Round, TS, Dur; N = tuples (send/recv)
-	EvRuleProfile = "rule_profile" // Name = rule, Worker; N = firings, N2 = matches, Dur = time
+	EvRuleProfile = "rule_profile" // Name = rule, Worker; N = firings, N2 = matches, N3 = derived, N4 = duplicates, Dur = time
+	EvDerive      = "derive"       // sampled derivation; Name = rule, Round, N = log offset, N2 = sampling stride
 	EvTransport   = "transport"    // Name = "from->to"; N = messages, N2 = triples, Bytes
 	EvRetry       = "retry"        // Name = op; N = retries, Dur = backoff slept
 	EvCheckpoint  = "checkpoint"   // Worker, Round; N = tuples, Bytes
@@ -63,6 +64,8 @@ type Event struct {
 	Name   string `json:"name,omitempty"`
 	N      int64  `json:"n,omitempty"`
 	N2     int64  `json:"n2,omitempty"`
+	N3     int64  `json:"n3,omitempty"`
+	N4     int64  `json:"n4,omitempty"`
 	Bytes  int64  `json:"bytes,omitempty"`
 }
 

@@ -167,6 +167,37 @@ func (s HistSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// Percentile returns an upper estimate of the p-th percentile (0 < p <= 100)
+// from the log2 bucket counts: the bound of the bucket the rank lands in,
+// clamped to the observed min/max (so p=100 is exactly Max). The log2 layout
+// makes the estimate at worst 2x the true value — the right resolution for
+// latency gating, where the question is "which power of two", not "which
+// microsecond".
+func (s HistSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			b := BucketBound(i)
+			if b > s.Max {
+				b = s.Max
+			}
+			if b < s.Min {
+				b = s.Min
+			}
+			return b
+		}
+	}
+	return s.Max
+}
+
 // Registry names and owns a process's metrics. The zero registry must not
 // be used; a nil *Registry is the disabled state: every lookup returns nil
 // and every recording through the returned nil metric is a no-op.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -56,6 +57,8 @@ func Summarize(events []Event) (workers []WorkerProfile, rules map[string]RuleSt
 			s := rules[e.Name]
 			s.Firings += e.N
 			s.Matches += e.N2
+			s.Derived += e.N3
+			s.Duplicate += e.N4
 			s.Time += e.Duration()
 			rules[e.Name] = s
 		case EvTransport:
@@ -80,14 +83,44 @@ func WriteReport(w io.Writer, events []Event, topK int) {
 	workers, rules, transports, retries := Summarize(events)
 
 	if len(rules) > 0 {
-		fmt.Fprintf(w, "Top rules by cumulative time (all workers):\n")
-		fmt.Fprintf(w, "  %-28s %12s %12s %12s\n", "rule", "time", "firings", "matches")
-		for _, p := range TopRules(rules, topK) {
-			fmt.Fprintf(w, "  %-28s %12v %12d %12d\n",
-				p.Name, p.Time.Round(time.Microsecond), p.Firings, p.Matches)
+		// Split the profile into rules that did work and rules that never
+		// fired: a dead rule would otherwise sort to the invisible tail of
+		// the table, and "this rule never fires on this dataset" is exactly
+		// the signal a rule-partitioning strategy needs surfaced.
+		fired := map[string]RuleStats{}
+		var dead []string
+		hasProv := false
+		for name, s := range rules {
+			if s.Firings == 0 && s.Matches == 0 && s.Time == 0 {
+				dead = append(dead, name)
+				continue
+			}
+			fired[name] = s
+			if s.Derived != 0 || s.Duplicate != 0 {
+				hasProv = true
+			}
 		}
-		if len(rules) > topK && topK > 0 {
-			fmt.Fprintf(w, "  ... and %d more rules\n", len(rules)-topK)
+		fmt.Fprintf(w, "Top rules by cumulative time (all workers):\n")
+		if hasProv {
+			fmt.Fprintf(w, "  %-28s %12s %12s %12s %10s %10s\n", "rule", "time", "firings", "matches", "derived", "dup")
+		} else {
+			fmt.Fprintf(w, "  %-28s %12s %12s %12s\n", "rule", "time", "firings", "matches")
+		}
+		for _, p := range TopRules(fired, topK) {
+			if hasProv {
+				fmt.Fprintf(w, "  %-28s %12v %12d %12d %10d %10d\n",
+					p.Name, p.Time.Round(time.Microsecond), p.Firings, p.Matches, p.Derived, p.Duplicate)
+			} else {
+				fmt.Fprintf(w, "  %-28s %12v %12d %12d\n",
+					p.Name, p.Time.Round(time.Microsecond), p.Firings, p.Matches)
+			}
+		}
+		if len(fired) > topK && topK > 0 {
+			fmt.Fprintf(w, "  ... and %d more rules\n", len(fired)-topK)
+		}
+		if len(dead) > 0 {
+			sort.Strings(dead)
+			fmt.Fprintf(w, "  never fired (%d): %s\n", len(dead), strings.Join(dead, ", "))
 		}
 	}
 

@@ -22,6 +22,15 @@ type RuleStats struct {
 	Firings int64
 	Matches int64
 	Time    time.Duration
+
+	// Provenance-era split of Firings: Derived counts firings whose
+	// conclusion was new to the graph, Duplicate those whose conclusion
+	// already existed (wasted join work — the re-derivation signal the
+	// paper's duplicate-elimination discussion cares about). Engines only
+	// tally these when provenance recording is on, so Derived+Duplicate
+	// may be less than Firings across a mixed run.
+	Derived   int64
+	Duplicate int64
 }
 
 // RuleCollector accumulates per-rule profiles across materialize calls.
@@ -50,6 +59,26 @@ func (c *RuleCollector) Record(name string, firings, matches int64, d time.Durat
 	s.Firings += firings
 	s.Matches += matches
 	s.Time += d
+}
+
+// RecordDerived merges one rule's derived/duplicate tallies (provenance
+// attribution) into the collector.
+func (c *RuleCollector) RecordDerived(name string, derived, duplicate int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = map[string]*RuleStats{}
+	}
+	s := c.m[name]
+	if s == nil {
+		s = &RuleStats{}
+		c.m[name] = s
+	}
+	s.Derived += derived
+	s.Duplicate += duplicate
 }
 
 // Snapshot returns a copy of the accumulated per-rule profiles.

@@ -102,7 +102,8 @@ func (r *Run) FlushProfiles(ts int64) {
 		for _, p := range TopRules(snap, 0) {
 			r.Emit(Event{
 				Type: EvRuleProfile, TS: ts, Worker: w, Name: p.Name,
-				N: p.Firings, N2: p.Matches, Dur: int64(p.Time),
+				N: p.Firings, N2: p.Matches, N3: p.Derived, N4: p.Duplicate,
+				Dur: int64(p.Time),
 			})
 			r.Registry.Counter("rules." + p.Name + ".firings").Add(p.Firings)
 		}

@@ -43,18 +43,30 @@ func phaseTitle(phase string) string {
 // WriteTrace converts a run journal into Chrome trace-event JSON: one
 // process, one named thread ("track") per worker plus a master track,
 // complete ("X") slices for every phase span, and instant events for
-// faults, recoveries and round boundaries. The output loads directly into
-// Perfetto (ui.perfetto.dev) or chrome://tracing and reproduces Figure 2's
+// faults, recoveries and round boundaries. Rules with journaled activity
+// (rule_profile summaries, sampled derive events) get their own lanes after
+// the worker tracks, so per-rule attribution reads as a timeline next to
+// the phase decomposition. The output loads directly into Perfetto
+// (ui.perfetto.dev) or chrome://tracing and reproduces Figure 2's
 // Reason/IO/Sync decomposition as a timeline.
 func WriteTrace(w io.Writer, events []Event) error {
 	var out []traceEvent
 
 	// Track names. Collect the worker ids actually present so the trace
-	// has exactly one named track per worker (plus the master).
+	// has exactly one named track per worker (plus the master), and the
+	// rule names so each gets a lane above the worker tracks.
 	workers := map[int]bool{}
+	ruleSet := map[string]bool{}
+	maxWorker := 0
 	for _, e := range events {
-		if e.Type == EvPhase || e.Type == EvFault || e.Type == EvRecovery || e.Type == EvCheckpoint {
+		switch e.Type {
+		case EvPhase, EvFault, EvRecovery, EvCheckpoint:
 			workers[e.Worker] = true
+			if e.Worker > maxWorker {
+				maxWorker = e.Worker
+			}
+		case EvRuleProfile, EvDerive:
+			ruleSet[e.Name] = true
 		}
 	}
 	ids := make([]int, 0, len(workers))
@@ -62,6 +74,16 @@ func WriteTrace(w io.Writer, events []Event) error {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	ruleNames := make([]string, 0, len(ruleSet))
+	for name := range ruleSet {
+		ruleNames = append(ruleNames, name)
+	}
+	sort.Strings(ruleNames)
+	ruleTID := map[string]int{}
+	ruleBase := traceTID(maxWorker) + 1
+	for i, name := range ruleNames {
+		ruleTID[name] = ruleBase + i
+	}
 	out = append(out, traceEvent{
 		Name: "process_name", Ph: "M", PID: 0, TID: 0,
 		Args: map[string]any{"name": "powl run"},
@@ -74,6 +96,12 @@ func WriteTrace(w io.Writer, events []Event) error {
 		out = append(out, traceEvent{
 			Name: "thread_name", Ph: "M", PID: 0, TID: traceTID(id),
 			Args: map[string]any{"name": name},
+		})
+	}
+	for _, name := range ruleNames {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: ruleTID[name],
+			Args: map[string]any{"name": "rule " + name},
 		})
 	}
 
@@ -110,6 +138,26 @@ func WriteTrace(w io.Writer, events []Event) error {
 				Name: fmt.Sprintf("adopt worker %d", e.N), Ph: "i", TS: ts,
 				PID: 0, TID: traceTID(e.Worker), S: "g",
 				Args: map[string]any{"round": e.Round},
+			})
+		case EvRuleProfile:
+			// Summary slice on the rule's lane: Dur is the rule's
+			// cumulative time, drawn ending at the flush timestamp.
+			start := ts - dur
+			if start < 0 {
+				start = 0
+			}
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("%s (w%d)", e.Name, e.Worker), Ph: "X",
+				TS: start, Dur: dur, PID: 0, TID: ruleTID[e.Name],
+				Args: map[string]any{
+					"worker": e.Worker, "firings": e.N, "matches": e.N2,
+					"derived": e.N3, "duplicates": e.N4,
+				},
+			})
+		case EvDerive:
+			out = append(out, traceEvent{
+				Name: "derive", Ph: "i", TS: ts, PID: 0, TID: ruleTID[e.Name], S: "t",
+				Args: map[string]any{"round": e.Round, "offset": e.N, "stride": e.N2},
 			})
 		}
 	}

@@ -32,12 +32,13 @@ import (
 // must go through Snapshot.
 type Graph struct {
 	log  tripleLog
-	set  map[Triple]struct{} // writer-only dedup
+	set  map[Triple]uint32 // writer-only dedup; value = log offset
 	byS  index[uint32]
 	byP  index[uint32]
 	byO  index[uint32]
 	bySP index[spEntry] // completing object for (s, p), in log order
 	byPO index[spEntry] // completing subject for (p, o), in log order
+	prov *Prov          // derivation side-column; nil = recording off
 }
 
 // NewGraph returns an empty graph.
@@ -47,7 +48,7 @@ func NewGraph() *Graph { return NewGraphCap(0) }
 // avoids log regrowth and index rehashing when bulk-loading (e.g. when
 // aggregating worker outputs).
 func NewGraphCap(n int) *Graph {
-	g := &Graph{set: make(map[Triple]struct{}, n)}
+	g := &Graph{set: make(map[Triple]uint32, n)}
 	if n > 0 {
 		g.log.grow(n)
 		g.byS.presize(n/4 + 1)
@@ -71,21 +72,31 @@ func (g *Graph) Grow(n int) {
 //
 // The log append is last deliberately: it publishes the new watermark, and a
 // Snapshot pinned at watermark W must see every index entry for the triples
-// below W. Appending the five postings first makes the log length the commit
-// point.
+// below W. Appending the five postings — and, when recording, the provenance
+// record — first makes the log length the commit point.
 func (g *Graph) Add(t Triple) bool {
 	if _, ok := g.set[t]; ok {
 		return false
 	}
-	g.set[t] = struct{}{}
+	g.addNew(t, baseDerivation())
+	return true
+}
+
+// addNew appends a triple known to be absent, with provenance record d when
+// recording is on. Every insert path funnels through here so the publication
+// order (postings, then provenance, then log commit) is stated once.
+func (g *Graph) addNew(t Triple, d Derivation) {
 	off := uint32(g.log.length())
+	g.set[t] = off
 	g.byS.getOrCreate(key1(t.S)).append1(off)
 	g.byP.getOrCreate(key1(t.P)).append1(off)
 	g.byO.getOrCreate(key1(t.O)).append1(off)
 	g.bySP.getOrCreate(key2(t.S, t.P)).append1(spEntry{Term: t.O, Off: off})
 	g.byPO.getOrCreate(key2(t.P, t.O)).append1(spEntry{Term: t.S, Off: off})
+	if g.prov != nil {
+		g.prov.recs.append1(d)
+	}
 	g.log.append1(t)
-	return true
 }
 
 // AddAll inserts every triple in ts and returns the number newly added.
@@ -165,11 +176,28 @@ func cloneIndex[T any](dst, src *index[T], total int) {
 func (g *Graph) Clone() *Graph {
 	v := g.log.view()
 	n := len(v)
-	c := &Graph{set: make(map[Triple]struct{}, n)}
+	c := &Graph{set: make(map[Triple]uint32, n)}
 	c.log.grow(n)
-	for _, t := range v {
-		c.set[t] = struct{}{}
+	for i, t := range v {
+		c.set[t] = uint32(i)
 		c.log.append1(t)
+	}
+	if g.prov != nil {
+		cp := &Prov{byName: make(map[string]uint16, len(g.prov.byName))}
+		recs := g.prov.recs.view()
+		cp.recs.grow(len(recs))
+		for _, d := range recs {
+			cp.recs.append1(d)
+		}
+		if names := g.prov.names.Load(); names != nil {
+			nn := make([]string, len(*names))
+			copy(nn, *names)
+			cp.names.Store(&nn)
+			for id, name := range nn {
+				cp.byName[name] = uint16(id)
+			}
+		}
+		c.prov = cp
 	}
 	cloneIndex(&c.byS, &g.byS, n)
 	cloneIndex(&c.byP, &g.byP, n)
@@ -339,10 +367,24 @@ func (g *Graph) Subjects() map[ID]struct{} {
 
 // Union adds every triple of other into g and returns the number newly
 // added. It walks other's log — deterministic order — and pre-sizes g's log
-// for the incoming bulk. Writer-only on g.
+// for the incoming bulk. When both graphs record provenance, each absorbed
+// triple carries its lineage across: the log walk guarantees premises land
+// before their dependents, so offset translation succeeds. Writer-only on g.
 func (g *Graph) Union(other *Graph) int {
 	g.Grow(other.Len())
 	n := 0
+	if g.prov != nil && other.prov != nil {
+		for i, t := range other.log.view() {
+			if lin, ok := other.lineageAt(t, uint32(i)); ok {
+				if g.AddWithLineage(t, lin) {
+					n++
+				}
+			} else if g.Add(t) {
+				n++
+			}
+		}
+		return n
+	}
 	for _, t := range other.log.view() {
 		if g.Add(t) {
 			n++

@@ -1,0 +1,240 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func provTriple(s, p, o ID) Triple { return Triple{S: s, P: p, O: o} }
+
+func TestEnableProvBackfillsBaseRecords(t *testing.T) {
+	g := NewGraph()
+	g.Add(provTriple(1, 2, 3))
+	g.Add(provTriple(4, 2, 3))
+	p := g.EnableProv()
+	if p.Len() != 2 {
+		t.Fatalf("prov len = %d, want 2", p.Len())
+	}
+	for off := uint32(0); off < 2; off++ {
+		if d := p.At(off); d.IsDerived() {
+			t.Fatalf("offset %d backfilled as derived: %+v", off, d)
+		}
+	}
+	if again := g.EnableProv(); again != p {
+		t.Fatal("EnableProv not idempotent")
+	}
+	// Post-enable adds keep the side-column in lockstep.
+	g.Add(provTriple(5, 2, 3))
+	if p.Len() != g.Len() {
+		t.Fatalf("prov len %d != graph len %d", p.Len(), g.Len())
+	}
+}
+
+func TestAddDerivedAndLineage(t *testing.T) {
+	g := NewGraph()
+	p := g.EnableProv()
+	a, b, c := provTriple(1, 10, 2), provTriple(2, 10, 3), provTriple(1, 10, 3)
+	g.Add(a)
+	g.Add(b)
+	id := p.RuleID("trans")
+	if id2 := p.RuleID("trans"); id2 != id {
+		t.Fatalf("re-intern gave %d, want %d", id2, id)
+	}
+	offA, _ := g.Offset(a)
+	offB, _ := g.Offset(b)
+	if !g.AddDerived(c, Derivation{Rule: id, Round: 1, Prem: [3]uint32{offA, offB, NoPremise}}) {
+		t.Fatal("AddDerived reported existing")
+	}
+	// Re-deriving must not rewrite the record (first wins).
+	if g.AddDerived(c, Derivation{Rule: id, Round: 9}) {
+		t.Fatal("duplicate AddDerived reported new")
+	}
+	lin, ok := g.LineageOf(c)
+	if !ok {
+		t.Fatal("LineageOf failed for derived triple")
+	}
+	if lin.Rule != "trans" || lin.Round != 1 {
+		t.Fatalf("lineage = %+v", lin)
+	}
+	if len(lin.Prem) != 2 || lin.Prem[0] != a || lin.Prem[1] != b {
+		t.Fatalf("premises = %v, want [%v %v]", lin.Prem, a, b)
+	}
+	if _, ok := g.LineageOf(a); ok {
+		t.Fatal("asserted triple has lineage")
+	}
+}
+
+func TestAddWithLineageTranslatesOffsets(t *testing.T) {
+	src := NewGraph()
+	src.EnableProv()
+	a, b, c := provTriple(1, 10, 2), provTriple(2, 10, 3), provTriple(1, 10, 3)
+	src.Add(a)
+	src.Add(b)
+	id := src.Prov().RuleID("trans")
+	offA, _ := src.Offset(a)
+	offB, _ := src.Offset(b)
+	src.AddDerived(c, Derivation{Rule: id, Round: 2, Prem: [3]uint32{offA, offB, NoPremise}})
+
+	// Destination has different offsets (extra triple first).
+	dst := NewGraph()
+	dst.EnableProv()
+	dst.Add(provTriple(9, 9, 9))
+	lin, _ := src.LineageOf(c)
+	dst.Add(a)
+	dst.Add(b)
+	if !dst.AddWithLineage(c, lin) {
+		t.Fatal("AddWithLineage reported existing")
+	}
+	got, ok := dst.LineageOf(c)
+	if !ok || got.Rule != "trans" || got.Round != 2 {
+		t.Fatalf("translated lineage = %+v ok=%v", got, ok)
+	}
+	if len(got.Prem) != 2 || got.Prem[0] != a || got.Prem[1] != b {
+		t.Fatalf("translated premises = %v", got.Prem)
+	}
+}
+
+func TestUnionAndClonePreserveLineage(t *testing.T) {
+	src := NewGraph()
+	src.EnableProv()
+	a, b, c := provTriple(1, 10, 2), provTriple(2, 10, 3), provTriple(1, 10, 3)
+	src.Add(a)
+	src.Add(b)
+	id := src.Prov().RuleID("trans")
+	offA, _ := src.Offset(a)
+	offB, _ := src.Offset(b)
+	src.AddDerived(c, Derivation{Rule: id, Round: 1, Prem: [3]uint32{offA, offB, NoPremise}})
+
+	cl := src.Clone()
+	if lin, ok := cl.LineageOf(c); !ok || lin.Rule != "trans" || len(lin.Prem) != 2 {
+		t.Fatalf("clone lineage = %+v ok=%v", lin, ok)
+	}
+
+	dst := NewGraph()
+	dst.EnableProv()
+	dst.Union(src)
+	lin, ok := dst.LineageOf(c)
+	if !ok || lin.Rule != "trans" || len(lin.Prem) != 2 || lin.Prem[0] != a {
+		t.Fatalf("union lineage = %+v ok=%v", lin, ok)
+	}
+}
+
+func TestExplainBuildsDAG(t *testing.T) {
+	g := NewGraph()
+	p := g.EnableProv()
+	// chain: t0, t1 asserted; t2 = trans(t0, t1); t3 = trans(t0, t2).
+	t0, t1 := provTriple(1, 10, 2), provTriple(2, 10, 3)
+	t2, t3 := provTriple(1, 10, 3), provTriple(1, 10, 4)
+	g.Add(t0)
+	g.Add(t1)
+	id := p.RuleID("trans")
+	off0, _ := g.Offset(t0)
+	off1, _ := g.Offset(t1)
+	g.AddDerived(t2, Derivation{Rule: id, Round: 1, Prem: [3]uint32{off0, off1, NoPremise}})
+	off2, _ := g.Offset(t2)
+	g.AddDerived(t3, Derivation{Rule: id, Round: 2, Prem: [3]uint32{off0, off2, NoPremise}})
+
+	n, ok := g.Explain(t3, 0)
+	if !ok {
+		t.Fatal("Explain failed")
+	}
+	if n.Rule != "trans" || n.Round != 2 || len(n.Premises) != 2 {
+		t.Fatalf("root = %+v", n)
+	}
+	if n.Premises[0].Triple != t0 || n.Premises[0].IsDerived() {
+		t.Fatalf("premise 0 = %+v", n.Premises[0])
+	}
+	inner := n.Premises[1]
+	if inner.Triple != t2 || inner.Rule != "trans" || len(inner.Premises) != 2 {
+		t.Fatalf("premise 1 = %+v", inner)
+	}
+	// Shared node: t0 appears under both the root and the inner derivation,
+	// and must be the same *ExplainNode.
+	if inner.Premises[0] != n.Premises[0] {
+		t.Fatal("shared premise not deduplicated across the DAG")
+	}
+
+	// Depth bound truncates instead of recursing.
+	shallow, ok := g.Explain(t3, 1)
+	if !ok || !shallow.Truncated || len(shallow.Premises) != 0 {
+		t.Fatalf("depth-1 explain = %+v ok=%v", shallow, ok)
+	}
+
+	// Asserted triples explain as leaves; absent triples fail.
+	leaf, ok := g.Explain(t0, 0)
+	if !ok || leaf.IsDerived() || len(leaf.Premises) != 0 {
+		t.Fatalf("asserted explain = %+v ok=%v", leaf, ok)
+	}
+	if _, ok := g.Explain(provTriple(7, 7, 7), 0); ok {
+		t.Fatal("explained an absent triple")
+	}
+}
+
+func TestExplainRespectsSnapshotCut(t *testing.T) {
+	g := NewGraph()
+	p := g.EnableProv()
+	t0, t1 := provTriple(1, 10, 2), provTriple(2, 10, 3)
+	g.Add(t0)
+	snap := g.Snapshot()
+	g.Add(t1)
+	id := p.RuleID("r")
+	off0, _ := g.Offset(t0)
+	off1, _ := g.Offset(t1)
+	t2 := provTriple(1, 10, 3)
+	g.AddDerived(t2, Derivation{Rule: id, Round: 1, Prem: [3]uint32{off0, off1, NoPremise}})
+
+	if _, ok := snap.Explain(t2, 0); ok {
+		t.Fatal("snapshot explained a triple above its watermark")
+	}
+	if _, ok := snap.Explain(t0, 0); !ok {
+		t.Fatal("snapshot failed to explain a visible triple")
+	}
+	if _, ok := g.Snapshot().Explain(t2, 0); !ok {
+		t.Fatal("fresh snapshot failed to explain the derived triple")
+	}
+}
+
+func TestExplainRenderers(t *testing.T) {
+	dict := NewDict()
+	g := NewGraph()
+	p := g.EnableProv()
+	s := dict.InternIRI("http://t/s")
+	sub := dict.InternIRI("http://t/sub")
+	sup := dict.InternIRI("http://t/sup")
+	ty := dict.InternIRI("http://t/type")
+	t0 := Triple{S: s, P: ty, O: sub}
+	t1 := Triple{S: sub, P: ty, O: sup}
+	g.Add(t0)
+	g.Add(t1)
+	id := p.RuleID("sc")
+	off0, _ := g.Offset(t0)
+	off1, _ := g.Offset(t1)
+	t2 := Triple{S: s, P: ty, O: sup}
+	g.AddDerived(t2, Derivation{Rule: id, Round: 1, Prem: [3]uint32{off0, off1, NoPremise}})
+
+	n, _ := g.Explain(t2, 0)
+	text := ExplainString(dict, n)
+	for _, want := range []string{"[rule sc, round 1]", "[asserted]", "├─", "└─", "http://t/sup"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text render missing %q:\n%s", want, text)
+		}
+	}
+	doc := NewExplainDoc(dict, n)
+	if doc.Rule != "sc" || len(doc.Premises) != 2 || doc.Premises[0].Rule != "" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if !strings.Contains(doc.Triple, "http://t/sup") {
+		t.Fatalf("doc triple = %q", doc.Triple)
+	}
+}
+
+func TestProvLengthNeverBelowWatermark(t *testing.T) {
+	g := NewGraph()
+	p := g.EnableProv()
+	for i := 0; i < 1000; i++ {
+		g.Add(provTriple(ID(i+1), 5, ID(i+2)))
+		if p.Len() < g.Len() {
+			t.Fatalf("at %d: prov %d < log %d", i, p.Len(), g.Len())
+		}
+	}
+}

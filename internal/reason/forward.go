@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 	"powl/internal/rules"
 )
@@ -71,7 +72,53 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 			pending[t] = struct{}{}
 		}
 	}
+
+	// When the graph records provenance, swap in an emit that captures the
+	// firing rule and its premises (held in the scratch by fireOn/joinRest)
+	// and tallies the derived/duplicate split. The disabled path above is
+	// untouched: with prov == nil the join path runs exactly as before, so
+	// it stays zero-alloc per delta triple.
+	prov := g.Prov()
+	var (
+		sampler          *obs.DeriveSampler
+		provIDs          []uint16
+		pendProv         map[rdf.Triple]pendDeriv
+		derivedOf, dupOf []int64
+	)
+	if prov != nil {
+		sampler = obs.DerivesFrom(ctx)
+		provIDs = make([]uint16, len(crs))
+		for i := range crs {
+			provIDs[i] = prov.RuleID(crs[i].name)
+		}
+		pendProv = map[rdf.Triple]pendDeriv{}
+		derivedOf = make([]int64, len(crs))
+		dupOf = make([]int64, len(crs))
+		sc.rec = true
+		emit = func(t rdf.Triple) {
+			if g.Has(t) {
+				dupOf[sc.cur.idx]++
+				return
+			}
+			if _, ok := pending[t]; ok {
+				dupOf[sc.cur.idx]++
+				return
+			}
+			pending[t] = struct{}{}
+			pd := pendDeriv{rule: sc.cur}
+			np := len(sc.cur.body)
+			if np > len(pd.prem) {
+				np = len(pd.prem)
+			}
+			copy(pd.prem[:np], sc.prem[:np])
+			pd.np = uint8(np)
+			pendProv[t] = pd
+		}
+	}
+
+	round := 0
 	for len(delta) > 0 {
+		round++
 		if err := ctx.Err(); err != nil {
 			return added, err
 		}
@@ -108,24 +155,83 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 			}
 		}
 		delta = delta[:0]
-		for t := range pending {
-			if g.Add(t) {
-				delta = append(delta, t)
-				added++
+		if prov == nil {
+			for t := range pending {
+				if g.Add(t) {
+					delta = append(delta, t)
+					added++
+				}
 			}
+		} else {
+			// Premises were graph triples at fire time, so every offset
+			// resolves; the derived triple lands above them in the log,
+			// which is what keeps Explain's premise walk acyclic.
+			r16 := uint16(round)
+			if round > int(^uint16(0)) {
+				r16 = ^uint16(0)
+			}
+			for t := range pending {
+				pd := pendProv[t]
+				d := rdf.Derivation{
+					Rule:  provIDs[pd.rule.idx],
+					Round: r16,
+					Prem:  [3]uint32{rdf.NoPremise, rdf.NoPremise, rdf.NoPremise},
+				}
+				for i := 0; i < int(pd.np); i++ {
+					if off, ok := g.Offset(pd.prem[i]); ok {
+						d.Prem[i] = off
+					}
+				}
+				if g.AddDerived(t, d) {
+					delta = append(delta, t)
+					added++
+					derivedOf[pd.rule.idx]++
+					if sampler != nil {
+						if off, ok := g.Offset(t); ok {
+							sampler.Sample(pd.rule.name, round, off)
+						}
+					}
+				}
+			}
+			clear(pendProv)
 		}
 		clear(pending)
 	}
+	if prov != nil {
+		for i := range crs {
+			if derivedOf[i] != 0 || dupOf[i] != 0 {
+				prof.addDerived(i, derivedOf[i], dupOf[i])
+			}
+		}
+	}
 	return added, nil
+}
+
+// pendDeriv is a pending triple's provenance, buffered until the round's
+// flush resolves the premise triples to their log offsets: the rule that
+// first produced it plus its (body-atom-ordered, truncated-at-three)
+// premises.
+type pendDeriv struct {
+	rule *cRule
+	prem [3]rdf.Triple
+	np   uint8
 }
 
 // scratch holds the reusable join buffers of one materialization: a binding
 // environment sized for the widest rule and a rest-atom order buffer sized
 // for the longest body. fireOn re-slices them per rule, so the steady-state
 // join path performs no per-firing allocations.
+//
+// When rec is set (the owning graph records provenance), fireOn and
+// joinRest additionally track the firing rule and the triples bound to the
+// first three body atoms, so emit can read the premises of the current
+// firing straight out of the scratch — still no per-firing allocation.
 type scratch struct {
 	env  env
 	rest []int
+	rec  bool
+	cur  *cRule
+	prem [3]rdf.Triple
 }
 
 func newScratch(crs []cRule) *scratch {
@@ -154,13 +260,20 @@ func fireOn(g *rdf.Graph, sc *scratch, tr trigger, t rdf.Triple, emit func(rdf.T
 	if _, ok := e.bindTriple(r.body[tr.atomIdx], t); !ok {
 		return 0, 0
 	}
+	if sc.rec {
+		sc.cur = r
+		sc.prem = [3]rdf.Triple{}
+		if tr.atomIdx < len(sc.prem) {
+			sc.prem[tr.atomIdx] = t
+		}
+	}
 	rest := sc.rest[:0]
 	for i := range r.body {
 		if i != tr.atomIdx {
 			rest = append(rest, i)
 		}
 	}
-	joinRest(g, r, rest, e, func() {
+	joinRest(g, sc, r, rest, e, func() {
 		matches++
 		for _, h := range r.head {
 			firings++
@@ -178,7 +291,7 @@ func fireOn(g *rdf.Graph, sc *scratch, tr trigger, t rdf.Triple, emit func(rdf.T
 // the rule-body ordering RORS and the dynamic-exchange Datalog stores
 // attribute their throughput to. Selection reorders rest in place, so the
 // whole join runs on the caller's scratch buffer with no per-level copies.
-func joinRest(g *rdf.Graph, r *cRule, rest []int, e env, yield func()) {
+func joinRest(g *rdf.Graph, sc *scratch, r *cRule, rest []int, e env, yield func()) {
 	if len(rest) == 0 {
 		yield()
 		return
@@ -197,11 +310,18 @@ func joinRest(g *rdf.Graph, r *cRule, rest []int, e env, yield func()) {
 		}
 	}
 	rest[0], rest[best] = rest[best], rest[0]
-	a := r.body[rest[0]]
+	ai := rest[0]
+	a := r.body[ai]
 	tail := rest[1:]
 	g.ForEachMatch(e.resolve(a.s), e.resolve(a.p), e.resolve(a.o), func(t rdf.Triple) bool {
 		if bound, ok := e.bindTriple(a, t); ok {
-			joinRest(g, r, tail, e, yield)
+			if sc.rec && ai < len(sc.prem) {
+				// Premises are keyed by body-atom index, not join order:
+				// the selectivity reorder above shuffles rest, and the
+				// round-trip verifier re-binds premises to body atoms.
+				sc.prem[ai] = t
+			}
+			joinRest(g, sc, r, tail, e, yield)
 			e.unbind(bound)
 		}
 		return true

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 	"powl/internal/rules"
 )
@@ -67,6 +68,19 @@ func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rul
 	}
 	sort.Slice(resources, func(i, j int) bool { return resources[i] < resources[j] })
 
+	prov := g.Prov()
+	var (
+		sampler *obs.DeriveSampler
+		provIDs []uint16
+	)
+	if prov != nil {
+		sampler = obs.DerivesFrom(ctx)
+		provIDs = make([]uint16, len(crs))
+		for i := range crs {
+			provIDs[i] = prov.RuleID(crs[i].name)
+		}
+	}
+
 	added := 0
 	var s *solver
 	var pending []rdf.Triple
@@ -77,6 +91,10 @@ func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rul
 		if s == nil || !h.SharedTable {
 			s = newSolver(g, crs)
 			s.prof = prof
+			if prov != nil {
+				s.rec = true
+				s.lin = map[rdf.Triple]pendDeriv{}
+			}
 		}
 		goal := rdf.Triple{S: r, P: rdf.Wildcard, O: rdf.Wildcard}
 		e := s.solve(goal)
@@ -88,12 +106,46 @@ func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rul
 			}
 		}
 		for _, t := range pending {
-			if g.Add(t) {
+			if prov == nil {
+				if g.Add(t) {
+					added++
+				}
+			} else if s.addDerivedFromLin(provIDs, sampler, t) {
 				added++
 			}
 		}
 	}
 	return added, nil
+}
+
+// addDerivedFromLin inserts t with the lineage the solver captured at yield
+// time. Backward-chained premises may themselves still be pending (tabled
+// answers not yet inserted), so premise offsets resolve best-effort:
+// unresolvable slots record NoPremise. The rule attribution is always exact.
+func (s *solver) addDerivedFromLin(provIDs []uint16, sampler *obs.DeriveSampler, t rdf.Triple) bool {
+	pd, ok := s.lin[t]
+	if !ok {
+		return s.g.Add(t)
+	}
+	d := rdf.Derivation{
+		Rule: provIDs[pd.rule.idx],
+		Prem: [3]uint32{rdf.NoPremise, rdf.NoPremise, rdf.NoPremise},
+	}
+	for i := 0; i < int(pd.np); i++ {
+		if off, ok := s.g.Offset(pd.prem[i]); ok {
+			d.Prem[i] = off
+		}
+	}
+	if !s.g.AddDerived(t, d) {
+		return false
+	}
+	s.prof.addDerived(pd.rule.idx, 1, 0)
+	if sampler != nil {
+		if off, ok := s.g.Offset(t); ok {
+			sampler.Sample(pd.rule.name, 0, off)
+		}
+	}
+	return true
 }
 
 // tableEntry is the memo record for one subgoal pattern.
@@ -136,6 +188,11 @@ type solver struct {
 	// keeps the steady state allocation-free instead.
 	envPool []env
 	maxSlot int
+	// rec enables provenance capture: each first derivation of a non-base
+	// answer stores its rule and instantiated premises in lin, which the
+	// driver consults when it inserts pending answers into the graph.
+	rec bool
+	lin map[rdf.Triple]pendDeriv
 }
 
 func newSolver(g *rdf.Graph, crs []cRule) *solver {
@@ -258,6 +315,9 @@ func (s *solver) evaluateOnce(e *tableEntry) {
 			s.evalBody(e, r, 0, env, func() {
 				t := env.instantiate(hAtom)
 				if matchesGoal(t, goal) {
+					if s.rec {
+						s.captureLin(r, env, t)
+					}
 					s.addAnswer(e, t)
 				}
 			})
@@ -274,6 +334,9 @@ func (s *solver) evaluateOnce(e *tableEntry) {
 			t := env.instantiate(hAtom)
 			if matchesGoal(t, goal) {
 				s.prof.firings[r.idx]++
+				if s.rec {
+					s.captureLin(r, env, t)
+				}
 				s.addAnswer(e, t)
 			}
 		})
@@ -297,6 +360,29 @@ func (s *solver) evaluateOnce(e *tableEntry) {
 			resolve(headRef{r, hi})
 		}
 	}
+}
+
+// captureLin records t's first derivation: the rule plus its premises,
+// instantiated from the fully-bound environment in body-atom order. Base
+// triples (already in g) need no record, and the first derivation wins, to
+// match the graph-side first-wins discipline.
+func (s *solver) captureLin(r *cRule, en env, t rdf.Triple) {
+	if s.g.Has(t) {
+		return
+	}
+	if _, ok := s.lin[t]; ok {
+		return
+	}
+	pd := pendDeriv{rule: r}
+	np := len(r.body)
+	if np > len(pd.prem) {
+		np = len(pd.prem)
+	}
+	for i := 0; i < np; i++ {
+		pd.prem[i] = en.instantiate(r.body[i])
+	}
+	pd.np = uint8(np)
+	s.lin[t] = pd
 }
 
 func (s *solver) addAnswer(e *tableEntry, t rdf.Triple) {

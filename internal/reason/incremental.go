@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 	"powl/internal/rules"
 )
@@ -103,6 +104,20 @@ func (h Hybrid) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules
 	added := 0
 	s := newSolver(g, crs)
 	s.prof = prof
+	prov := g.Prov()
+	var (
+		sampler *obs.DeriveSampler
+		provIDs []uint16
+	)
+	if prov != nil {
+		sampler = obs.DerivesFrom(ctx)
+		provIDs = make([]uint16, len(crs))
+		for i := range crs {
+			provIDs[i] = prov.RuleID(crs[i].name)
+		}
+		s.rec = true
+		s.lin = map[rdf.Triple]pendDeriv{}
+	}
 	var pending []rdf.Triple
 	for len(frontier) > 0 {
 		if err := ctx.Err(); err != nil {
@@ -129,7 +144,13 @@ func (h Hybrid) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules
 			}
 		}
 		for _, t := range pending {
-			if g.Add(t) {
+			ok := false
+			if prov == nil {
+				ok = g.Add(t)
+			} else {
+				ok = s.addDerivedFromLin(provIDs, sampler, t)
+			}
+			if ok {
 				added++
 				addWithNeighbors(t.S)
 				addWithNeighbors(t.O)

@@ -20,6 +20,8 @@ type ruleProf struct {
 	firings []int64
 	matches []int64
 	time    []time.Duration
+	derived []int64 // conclusions new to the graph (provenance on)
+	dup     []int64 // conclusions that already existed (provenance on)
 }
 
 // newRuleProf returns a tally for the compiled rules when ctx carries a
@@ -35,6 +37,8 @@ func newRuleProf(ctx context.Context, crs []cRule) *ruleProf {
 		firings: make([]int64, len(crs)),
 		matches: make([]int64, len(crs)),
 		time:    make([]time.Duration, len(crs)),
+		derived: make([]int64, len(crs)),
+		dup:     make([]int64, len(crs)),
 	}
 	for i, r := range crs {
 		p.names[i] = r.name
@@ -49,16 +53,31 @@ func (p *ruleProf) add(idx int, firings, matches int64, d time.Duration) {
 	p.time[idx] += d
 }
 
-// flush pushes the tally into the shared collector. Call via defer so
-// cancelled materializations still report the work they did.
+// addDerived merges one materialization's derived/duplicate split (tallied
+// by the provenance path) into rule idx's tally. Nil-safe, unlike add: the
+// provenance flush calls it once per rule, not per firing.
+func (p *ruleProf) addDerived(idx int, derived, dup int64) {
+	if p == nil {
+		return
+	}
+	p.derived[idx] += derived
+	p.dup[idx] += dup
+}
+
+// flush pushes the tally into the shared collector — every compiled rule,
+// including those that never fired: a rule absent from the profile is
+// indistinguishable from a rule that was never compiled, and "this rule is
+// dead on this dataset" is a signal the report must be able to surface.
+// Call via defer so cancelled materializations still report the work they
+// did.
 func (p *ruleProf) flush() {
 	if p == nil {
 		return
 	}
 	for i, name := range p.names {
-		if p.firings[i] == 0 && p.matches[i] == 0 && p.time[i] == 0 {
-			continue
-		}
 		p.rc.Record(name, p.firings[i], p.matches[i], p.time[i])
+		if p.derived[i] != 0 || p.dup[i] != 0 {
+			p.rc.RecordDerived(name, p.derived[i], p.dup[i])
+		}
 	}
 }

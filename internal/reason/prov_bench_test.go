@@ -1,0 +1,74 @@
+package reason
+
+import (
+	"testing"
+
+	"powl/internal/rdf"
+)
+
+// TestJoinPathZeroAllocsProvCapture pins the provenance-recording join path:
+// with sc.rec set, fireOn and joinRest additionally write the firing rule
+// and premise triples into the scratch, and that capture must be as
+// allocation-free as the disabled path — the premises live in a fixed
+// [3]rdf.Triple, not a growing slice.
+func TestJoinPathZeroAllocsProvCapture(t *testing.T) {
+	g, rs, deltas := allocFixture()
+	Forward{}.Materialize(g, rs)
+
+	crs := compileRules(rs)
+	byPred := map[rdf.ID][]trigger{}
+	for i := range crs {
+		r := &crs[i]
+		for j, a := range r.body {
+			byPred[a.p.id] = append(byPred[a.p.id], trigger{r, j})
+		}
+	}
+	sc := newScratch(crs)
+	sc.rec = true
+	pending := map[rdf.Triple]struct{}{}
+	emit := func(tr rdf.Triple) {
+		if !g.Has(tr) {
+			pending[tr] = struct{}{}
+		}
+	}
+	run := func() {
+		for _, d := range deltas {
+			for _, tr := range byPred[d.P] {
+				fireOn(g, sc, tr, d, emit)
+			}
+		}
+	}
+	run()
+	if len(pending) != 0 {
+		t.Fatalf("graph not at fixpoint: %d pending emits", len(pending))
+	}
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Errorf("recording join path allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// The Materialize pair below is what CI diffs for BENCH_7: the full
+// semi-naive materialization with provenance off versus on, same fixture.
+// The on-path cost is the side-column append, the pendProv bookkeeping, and
+// offset resolution at round flush.
+
+func BenchmarkMaterializeProvOff(b *testing.B) {
+	g0, rs, _ := allocFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := g0.Clone()
+		Forward{}.Materialize(g, rs)
+	}
+}
+
+func BenchmarkMaterializeProvOn(b *testing.B) {
+	g0, rs, _ := allocFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := g0.Clone()
+		g.EnableProv()
+		Forward{}.Materialize(g, rs)
+	}
+}

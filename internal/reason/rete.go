@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 	"powl/internal/rules"
 )
@@ -74,6 +75,55 @@ func (Rete) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, asse
 		}
 	}
 
+	// With provenance on, tokens carry their premise triples down the beta
+	// chain and the production site records which rule fired; emit turns
+	// that into a derivation record. All asserted triples are already in g
+	// (assertSet is the log, queue entries were just Added), so premise
+	// offsets always resolve. Rete has no round structure; records carry
+	// round 0.
+	prov := g.Prov()
+	var derivedOf, dupOf []int64
+	if prov != nil {
+		sampler := obs.DerivesFrom(ctx)
+		provIDs := make([]uint16, len(crs))
+		for i := range crs {
+			provIDs[i] = prov.RuleID(crs[i].name)
+		}
+		derivedOf = make([]int64, len(crs))
+		dupOf = make([]int64, len(crs))
+		net.rec = true
+		emit = func(t rdf.Triple) {
+			idx := net.fireRule.idx
+			if g.Has(t) {
+				dupOf[idx]++
+				return
+			}
+			d := rdf.Derivation{
+				Rule: provIDs[idx],
+				Prem: [3]uint32{rdf.NoPremise, rdf.NoPremise, rdf.NoPremise},
+			}
+			nb := len(net.fireRule.body)
+			if nb > len(net.firePrem) {
+				nb = len(net.firePrem)
+			}
+			for i := 0; i < nb; i++ {
+				if off, ok := g.Offset(net.firePrem[i]); ok {
+					d.Prem[i] = off
+				}
+			}
+			if g.AddDerived(t, d) {
+				added++
+				queue = append(queue, t)
+				derivedOf[idx]++
+				if sampler != nil {
+					if off, ok := g.Offset(t); ok {
+						sampler.Sample(net.fireRule.name, 0, off)
+					}
+				}
+			}
+		}
+	}
+
 	for i, t := range assertSet {
 		if i&1023 == 1023 {
 			if err := ctx.Err(); err != nil {
@@ -92,14 +142,35 @@ func (Rete) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, asse
 		queue = queue[:len(queue)-1]
 		net.assert(t, emit)
 	}
+	if prov != nil {
+		for i := range crs {
+			if derivedOf[i] != 0 || dupOf[i] != 0 {
+				net.prof.addDerived(i, derivedOf[i], dupOf[i])
+			}
+		}
+	}
 	return added, nil
 }
 
 // --- network structures ------------------------------------------------------
 
-// token is a partial binding flowing down a rule's beta chain.
+// token is a partial binding flowing down a rule's beta chain. When the
+// network records provenance, prem carries the triples bound to the first
+// three body atoms, keyed by body-atom index, so the production site knows
+// the premises of each firing without re-deriving them.
 type token struct {
-	env env
+	env  env
+	prem [3]rdf.Triple
+}
+
+// premExtend returns base with t recorded at body-atom index atomIdx
+// (indices past the record width are derivable from the rule head and
+// dropped).
+func premExtend(base [3]rdf.Triple, atomIdx int, t rdf.Triple) [3]rdf.Triple {
+	if atomIdx < len(base) {
+		base[atomIdx] = t
+	}
+	return base
 }
 
 // alphaNode filters asserted triples by one body atom's constants and fans
@@ -180,6 +251,12 @@ type network struct {
 	// cascade under it, which stays inside one rule's join chain) is
 	// attributable to exactly one rule.
 	prof *ruleProf
+	// rec enables provenance capture: tokens carry premises, and the
+	// production site publishes the firing rule and its premises here for
+	// emit to read — the Rete analogue of forward's scratch fields.
+	rec      bool
+	fireRule *cRule
+	firePrem [3]rdf.Triple
 }
 
 func buildNetwork(crs []cRule) *network {
@@ -257,14 +334,22 @@ func (n *network) rightActivate(a *alphaNode, t rdf.Triple, emit func(rdf.Triple
 		if jn.atomIdx == 0 {
 			// First stage: the triple itself creates a token.
 			if e, ok := n.tryExtend(nil, jn.rule, 0, t); ok {
-				n.leftActivate(jn, token{env: e}, emit)
+				nt := token{env: e}
+				if n.rec {
+					nt.prem = premExtend(nt.prem, 0, t)
+				}
+				n.leftActivate(jn, nt, emit)
 			}
 			continue
 		}
 		// Later stage: join the new right input against the left memory.
 		for _, tok := range jn.leftMemory {
 			if e, ok := n.tryExtend(tok.env, jn.rule, jn.atomIdx, t); ok {
-				n.leftActivate(jn, token{env: e}, emit)
+				nt := token{env: e}
+				if n.rec {
+					nt.prem = premExtend(tok.prem, jn.atomIdx, t)
+				}
+				n.leftActivate(jn, nt, emit)
 			}
 		}
 	}
@@ -300,6 +385,10 @@ func (n *network) leftActivate(jn *joinNode, tok token, emit func(rdf.Triple)) {
 			n.prof.matches[jn.production.idx]++
 			n.prof.firings[jn.production.idx] += int64(len(jn.production.head))
 		}
+		if n.rec {
+			n.fireRule = jn.production
+			n.firePrem = tok.prem
+		}
 		for _, h := range jn.production.head {
 			emit(tok.env.instantiate(h))
 		}
@@ -312,7 +401,11 @@ func (n *network) leftActivate(jn *joinNode, tok token, emit func(rdf.Triple)) {
 	// Join against everything already in the next stage's alpha memory.
 	for _, t := range next.alpha.memory {
 		if e, ok := n.tryExtend(tok.env, next.rule, next.atomIdx, t); ok {
-			n.leftActivate(next, token{env: e}, emit)
+			nt := token{env: e}
+			if n.rec {
+				nt.prem = premExtend(tok.prem, next.atomIdx, t)
+			}
+			n.leftActivate(next, nt, emit)
 		}
 	}
 }

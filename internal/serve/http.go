@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"powl/internal/ntriples"
@@ -25,6 +26,11 @@ type insertReply struct {
 	Accepted int `json:"accepted"`
 }
 
+type explainReply struct {
+	Explanation *rdf.ExplainDoc `json:"explanation"`
+	Epoch       int             `json:"epoch"`
+}
+
 type errorReply struct {
 	Error string `json:"error"`
 }
@@ -36,12 +42,18 @@ type errorReply struct {
 //	                400 parse error, 500 panic.
 //	POST /insert  — body is N-Triples; 200 with the accepted count,
 //	                503 while draining.
+//	POST /explain — body is one N-Triples statement; 200 with its
+//	                derivation DAG (?depth= bounds the premise depth),
+//	                404 when the triple is not in the served snapshot,
+//	                501 when the KB was built without provenance; the
+//	                admission-control statuses match /query.
 //	GET  /stats   — Stats as JSON.
 //	GET  /healthz — 200 "ok\n" while admitting, 503 while draining.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -107,6 +119,42 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, insertReply{Accepted: len(ts)})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	depth := 0
+	if d := r.URL.Query().Get("depth"); d != "" {
+		depth, err = strconv.Atoi(d)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad depth %q: %w", d, err))
+			return
+		}
+	}
+	resp, err := s.Explain(r.Context(), string(body), depth)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeErr(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNoProvenance):
+			writeErr(w, http.StatusNotImplemented, err)
+		case errors.Is(err, ErrShed), errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeErr(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			writeErr(w, 499, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, explainReply{Explanation: resp.Doc, Epoch: resp.Epoch})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

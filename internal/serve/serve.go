@@ -31,10 +31,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"powl/internal/ntriples"
 	"powl/internal/obs"
 	"powl/internal/owlhorst"
 	"powl/internal/query"
@@ -53,6 +55,12 @@ var (
 	// cancelled — a server-side timeout, distinct from the caller's
 	// context being cancelled.
 	ErrWatchdog = errors.New("serve: cancelled by slow-query watchdog")
+	// ErrNotFound is returned by Explain for a triple the served snapshot
+	// does not contain.
+	ErrNotFound = errors.New("serve: triple not in closure")
+	// ErrNoProvenance is returned by Explain when the KB was built without
+	// the provenance side-column.
+	ErrNoProvenance = errors.New("serve: provenance not enabled")
 )
 
 // KB is the served knowledge base: the closure graph (single-writer), its
@@ -68,9 +76,23 @@ type KB struct {
 // returns the servable KB — the load-time reasoning the paper trades for
 // cheap queries, packaged for serving.
 func BuildKB(dict *rdf.Dict, base *rdf.Graph) *KB {
+	return buildKB(dict, base, false)
+}
+
+// BuildKBProv is BuildKB with the derivation side-column enabled before
+// materialization: every inferred triple (load-time and live-insert alike)
+// records its rule, round and premises, and the server can answer Explain.
+func BuildKBProv(dict *rdf.Dict, base *rdf.Graph) *KB {
+	return buildKB(dict, base, true)
+}
+
+func buildKB(dict *rdf.Dict, base *rdf.Graph, prov bool) *KB {
 	compiled := owlhorst.Compile(dict, base)
 	instance := owlhorst.SplitInstance(dict, base)
 	g := rdf.NewGraphCap(2 * (len(instance) + compiled.Schema.Len()))
+	if prov {
+		g.EnableProv()
+	}
 	g.AddAll(instance)
 	g.Union(compiled.Schema)
 	reason.Forward{}.Materialize(g, compiled.InstanceRules)
@@ -137,6 +159,12 @@ type Stats struct {
 	DerivedTriples    int64 `json:"derived_triples"`  // closure growth incl. seeds
 	Epoch             int64 `json:"epoch"`            // latest published watermark
 	Dropped           int64 `json:"dropped"`          // admitted - completed; must be 0 after drain
+	// Query-latency percentiles in milliseconds, from the server's own
+	// log2-bucket histogram (upper estimates, clamped to observed min/max;
+	// see obs.HistSnapshot.Percentile). Zero until the first query.
+	QueryP50Ms float64 `json:"query_p50_ms"`
+	QueryP95Ms float64 `json:"query_p95_ms"`
+	QueryP99Ms float64 `json:"query_p99_ms"`
 }
 
 // Server is the live query/insert server. Create with New, serve queries
@@ -190,6 +218,11 @@ func New(kb *KB, cfg Config) *Server {
 		cAdmitted: cfg.Reg.Counter("serve.admitted"),
 		cShed:     cfg.Reg.Counter("serve.shed"),
 	}
+	if s.hLatency == nil {
+		// Stats percentiles come from this histogram, so the server owns
+		// one even without a registry.
+		s.hLatency = &obs.Histogram{}
+	}
 	sn := kb.Graph.Snapshot()
 	s.snap.Store(&sn)
 	s.gEpoch.Set(int64(sn.Watermark()))
@@ -209,7 +242,14 @@ func (s *Server) Dict() *rdf.Dict { return s.kb.Dict }
 
 // Stats returns a consistent-enough point-in-time view of the accounting.
 func (s *Server) Stats() Stats {
+	lat := s.hLatency.Snapshot()
+	ms := func(p float64) float64 {
+		return float64(lat.Percentile(p)) / float64(time.Millisecond)
+	}
 	return Stats{
+		QueryP50Ms:        ms(50),
+		QueryP95Ms:        ms(95),
+		QueryP99Ms:        ms(99),
 		Admitted:          s.admitted.Load(),
 		Completed:         s.completed.Load(),
 		Shed:              s.shed.Load(),
@@ -238,25 +278,35 @@ type QueryResponse struct {
 // ErrDraining without admission; a context error when the deadline,
 // watchdog, or caller cancelled it; a parse or panic error otherwise.
 func (s *Server) Query(ctx context.Context, text string) (QueryResponse, error) {
+	//powl:ignore wallclock per-query deadline anchor and latency measurement for the serve metrics — operator-facing, never part of reasoning output
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Deadline)
+	defer cancel()
+	release, err := s.admit(ctx, start)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	defer release()
+	return s.execute(ctx, cancel, text, start)
+}
+
+// admit runs the drain gate and admission control shared by every read
+// endpoint: an execution slot immediately, else a bounded queue spot, else
+// shed. On success the caller holds a slot and must call release() exactly
+// once; admitted/completed accounting is handled here, so Dropped stays zero
+// unless a caller genuinely never returns.
+func (s *Server) admit(ctx context.Context, start time.Time) (release func(), err error) {
 	// Drain gate: registering in-flight work and checking the drain flag
 	// must be atomic with respect to Shutdown's flag-then-wait.
 	s.gate.RLock()
 	if s.draining {
 		s.gate.RUnlock()
 		s.drainRejected.Add(1)
-		return QueryResponse{}, ErrDraining
+		return nil, ErrDraining
 	}
 	s.queries.Add(1)
 	s.gate.RUnlock()
-	defer s.queries.Done()
 
-	//powl:ignore wallclock per-query deadline anchor and latency measurement for the serve metrics — operator-facing, never part of reasoning output
-	start := time.Now()
-	ctx, cancel := context.WithTimeout(ctx, s.cfg.Deadline)
-	defer cancel()
-
-	// Admission: an execution slot immediately, else a bounded queue
-	// spot, else shed.
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -274,28 +324,26 @@ func (s *Server) Query(ctx context.Context, text string) (QueryResponse, error) 
 			if !admitted {
 				s.queueTimeout.Add(1)
 				s.journalQuery("queue_timeout", start, 0)
-				return QueryResponse{}, ctx.Err()
+				s.queries.Done()
+				return nil, ctx.Err()
 			}
 		default:
 			s.shed.Add(1)
 			s.cShed.Add(1)
 			s.journalQuery("shed", start, 0)
-			return QueryResponse{}, ErrShed
+			s.queries.Done()
+			return nil, ErrShed
 		}
 	}
-	defer func() {
-		<-s.sem
-		s.gInflight.Set(int64(len(s.sem)))
-	}()
 	s.admitted.Add(1)
 	s.cAdmitted.Add(1)
 	s.gInflight.Set(int64(len(s.sem)))
-	// Whatever happens below — success, cancellation, even a panic — the
-	// admitted query is accounted as completed on the way out; Dropped
-	// stays zero unless a query genuinely never returns.
-	defer s.completed.Add(1)
-
-	return s.execute(ctx, cancel, text, start)
+	return func() {
+		s.completed.Add(1)
+		<-s.sem
+		s.gInflight.Set(int64(len(s.sem)))
+		s.queries.Done()
+	}, nil
 }
 
 // execute runs the admitted query under watchdog and panic isolation.
@@ -346,6 +394,53 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, text st
 		s.journalQuery("cancelled", start, 0)
 		return QueryResponse{}, err
 	}
+}
+
+// ExplainResponse carries one triple's derivation DAG plus the epoch it was
+// cut at.
+type ExplainResponse struct {
+	Doc   *rdf.ExplainDoc
+	Epoch int
+}
+
+// Explain resolves one N-Triples statement against the latest snapshot and
+// returns its derivation DAG. It runs under the same admission control and
+// deadline as Query — lineage walks are reads and compete for the same
+// slots. maxDepth <= 0 uses rdf.DefaultExplainDepth. Returns ErrNotFound
+// when the snapshot does not contain the triple and ErrNoProvenance when
+// the KB records no lineage.
+func (s *Server) Explain(ctx context.Context, stmt string, maxDepth int) (ExplainResponse, error) {
+	//powl:ignore wallclock deadline anchor and latency measurement, as in Query — telemetry only
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Deadline)
+	defer cancel()
+	release, err := s.admit(ctx, start)
+	if err != nil {
+		return ExplainResponse{}, err
+	}
+	defer release()
+
+	if s.kb.Graph.Prov() == nil {
+		s.journalQuery("explain_unavailable", start, 0)
+		return ExplainResponse{}, ErrNoProvenance
+	}
+	st, err := ntriples.NewReader(strings.NewReader(stmt)).Next()
+	if err != nil {
+		s.journalQuery("parse_error", start, 0)
+		return ExplainResponse{}, fmt.Errorf("serve: parsing explain statement: %w", err)
+	}
+	d := s.kb.Dict
+	t := rdf.Triple{S: d.Intern(st.S), P: d.Intern(st.P), O: d.Intern(st.O)}
+	sn := *s.snap.Load()
+	node, ok := sn.Explain(t, maxDepth)
+	if !ok {
+		s.journalQuery("explain_miss", start, 0)
+		return ExplainResponse{}, ErrNotFound
+	}
+	//powl:ignore wallclock latency observation for the serve histogram — telemetry only
+	s.hLatency.Observe(time.Since(start))
+	s.journalQuery("explain_ok", start, 1)
+	return ExplainResponse{Doc: rdf.NewExplainDoc(d, node), Epoch: sn.Watermark()}, nil
 }
 
 func (s *Server) journalQuery(outcome string, start time.Time, rows int64) {

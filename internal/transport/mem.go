@@ -20,6 +20,7 @@ type Mem struct {
 
 	mu    sync.Mutex
 	boxes map[boxKey][]rdf.Triple
+	lins  map[boxKey][]rdf.Lineage
 }
 
 type boxKey struct {
@@ -50,6 +51,40 @@ func (m *Mem) Send(ctx context.Context, round, from, to int, ts []rdf.Triple) er
 	return nil
 }
 
+// SendLineage implements LineageCarrier: lineage rides in a parallel set
+// of boxes keyed like the triple boxes. Records are deep-ish copies already
+// (Lineage carries triples by value; the Prem slice is appended, not
+// aliased, by the shipper), so the box just accumulates them.
+func (m *Mem) SendLineage(ctx context.Context, round, from, to int, lins []rdf.Lineage) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(lins) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lins == nil {
+		m.lins = map[boxKey][]rdf.Lineage{}
+	}
+	k := boxKey{round, to}
+	m.lins[k] = append(m.lins[k], lins...)
+	return nil
+}
+
+// RecvLineage implements LineageCarrier.
+func (m *Mem) RecvLineage(ctx context.Context, round, to int) ([]rdf.Lineage, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := boxKey{round, to}
+	ls := m.lins[k]
+	delete(m.lins, k)
+	return ls, nil
+}
+
 // Recv implements Transport.
 func (m *Mem) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
 	if err := ctx.Err(); err != nil {
@@ -67,6 +102,9 @@ func (m *Mem) Recv(ctx context.Context, round, to int) ([]rdf.Triple, error) {
 func (m *Mem) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Lineage is advisory metadata: a receiver that runs without provenance
+	// never drains its lineage boxes, and that is not a delivery failure.
+	m.lins = nil
 	if len(m.boxes) > 0 {
 		n := 0
 		for _, b := range m.boxes {

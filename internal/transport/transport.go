@@ -52,6 +52,22 @@ type Transport interface {
 	Close() error
 }
 
+// LineageCarrier is implemented by transports that can ship derivation
+// lineage alongside the triples of a round. Lineage records are
+// self-contained (rdf.Lineage carries premise triples by value), so the
+// receiver re-resolves them against its own log; records are matched to
+// received triples by triple value, not by position, and a transport that
+// does not implement the interface simply degrades the run to
+// lineage-free exchange — the closure is unaffected.
+//
+// SendLineage must be called only for triples of a Send in the same round
+// and must not block; RecvLineage returns everything addressed to `to` in
+// `round`, after the same barrier that orders Recv.
+type LineageCarrier interface {
+	SendLineage(ctx context.Context, round, from, to int, lins []rdf.Lineage) error
+	RecvLineage(ctx context.Context, round, to int) ([]rdf.Lineage, error)
+}
+
 // LinkDropper is implemented by connection-oriented transports whose
 // per-pair links can be severed at runtime — fault injection uses it to
 // exercise the reconnect path. DropLink reports whether a live connection
