@@ -1,6 +1,7 @@
 // Command owlload drives a chaos workload against a running owlserve: mixed
 // canonical reads, probe inserts into the http://loadgen.powl/ namespace,
-// injected pathological queries, and arrival bursts. Canonical answers are
+// window-lagged probe deletes (churn mode, -delete-every), injected
+// pathological queries, and arrival bursts. Canonical answers are
 // self-calibrated at startup (one clean run of each query) and asserted on
 // every subsequent success — they are invariant under probe inserts, so any
 // deviation under load, drain, or restart is a correctness failure.
@@ -9,6 +10,7 @@
 //
 //	owlload -addr http://127.0.0.1:7077 -duration 10s -out BENCH_6.json
 //	owlload -addr ... -expect-outage        # CI kill+restart drill
+//	owlload -addr ... -delete-every 6       # churn drill (pair with owlserve -churn-axiom)
 //
 // Exit is non-zero if any gate fails: wrong answers, unexpected failures,
 // no shedding while bursts were enabled, p99 at/over -p99-under, or no
@@ -38,13 +40,47 @@ SELECT ?x ?d WHERE { ?x a ub:Professor . ?x ub:worksFor ?d . }`},
 }
 
 type benchOut struct {
-	Bench    string          `json:"bench"`
-	Addr     string          `json:"addr"`
-	Workers  int             `json:"workers"`
-	Report   loadgen.Report  `json:"report"`
-	Stats    json.RawMessage `json:"server_stats,omitempty"`
-	Verdict  string          `json:"verdict"`
-	Failures []string        `json:"failures,omitempty"`
+	Bench    string           `json:"bench"`
+	Addr     string           `json:"addr"`
+	Workers  int              `json:"workers"`
+	Report   loadgen.Report   `json:"report"`
+	Stats    json.RawMessage  `json:"server_stats,omitempty"`
+	Deletion *deletionMetrics `json:"deletion,omitempty"`
+	Verdict  string           `json:"verdict"`
+	Failures []string         `json:"failures,omitempty"`
+}
+
+// deletionMetrics summarizes the server's DRed work during a churn run,
+// derived from its /stats payload.
+type deletionMetrics struct {
+	RetractNsPerTriple float64 `json:"retract_ns_per_triple"` // writer time in Retract / retracted triples
+	RederiveFraction   float64 `json:"rederive_fraction"`     // rederived / retracted: overdelete waste
+	CompactTotalMs     float64 `json:"compact_total_ms"`      // cumulative compaction pause
+	Compactions        int64   `json:"compactions"`
+}
+
+// deletionFromStats extracts the churn scorecard from /stats; nil when the
+// payload is missing or the server never retracted anything.
+func deletionFromStats(stats json.RawMessage) *deletionMetrics {
+	if stats == nil {
+		return nil
+	}
+	var st struct {
+		Retracted      int64   `json:"retracted_triples"`
+		Rederived      int64   `json:"rederived_triples"`
+		RetractTotalMs float64 `json:"retract_total_ms"`
+		CompactTotalMs float64 `json:"compact_total_ms"`
+		Compactions    int64   `json:"compactions"`
+	}
+	if err := json.Unmarshal(stats, &st); err != nil || st.Retracted == 0 {
+		return nil
+	}
+	return &deletionMetrics{
+		RetractNsPerTriple: st.RetractTotalMs * 1e6 / float64(st.Retracted),
+		RederiveFraction:   float64(st.Rederived) / float64(st.Retracted),
+		CompactTotalMs:     st.CompactTotalMs,
+		Compactions:        st.Compactions,
+	}
 }
 
 func main() {
@@ -55,6 +91,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "workload seed")
 		slowEvery    = flag.Int("slow-every", 40, "inject a pathological query every n ops per worker (0 = never)")
 		insertEvery  = flag.Int("insert-every", 10, "insert a probe batch every n ops per worker")
+		deleteEvery  = flag.Int("delete-every", 0, "delete the oldest probe batch beyond the window every n ops per worker (0 = never)")
+		deleteWindow = flag.Int("delete-window", 0, "live probe batches to keep per worker (0 = default)")
 		burstEvery   = flag.Duration("burst-every", 500*time.Millisecond, "burst interval (0 = off)")
 		burstSize    = flag.Int("burst-size", 0, "queries per burst (0 = default)")
 		retryWindow  = flag.Duration("retry-window", 15*time.Second, "ride out unavailability this long")
@@ -93,16 +131,18 @@ func main() {
 		slowQuery = `SELECT ?x ?y ?z WHERE { ?x a ?c . ?y a ?d . ?z a ?e . }`
 	}
 	gen := loadgen.New(client, loadgen.Options{
-		Workers:     *workers,
-		Duration:    *duration,
-		Seed:        *seed,
-		Queries:     queries,
-		SlowQuery:   slowQuery,
-		SlowEvery:   *slowEvery,
-		InsertEvery: *insertEvery,
-		BurstEvery:  *burstEvery,
-		BurstSize:   *burstSize,
-		RetryWindow: *retryWindow,
+		Workers:      *workers,
+		Duration:     *duration,
+		Seed:         *seed,
+		Queries:      queries,
+		SlowQuery:    slowQuery,
+		SlowEvery:    *slowEvery,
+		InsertEvery:  *insertEvery,
+		DeleteEvery:  *deleteEvery,
+		DeleteWindow: *deleteWindow,
+		BurstEvery:   *burstEvery,
+		BurstSize:    *burstSize,
+		RetryWindow:  *retryWindow,
 	})
 	rep := gen.Run(context.Background())
 	fmt.Fprintf(os.Stderr, "owlload: %s\n", rep)
@@ -126,6 +166,9 @@ func main() {
 	if *expectOutage && rep.Retried == 0 {
 		failures = append(failures, "outage expected but no retries recorded")
 	}
+	if *deleteEvery > 0 && rep.Deletes == 0 {
+		failures = append(failures, "churn enabled but no delete batch was ever accepted")
+	}
 
 	stats := fetchStats(*addr)
 	if *srvP99Under > 0 {
@@ -142,12 +185,13 @@ func main() {
 	}
 
 	bo := benchOut{
-		Bench:   "serve_chaos",
-		Addr:    *addr,
-		Workers: *workers,
-		Report:  rep,
-		Stats:   stats,
-		Verdict: "PASS",
+		Bench:    "serve_chaos",
+		Addr:     *addr,
+		Workers:  *workers,
+		Report:   rep,
+		Stats:    stats,
+		Deletion: deletionFromStats(stats),
+		Verdict:  "PASS",
 	}
 	if len(failures) > 0 {
 		bo.Verdict = "FAIL"

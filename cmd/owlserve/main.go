@@ -32,6 +32,8 @@ import (
 	"powl/internal/rdf"
 	"powl/internal/rio"
 	"powl/internal/serve"
+	"powl/internal/serve/loadgen"
+	"powl/internal/vocab"
 )
 
 func main() {
@@ -48,6 +50,9 @@ func main() {
 		journal  = flag.String("journal", "", "JSONL journal path (empty = no journal)")
 		statsOut = flag.String("stats-out", "", "write final stats JSON here (empty = stderr)")
 		prov     = flag.Bool("prov", false, "record derivation provenance and serve POST /explain")
+		churn    = flag.Bool("churn-axiom", false, "arm the loadgen churn drill: make the churn predicate a subproperty of the probe marker")
+		cratio   = flag.Float64("compact-ratio", 0, "compact when dead/log exceeds this (0 = default, negative = never)")
+		cmin     = flag.Int("compact-min-dead", 0, "never compact below this many tombstones (0 = default)")
 	)
 	flag.Parse()
 
@@ -60,6 +65,15 @@ func main() {
 	} else {
 		ds := datagen.LUBM(datagen.LUBMConfig{Universities: *lubm, Seed: *seed, DeptsPerUniv: *depts})
 		dict, base = ds.Dict, ds.Graph
+	}
+	if *churn {
+		// The axiom compiles to a ground rule deriving one probe marker per
+		// churn triple, so loadgen deletes exercise full DRed retraction.
+		base.Add(rdf.Triple{
+			S: dict.InternIRI(loadgen.ChurnBatchPredicate),
+			P: dict.InternIRI(vocab.RDFSSubPropertyOf),
+			O: dict.InternIRI(loadgen.ChurnMarkerPredicate),
+		})
 	}
 	start := time.Now()
 	build := serve.BuildKB
@@ -83,11 +97,13 @@ func main() {
 	}
 
 	srv := serve.New(kb, serve.Config{
-		MaxInflight: *inflight,
-		QueueDepth:  *queue,
-		Deadline:    *deadline,
-		SlowQuery:   *slow,
-		Run:         run,
+		MaxInflight:    *inflight,
+		QueueDepth:     *queue,
+		Deadline:       *deadline,
+		SlowQuery:      *slow,
+		CompactRatio:   *cratio,
+		CompactMinDead: *cmin,
+		Run:            run,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -224,6 +224,50 @@ func writeSidecar(w io.Writer, ts []Triple, lins map[Triple]Lineage) error {
 	wantFindings(t, fs)
 }
 
+// TestMapIterFlagsOverdeleteQueueSend models the DRed overdelete set: the
+// set of offsets to retract is naturally a map, and ranging it straight into
+// the rederivation queue makes restore order nondeterministic — premises
+// must be reinstated before their consumers, so the queue must be fed in
+// sorted offset order.
+func TestMapIterFlagsOverdeleteQueueSend(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+func enqueue(overdeleted map[uint32]struct{}, rederive chan<- uint32) {
+	for off := range overdeleted {
+		rederive <- off
+	}
+}
+`,
+	})
+	wantFindings(t, fs, "channel send")
+}
+
+// TestMapIterAllowsSortedOverdelete is the production shape in
+// reason.Retractor.Retract: collect the overdelete set into a slice, sort
+// ascending, and feed the rederivation loop from the slice — offset order is
+// then a property of the data, not of map iteration.
+func TestMapIterAllowsSortedOverdelete(t *testing.T) {
+	fs := runOne(t, &MapIter{}, map[string]string{
+		"internal/p/p.go": `package p
+
+import "sort"
+
+func enqueue(overdeleted map[uint32]struct{}, rederive chan<- uint32) {
+	offs := make([]uint32, 0, len(overdeleted))
+	for off := range overdeleted {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, off := range offs {
+		rederive <- off
+	}
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
 func TestWallClockFlagsOutsideAllowlist(t *testing.T) {
 	fs := runOne(t, &WallClock{}, map[string]string{
 		"internal/core/x.go": `package core

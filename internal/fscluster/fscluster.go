@@ -67,6 +67,20 @@ func (l Layout) LinCkptFile(round, id int) string {
 	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r%03d_n%02d.lin.jsonl", round, id))
 }
 
+// DelCkptFile is the tombstone sidecar of node id's round-r checkpoint: the
+// node's cumulative deleted-triple set as plain N-Triples. Adopters and
+// rejoining nodes replay the newest one after reconstructing the tuple
+// files, so deletions survive a crash the way derivations do. The extra
+// .del segment keeps it out of the `ckpt_r*_nNN.nt` checkpoint glob.
+func (l Layout) DelCkptFile(round, id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r%03d_n%02d.del.nt", round, id))
+}
+
+// delCkptGlob matches all of node i's tombstone sidecars.
+func (l Layout) delCkptGlob(id int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("ckpt_r*_n%02d.del.nt", id))
+}
+
 // linMsgGlob matches all lineage sidecars of messages addressed to node i.
 func (l Layout) linMsgGlob(to int) string {
 	return filepath.Join(l.Dir, fmt.Sprintf("msg_r*_n*_to_n%02d.lin.jsonl", to))
@@ -382,6 +396,12 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			}); err != nil {
 				return nil, fmt.Errorf("fscluster: node %d rejoining: %w", cfg.ID, err)
 			}
+			// Deletions last: the tuple replay above re-adds every triple the
+			// node ever knew, live or not, and the newest tombstone sidecar
+			// re-kills the dead ones.
+			if err := n.applyDeletions(cfg.ID, last+1); err != nil {
+				return nil, fmt.Errorf("fscluster: node %d rejoining deletions: %w", cfg.ID, err)
+			}
 			n.shipped = n.g.Len()
 			startRound = last + 1
 		}
@@ -489,6 +509,14 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				}
 				cfg.Obs.Emit(obs.Event{Type: obs.EvCheckpoint, TS: cfg.Obs.Now(),
 					Worker: cfg.ID, Round: round, N: int64(len(delta)), Bytes: size})
+			}
+		}
+		// Tombstone sidecar, before the marker like the checkpoint: the set
+		// is cumulative (the log never reuses offsets), so only the newest
+		// sidecar matters to a future adopter or rejoin.
+		if n.g.Dead() > 0 {
+			if err := writeDelSidecar(n.l, round, cfg.ID, n.dict, n.g); err != nil {
+				return nil, err
 			}
 		}
 		// Ascending destination order: the injected fault schedule counts
@@ -809,6 +837,85 @@ func readLineageFile(path string, dict *rdf.Dict) ([]rdf.Lineage, error) {
 	}
 	defer f.Close()
 	return ntriples.ReadLineage(bufio.NewReader(f), dict)
+}
+
+// writeDelSidecar persists g's cumulative tombstone set as the round's
+// deletion sidecar; no tombstones writes nothing (readers treat a missing
+// sidecar as deletion-free, mirroring the lineage rule).
+func writeDelSidecar(l Layout, round, id int, dict *rdf.Dict, g *rdf.Graph) error {
+	dead := g.DeadTriples()
+	if len(dead) == 0 {
+		return nil
+	}
+	dg := rdf.NewGraphCap(len(dead))
+	dg.AddAll(dead)
+	return writeGraphFile(l.DelCkptFile(round, id), dict, dg)
+}
+
+// sidecarRound parses the round number out of a ckpt_rNNN_* path, -1 when
+// the name does not carry one.
+func sidecarRound(path string) int {
+	var r int
+	if _, err := fmt.Sscanf(filepath.Base(path), "ckpt_r%03d_", &r); err != nil {
+		return -1
+	}
+	return r
+}
+
+// applyDelSidecars replays node id's newest tombstone sidecar into g and
+// returns how many triples it deleted. Degradation mirrors the lineage
+// sidecar rule: a node that never wrote one replays deletion-free with no
+// fuss, while a sidecar that is unreadable — or provably missing for the
+// newest checkpointed round (crash between checkpoint and sidecar) —
+// degrades to the best available set with a journaled warning.
+func applyDelSidecars(l Layout, id int, dict *rdf.Dict, g *rdf.Graph, o *obs.Run, worker, round int) (int, error) {
+	dels, err := filepath.Glob(l.delCkptGlob(id))
+	if err != nil {
+		return 0, err
+	}
+	if len(dels) == 0 {
+		return 0, nil
+	}
+	sort.Strings(dels) // %03d rounds: lexicographic order is round order
+	newest := dels[len(dels)-1]
+	warn := func(msg string) {
+		o.Emit(obs.Event{Type: obs.EvWarn, TS: o.Now(), Worker: worker, Round: round, Name: msg})
+	}
+	if ckpts, _ := filepath.Glob(l.ckptGlob(id)); len(ckpts) > 0 {
+		sort.Strings(ckpts)
+		if cr, dr := sidecarRound(ckpts[len(ckpts)-1]), sidecarRound(newest); cr > dr {
+			warn(fmt.Sprintf("node %d tombstone sidecar missing for round %d; replaying deletions as of round %d", id, cr, dr))
+		}
+	}
+	dg := rdf.NewGraph()
+	if err := readGraphFile(newest, dict, dg); err != nil {
+		warn(fmt.Sprintf("node %d tombstone sidecar %s unreadable (%v); degrading to no deletions", id, filepath.Base(newest), err))
+		return 0, nil
+	}
+	return g.Delete(dg.TriplesSince(0)), nil
+}
+
+// applyDeletions replays peer id's tombstone sidecars into this node's graph
+// and scrubs the reship and received queues of anything that died: a deleted
+// triple must be neither re-routed nor used to seed the next round's joins.
+func (n *node) applyDeletions(id, round int) error {
+	deleted, err := applyDelSidecars(n.l, id, n.dict, n.g, n.cfg.Obs, n.cfg.ID, round)
+	if err != nil || deleted == 0 {
+		return err
+	}
+	for t := range n.reship {
+		if !n.g.Has(t) {
+			delete(n.reship, t)
+		}
+	}
+	kept := n.received[:0]
+	for _, t := range n.received {
+		if n.g.Has(t) {
+			kept = append(kept, t)
+		}
+	}
+	n.received = kept
+	return nil
 }
 
 // lineageOfAll collects the lineage records g holds for ts, in ts order.

@@ -285,6 +285,12 @@ func (n *node) adopt(id, round int) error {
 	}); err != nil {
 		return fmt.Errorf("fscluster: node %d adopting %d: %w", n.cfg.ID, id, err)
 	}
+	// The dead peer's deletions outlive it: replay its newest tombstone
+	// sidecar over the merged state (and scrub the reship/received queues of
+	// anything it kills) before the merged graph is reasoned over.
+	if err := n.applyDeletions(id, round); err != nil {
+		return fmt.Errorf("fscluster: node %d adopting %d deletions: %w", n.cfg.ID, id, err)
+	}
 	n.adopted = append(n.adopted, id)
 	n.cfg.Obs.Emit(obs.Event{Type: obs.EvRecovery, TS: n.cfg.Obs.Now(),
 		Worker: n.cfg.ID, Round: round, N: int64(id), N2: int64(absorbed)})

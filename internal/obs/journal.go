@@ -25,6 +25,7 @@ const (
 	EvDeath       = "death"        // Worker declared dead at Round; Name = cause, N = adopter
 	EvAdopt       = "adopt"        // Worker adopts N (= victim id) at Round; N2 = tuples absorbed
 	EvRejoin      = "rejoin"       // Worker rejoins at Round; N = epoch
+	EvWarn        = "warn"         // degraded-mode warning; Name = description
 	EvRedial      = "redial"       // Name = "from->to"; N = reconnects on that link
 	EvRunEnd      = "run_end"      // Dur = elapsed, N = rounds
 

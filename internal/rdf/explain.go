@@ -34,13 +34,13 @@ func (s Snapshot) offsetOf(t Triple) (uint32, bool) {
 	po := cutEntries(s.g.byPO.get(key2(t.P, t.O)).entries(), w)
 	if len(sp) <= len(po) {
 		for _, e := range sp {
-			if e.Term == t.O {
+			if e.Term == t.O && !s.dead.has(e.Off) {
 				return e.Off, true
 			}
 		}
 	} else {
 		for _, e := range po {
-			if e.Term == t.S {
+			if e.Term == t.S && !s.dead.has(e.Off) {
 				return e.Off, true
 			}
 		}
@@ -110,7 +110,10 @@ func (b *explainBuilder) build(off uint32, depth int) *ExplainNode {
 	b.onPath[off] = true
 	complete := true
 	for _, p := range d.Prem {
-		if p == NoPremise || int(p) >= len(b.s.log) || b.onPath[p] {
+		// A tombstoned premise offset can only be observed transiently
+		// (mid-retraction, before rederivation restores the fixpoint);
+		// treat it like NoPremise rather than explaining a dead triple.
+		if p == NoPremise || int(p) >= len(b.s.log) || b.s.dead.has(p) || b.onPath[p] {
 			continue
 		}
 		pn := b.build(p, depth-1)

@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is an in-memory triple store with set semantics, laid out as a
@@ -39,6 +40,14 @@ type Graph struct {
 	bySP index[spEntry] // completing object for (s, p), in log order
 	byPO index[spEntry] // completing subject for (p, o), in log order
 	prov *Prov          // derivation side-column; nil = recording off
+	// dead is the published tombstone set (see tombstone.go); nil until the
+	// first Delete, so append-only graphs pay one pointer load per match
+	// call and nothing per candidate.
+	dead atomic.Pointer[tombSet]
+	// derived marks the log offsets inserted through a derived path, one bit
+	// per offset. Writer-only; kept even with provenance off so the deletion
+	// fallback can separate base facts from inferences.
+	derived []uint64
 }
 
 // NewGraph returns an empty graph.
@@ -78,14 +87,15 @@ func (g *Graph) Add(t Triple) bool {
 	if _, ok := g.set[t]; ok {
 		return false
 	}
-	g.addNew(t, baseDerivation())
+	g.addNew(t, baseDerivation(), false)
 	return true
 }
 
 // addNew appends a triple known to be absent, with provenance record d when
-// recording is on. Every insert path funnels through here so the publication
+// recording is on, marking the offset derived when the insert came through a
+// derived path. Every insert path funnels through here so the publication
 // order (postings, then provenance, then log commit) is stated once.
-func (g *Graph) addNew(t Triple, d Derivation) {
+func (g *Graph) addNew(t Triple, d Derivation, derived bool) {
 	off := uint32(g.log.length())
 	g.set[t] = off
 	g.byS.getOrCreate(key1(t.S)).append1(off)
@@ -93,6 +103,12 @@ func (g *Graph) addNew(t Triple, d Derivation) {
 	g.byO.getOrCreate(key1(t.O)).append1(off)
 	g.bySP.getOrCreate(key2(t.S, t.P)).append1(spEntry{Term: t.O, Off: off})
 	g.byPO.getOrCreate(key2(t.P, t.O)).append1(spEntry{Term: t.S, Off: off})
+	if derived {
+		for int(off>>6) >= len(g.derived) {
+			g.derived = append(g.derived, 0)
+		}
+		g.derived[off>>6] |= 1 << (off & 63)
+	}
 	if g.prov != nil {
 		g.prov.recs.append1(d)
 	}
@@ -118,23 +134,37 @@ func (g *Graph) Has(t Triple) bool {
 	return ok
 }
 
-// Len reports the number of triples. Safe from any goroutine.
+// Len reports the raw log length — the MVCC watermark, which counts
+// tombstoned triples too. Use LiveLen for the live-triple count; the two
+// agree until the first Delete. Safe from any goroutine.
 func (g *Graph) Len() int { return g.log.length() }
 
-// Triples returns all triples in insertion order, as a fresh slice the
+// Triples returns all live triples in insertion order, as a fresh slice the
 // caller may modify.
 func (g *Graph) Triples() []Triple {
 	v := g.log.view()
-	out := make([]Triple, len(v))
-	copy(out, v)
+	dead := g.dead.Load()
+	if dead.count() == 0 {
+		out := make([]Triple, len(v))
+		copy(out, v)
+		return out
+	}
+	out := make([]Triple, 0, len(v)-dead.count())
+	for i, t := range v {
+		if !dead.has(uint32(i)) {
+			out = append(out, t)
+		}
+	}
 	return out
 }
 
 // TriplesSince returns a read-only view of the triples added at log offset n
 // or later — the graph's delta since the caller last observed Len() == n.
 // The log is append-only, so the view stays valid across later Adds, but the
-// caller must not modify it; use Triples for an owned copy. Safe from any
-// goroutine.
+// caller must not modify it; use Triples for an owned copy. The view is the
+// raw log and therefore includes tombstoned triples — callers that mix
+// deletions with watermark shipping must filter through IsLiveOffset. Safe
+// from any goroutine.
 func (g *Graph) TriplesSince(n int) []Triple {
 	v := g.log.view()
 	if n >= len(v) {
@@ -176,11 +206,23 @@ func cloneIndex[T any](dst, src *index[T], total int) {
 func (g *Graph) Clone() *Graph {
 	v := g.log.view()
 	n := len(v)
+	dead := g.dead.Load()
 	c := &Graph{set: make(map[Triple]uint32, n)}
 	c.log.grow(n)
 	for i, t := range v {
-		c.set[t] = uint32(i)
+		if !dead.has(uint32(i)) {
+			c.set[t] = uint32(i)
+		}
 		c.log.append1(t)
+	}
+	// The tombstone set is immutable, so the clone shares it; the first
+	// Delete on either graph copies on write. The derived bitmap is
+	// writer-private and copied.
+	if dead != nil {
+		c.dead.Store(dead)
+	}
+	if len(g.derived) > 0 {
+		c.derived = append([]uint64(nil), g.derived...)
 	}
 	if g.prov != nil {
 		cp := &Prov{byName: make(map[string]uint16, len(g.prov.byName))}
@@ -195,6 +237,12 @@ func (g *Graph) Clone() *Graph {
 			cp.names.Store(&nn)
 			for id, name := range nn {
 				cp.byName[name] = uint16(id)
+			}
+		}
+		if len(g.prov.alt) > 0 {
+			cp.alt = make(map[uint32]Derivation, len(g.prov.alt))
+			for off, d := range g.prov.alt {
+				cp.alt[off] = d
 			}
 		}
 		c.prov = cp
@@ -213,6 +261,7 @@ func (g *Graph) Clone() *Graph {
 // graph must not be mutated during iteration; writer-only (the fully-bound
 // case consults the dedup map) — concurrent readers use Snapshot.
 func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
+	dead := g.dead.Load()
 	switch {
 	case s != Wildcard && p != Wildcard && o != Wildcard:
 		t := Triple{s, p, o}
@@ -221,12 +270,18 @@ func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 		}
 	case s != Wildcard && p != Wildcard:
 		for _, e := range g.bySP.get(key2(s, p)).entries() {
+			if dead.has(e.Off) {
+				continue
+			}
 			if !fn(Triple{s, p, e.Term}) {
 				return
 			}
 		}
 	case p != Wildcard && o != Wildcard:
 		for _, e := range g.byPO.get(key2(p, o)).entries() {
+			if dead.has(e.Off) {
+				continue
+			}
 			if !fn(Triple{e.Term, p, o}) {
 				return
 			}
@@ -237,12 +292,18 @@ func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 		log := g.log.view()
 		if sl, ol := g.byS.get(key1(s)).entries(), g.byO.get(key1(o)).entries(); len(sl) <= len(ol) {
 			for _, off := range sl {
+				if dead.has(off) {
+					continue
+				}
 				if t := log[off]; t.O == o && !fn(t) {
 					return
 				}
 			}
 		} else {
 			for _, off := range ol {
+				if dead.has(off) {
+					continue
+				}
 				if t := log[off]; t.S == s && !fn(t) {
 					return
 				}
@@ -251,6 +312,9 @@ func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 	case s != Wildcard:
 		log := g.log.view()
 		for _, off := range g.byS.get(key1(s)).entries() {
+			if dead.has(off) {
+				continue
+			}
 			if !fn(log[off]) {
 				return
 			}
@@ -258,6 +322,9 @@ func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 	case p != Wildcard:
 		log := g.log.view()
 		for _, off := range g.byP.get(key1(p)).entries() {
+			if dead.has(off) {
+				continue
+			}
 			if !fn(log[off]) {
 				return
 			}
@@ -265,12 +332,18 @@ func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 	case o != Wildcard:
 		log := g.log.view()
 		for _, off := range g.byO.get(key1(o)).entries() {
+			if dead.has(off) {
+				continue
+			}
 			if !fn(log[off]) {
 				return
 			}
 		}
 	default:
-		for _, t := range g.log.view() {
+		for i, t := range g.log.view() {
+			if dead.has(uint32(i)) {
+				continue
+			}
 			if !fn(t) {
 				return
 			}
@@ -304,6 +377,13 @@ func (g *Graph) Match(s, p, o ID) []Triple {
 // The rule engines use this as the selectivity estimate for join ordering,
 // so it must stay cheap for every pattern shape. Writer-only (the
 // fully-bound case consults the dedup map).
+//
+// Once the graph has tombstones, the O(1) index-backed shapes become upper
+// bounds (posting cardinalities count dead entries). That keeps the
+// estimate sound for its two consumers — join ordering, and the "zero
+// extent annihilates the join" early exit, which only needs that a zero is
+// never reported for a nonempty extent. The fully-bound and (s,·,o) shapes
+// stay exact.
 func (g *Graph) CountMatch(s, p, o ID) int {
 	switch {
 	case s != Wildcard && p != Wildcard && o != Wildcard:
@@ -317,16 +397,17 @@ func (g *Graph) CountMatch(s, p, o ID) int {
 		return g.byPO.get(key2(p, o)).length()
 	case s != Wildcard && o != Wildcard:
 		n := 0
+		dead := g.dead.Load()
 		log := g.log.view()
 		if sl, ol := g.byS.get(key1(s)).entries(), g.byO.get(key1(o)).entries(); len(sl) <= len(ol) {
 			for _, off := range sl {
-				if log[off].O == o {
+				if log[off].O == o && !dead.has(off) {
 					n++
 				}
 			}
 		} else {
 			for _, off := range ol {
-				if log[off].S == s {
+				if log[off].S == s && !dead.has(off) {
 					n++
 				}
 			}
@@ -339,7 +420,7 @@ func (g *Graph) CountMatch(s, p, o ID) int {
 	case o != Wildcard:
 		return g.byO.get(key1(o)).length()
 	default:
-		return g.log.length()
+		return g.LiveLen()
 	}
 }
 
@@ -347,8 +428,12 @@ func (g *Graph) CountMatch(s, p, o ID) int {
 // triple (the nodes of the RDF graph, excluding predicates).
 func (g *Graph) Resources() map[ID]struct{} {
 	v := g.log.view()
+	dead := g.dead.Load()
 	res := make(map[ID]struct{}, len(v)/2+1)
-	for _, t := range v {
+	for i, t := range v {
+		if dead.has(uint32(i)) {
+			continue
+		}
 		res[t.S] = struct{}{}
 		res[t.O] = struct{}{}
 	}
@@ -358,8 +443,12 @@ func (g *Graph) Resources() map[ID]struct{} {
 // Subjects returns the set of IDs appearing in subject position.
 func (g *Graph) Subjects() map[ID]struct{} {
 	v := g.log.view()
+	dead := g.dead.Load()
 	res := make(map[ID]struct{}, len(v)/4+1)
-	for _, t := range v {
+	for i, t := range v {
+		if dead.has(uint32(i)) {
+			continue
+		}
 		res[t.S] = struct{}{}
 	}
 	return res
@@ -372,9 +461,13 @@ func (g *Graph) Subjects() map[ID]struct{} {
 // before their dependents, so offset translation succeeds. Writer-only on g.
 func (g *Graph) Union(other *Graph) int {
 	g.Grow(other.Len())
+	dead := other.dead.Load()
 	n := 0
 	if g.prov != nil && other.prov != nil {
 		for i, t := range other.log.view() {
+			if dead.has(uint32(i)) {
+				continue
+			}
 			if lin, ok := other.lineageAt(t, uint32(i)); ok {
 				if g.AddWithLineage(t, lin) {
 					n++
@@ -385,7 +478,10 @@ func (g *Graph) Union(other *Graph) int {
 		}
 		return n
 	}
-	for _, t := range other.log.view() {
+	for i, t := range other.log.view() {
+		if dead.has(uint32(i)) {
+			continue
+		}
 		if g.Add(t) {
 			n++
 		}
@@ -393,12 +489,16 @@ func (g *Graph) Union(other *Graph) int {
 	return n
 }
 
-// Equal reports whether g and other contain exactly the same triples.
+// Equal reports whether g and other contain exactly the same live triples.
 func (g *Graph) Equal(other *Graph) bool {
-	if g.Len() != other.Len() {
+	if g.LiveLen() != other.LiveLen() {
 		return false
 	}
-	for _, t := range g.log.view() {
+	dead := g.dead.Load()
+	for i, t := range g.log.view() {
+		if dead.has(uint32(i)) {
+			continue
+		}
 		if !other.Has(t) {
 			return false
 		}
@@ -406,10 +506,14 @@ func (g *Graph) Equal(other *Graph) bool {
 	return true
 }
 
-// Diff returns the triples present in g but not in other, sorted.
+// Diff returns the live triples present in g but not in other, sorted.
 func (g *Graph) Diff(other *Graph) []Triple {
 	var out []Triple
-	for _, t := range g.log.view() {
+	dead := g.dead.Load()
+	for i, t := range g.log.view() {
+		if dead.has(uint32(i)) {
+			continue
+		}
 		if !other.Has(t) {
 			out = append(out, t)
 		}

@@ -99,6 +99,14 @@ type Prov struct {
 	recs   provLog
 	names  atomic.Pointer[[]string]
 	byName map[string]uint16 // writer-only
+	// alt records at most one alternate derivation per log offset: the
+	// first duplicate firing the engines observed for an already-present
+	// triple. First derivation still wins the primary record (immutable);
+	// the alternate is the counting-style fast path DRed consults — a
+	// triple whose alternate's premises all survive a deletion needs no
+	// rederivation join. Writer-only, lazily allocated, best-effort (it is
+	// a cache: Retract verifies premise liveness before trusting it).
+	alt map[uint32]Derivation
 }
 
 // RuleID interns name and returns its compact id. Writer-only. Returns
@@ -170,6 +178,32 @@ func (p *Prov) At(off uint32) Derivation {
 	return v[off]
 }
 
+// RecordAlt stores an alternate derivation for the triple at log offset off.
+// First alternate wins; records equal to nothing are not validated here —
+// consumers must check premise liveness themselves. Writer-only.
+func (p *Prov) RecordAlt(off uint32, d Derivation) {
+	if p == nil || !d.IsDerived() {
+		return
+	}
+	if _, ok := p.alt[off]; ok {
+		return
+	}
+	if p.alt == nil {
+		p.alt = map[uint32]Derivation{}
+	}
+	p.alt[off] = d
+}
+
+// AltAt returns the alternate derivation recorded for off, if any.
+// Writer-only.
+func (p *Prov) AltAt(off uint32) (Derivation, bool) {
+	if p == nil {
+		return Derivation{}, false
+	}
+	d, ok := p.alt[off]
+	return d, ok
+}
+
 // EnableProv switches provenance recording on and returns the side-column.
 // Idempotent. Writer-only, and must be called before the graph is shared
 // with concurrent readers: enabling backfills one base record per existing
@@ -206,7 +240,7 @@ func (g *Graph) AddDerived(t Triple, d Derivation) bool {
 	if _, ok := g.set[t]; ok {
 		return false
 	}
-	g.addNew(t, d)
+	g.addNew(t, d, true)
 	return true
 }
 
@@ -260,7 +294,7 @@ func (g *Graph) AddWithLineage(t Triple, lin Lineage) bool {
 		return false
 	}
 	if g.prov == nil {
-		g.addNew(t, Derivation{})
+		g.addNew(t, Derivation{}, true)
 		return true
 	}
 	d := Derivation{Rule: g.prov.RuleID(lin.Rule), Round: lin.Round,
@@ -273,6 +307,6 @@ func (g *Graph) AddWithLineage(t Triple, lin Lineage) bool {
 			d.Prem[i] = off
 		}
 	}
-	g.addNew(t, d)
+	g.addNew(t, d, true)
 	return true
 }

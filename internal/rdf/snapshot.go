@@ -22,28 +22,63 @@ package rdf
 // The fully-bound and (s,·,o) cases deliberately avoid the writer's private
 // dedup map: they scan the shorter of the two relevant pinned posting
 // prefixes instead.
+//
+// Deletions pin the same way: the snapshot captures the graph's tombstone
+// set (an immutable bitset, see tombstone.go) when it is taken, and every
+// match filters through that pinned set. A snapshot taken before a Delete
+// keeps the older set and keeps answering its original epoch exactly — a
+// later deletion can never reach into an already-pinned view. The set is
+// loaded before the log watermark, so a concurrently-taken snapshot may at
+// worst lag one delete batch behind its log cut, never run ahead of it; the
+// serving layer sidesteps even that by publishing snapshots from the writer
+// goroutine between batches.
 type Snapshot struct {
-	g   *Graph
-	log []Triple // pinned log prefix; len(log) is the watermark
+	g    *Graph
+	dead *tombSet // pinned tombstone set; nil = no deletions at pin time
+	log  []Triple // pinned log prefix; len(log) is the watermark
 }
 
 // Snapshot pins the graph's current watermark and returns the read view.
 // Safe to call from any goroutine concurrently with the single writer.
 func (g *Graph) Snapshot() Snapshot {
-	return Snapshot{g: g, log: g.log.view()}
+	return Snapshot{g: g, dead: g.dead.Load(), log: g.log.view()}
 }
 
-// Len reports the number of triples visible in the snapshot.
-func (s Snapshot) Len() int { return len(s.log) }
+// Len reports the number of triples visible in the snapshot: the pinned log
+// prefix minus the tombstones pinned with it.
+func (s Snapshot) Len() int {
+	return len(s.log) - s.dead.countBelow(uint32(len(s.log)))
+}
 
 // Watermark returns the log offset the snapshot is pinned at — the epoch of
-// the MVCC view. Snapshots with equal watermarks over the same graph are
-// identical views.
+// the MVCC view. Snapshots with equal watermarks over the same graph and
+// equal pinned tombstone sets are identical views.
 func (s Snapshot) Watermark() int { return len(s.log) }
 
-// Triples returns the pinned log prefix itself — a read-only view, valid
-// forever, that the caller must not modify.
-func (s Snapshot) Triples() []Triple { return s.log }
+// Dead returns the number of tombstoned offsets below the watermark.
+func (s Snapshot) Dead() int { return s.dead.countBelow(uint32(len(s.log))) }
+
+// ProvEnabled reports whether the snapshotted graph records provenance —
+// the concurrent-safe form of Graph.Prov() != nil (the prov column is fixed
+// at graph construction, so reading it through the pinned graph pointer
+// never races the writer).
+func (s Snapshot) ProvEnabled() bool { return s.g.prov != nil }
+
+// Triples returns the visible triples. With no pinned tombstones this is
+// the pinned log prefix itself — a read-only view, valid forever, that the
+// caller must not modify; with tombstones it is a fresh filtered copy.
+func (s Snapshot) Triples() []Triple {
+	if s.dead.count() == 0 {
+		return s.log
+	}
+	out := make([]Triple, 0, s.Len())
+	for i, t := range s.log {
+		if !s.dead.has(uint32(i)) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // cutOffsets returns the prefix of v whose offsets are below w. Posting
 // lists grow in log-offset order, so this is the pinned view of the list.
@@ -83,13 +118,13 @@ func (s Snapshot) Has(t Triple) bool {
 	po := cutEntries(s.g.byPO.get(key2(t.P, t.O)).entries(), w)
 	if len(sp) <= len(po) {
 		for _, e := range sp {
-			if e.Term == t.O {
+			if e.Term == t.O && !s.dead.has(e.Off) {
 				return true
 			}
 		}
 	} else {
 		for _, e := range po {
-			if e.Term == t.S {
+			if e.Term == t.S && !s.dead.has(e.Off) {
 				return true
 			}
 		}
@@ -111,12 +146,18 @@ func (s Snapshot) ForEachMatch(sub, p, o ID, fn func(Triple) bool) {
 		}
 	case sub != Wildcard && p != Wildcard:
 		for _, e := range cutEntries(s.g.bySP.get(key2(sub, p)).entries(), w) {
+			if s.dead.has(e.Off) {
+				continue
+			}
 			if !fn(Triple{sub, p, e.Term}) {
 				return
 			}
 		}
 	case p != Wildcard && o != Wildcard:
 		for _, e := range cutEntries(s.g.byPO.get(key2(p, o)).entries(), w) {
+			if s.dead.has(e.Off) {
+				continue
+			}
 			if !fn(Triple{e.Term, p, o}) {
 				return
 			}
@@ -126,12 +167,18 @@ func (s Snapshot) ForEachMatch(sub, p, o ID, fn func(Triple) bool) {
 		ol := cutOffsets(s.g.byO.get(key1(o)).entries(), w)
 		if len(sl) <= len(ol) {
 			for _, off := range sl {
+				if s.dead.has(off) {
+					continue
+				}
 				if t := s.log[off]; t.O == o && !fn(t) {
 					return
 				}
 			}
 		} else {
 			for _, off := range ol {
+				if s.dead.has(off) {
+					continue
+				}
 				if t := s.log[off]; t.S == sub && !fn(t) {
 					return
 				}
@@ -139,24 +186,36 @@ func (s Snapshot) ForEachMatch(sub, p, o ID, fn func(Triple) bool) {
 		}
 	case sub != Wildcard:
 		for _, off := range cutOffsets(s.g.byS.get(key1(sub)).entries(), w) {
+			if s.dead.has(off) {
+				continue
+			}
 			if !fn(s.log[off]) {
 				return
 			}
 		}
 	case p != Wildcard:
 		for _, off := range cutOffsets(s.g.byP.get(key1(p)).entries(), w) {
+			if s.dead.has(off) {
+				continue
+			}
 			if !fn(s.log[off]) {
 				return
 			}
 		}
 	case o != Wildcard:
 		for _, off := range cutOffsets(s.g.byO.get(key1(o)).entries(), w) {
+			if s.dead.has(off) {
+				continue
+			}
 			if !fn(s.log[off]) {
 				return
 			}
 		}
 	default:
-		for _, t := range s.log {
+		for i, t := range s.log {
+			if s.dead.has(uint32(i)) {
+				continue
+			}
 			if !fn(t) {
 				return
 			}
@@ -177,6 +236,9 @@ func (s Snapshot) Match(sub, p, o ID) []Triple {
 // CountMatch returns the number of visible triples matching the pattern
 // without materializing them: O(log n) for every index-backed shape (the
 // binary-searched pinned prefix length), a shorter-side scan for (s,·,o).
+// With pinned tombstones the index-backed shapes become upper bounds, the
+// same soundness contract as Graph.CountMatch (never zero for a nonempty
+// extent); the fully-bound, (s,·,o), and unbound shapes stay exact.
 func (s Snapshot) CountMatch(sub, p, o ID) int {
 	w := uint32(len(s.log))
 	switch {
@@ -195,13 +257,13 @@ func (s Snapshot) CountMatch(sub, p, o ID) int {
 		ol := cutOffsets(s.g.byO.get(key1(o)).entries(), w)
 		if len(sl) <= len(ol) {
 			for _, off := range sl {
-				if s.log[off].O == o {
+				if s.log[off].O == o && !s.dead.has(off) {
 					n++
 				}
 			}
 		} else {
 			for _, off := range ol {
-				if s.log[off].S == sub {
+				if s.log[off].S == sub && !s.dead.has(off) {
 					n++
 				}
 			}
@@ -214,6 +276,6 @@ func (s Snapshot) CountMatch(sub, p, o ID) int {
 	case o != Wildcard:
 		return len(cutOffsets(s.g.byO.get(key1(o)).entries(), w))
 	default:
-		return len(s.log)
+		return s.Len()
 	}
 }

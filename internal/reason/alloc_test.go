@@ -105,6 +105,61 @@ func TestJoinPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestJoinPathZeroAllocsWithDeletions pins the same property with a
+// non-empty tombstone set: every index scan now filters through the pinned
+// bitset, and that filter must not cost an allocation either. The graph is
+// brought back to fixpoint through Retract (which rematerializes), so the
+// steady-state measurement below is identical in shape to the tombstone-free
+// test.
+func TestJoinPathZeroAllocsWithDeletions(t *testing.T) {
+	g, rs, deltas := allocFixture()
+	Forward{}.Materialize(g, rs)
+	ret := NewRetractor(rs)
+	if st := ret.Retract(g, deltas[:40]); st.Requested == 0 {
+		t.Fatal("fixture retraction deleted nothing")
+	}
+	if g.Dead() == 0 {
+		t.Fatal("retraction left no tombstones; test would not exercise the filter")
+	}
+	deltas = deltas[40:]
+
+	crs := compileRules(rs)
+	byPred := map[rdf.ID][]trigger{}
+	for i := range crs {
+		r := &crs[i]
+		for j, a := range r.body {
+			byPred[a.p.id] = append(byPred[a.p.id], trigger{r, j})
+		}
+	}
+	sc := newScratch(crs)
+	pending := map[rdf.Triple]struct{}{}
+	emit := func(tr rdf.Triple) {
+		if !g.Has(tr) {
+			pending[tr] = struct{}{}
+		}
+	}
+	fired := 0
+	run := func() {
+		for _, d := range deltas {
+			for _, tr := range byPred[d.P] {
+				m, _ := fireOn(g, sc, tr, d, emit)
+				fired += int(m)
+			}
+		}
+	}
+	run()
+	if fired == 0 {
+		t.Fatal("fixture produced no body matches; the test would measure nothing")
+	}
+	if len(pending) != 0 {
+		t.Fatalf("graph not at fixpoint after retract: %d pending emits", len(pending))
+	}
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Errorf("join path with tombstones allocates %.1f times per %d delta firings, want 0",
+			avg, len(deltas))
+	}
+}
+
 // TestBindTripleNoAlloc pins the binding primitive itself: bitmask
 // bind/unbind over a scratch environment must be allocation-free.
 func TestBindTripleNoAlloc(t *testing.T) {

@@ -80,10 +80,10 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 	// it stays zero-alloc per delta triple.
 	prov := g.Prov()
 	var (
-		sampler          *obs.DeriveSampler
-		provIDs          []uint16
-		pendProv         map[rdf.Triple]pendDeriv
-		derivedOf, dupOf []int64
+		sampler           *obs.DeriveSampler
+		provIDs           []uint16
+		pendProv, pendAlt map[rdf.Triple]pendDeriv
+		derivedOf, dupOf  []int64
 	)
 	if prov != nil {
 		sampler = obs.DerivesFrom(ctx)
@@ -92,16 +92,49 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 			provIDs[i] = prov.RuleID(crs[i].name)
 		}
 		pendProv = map[rdf.Triple]pendDeriv{}
+		pendAlt = map[rdf.Triple]pendDeriv{}
 		derivedOf = make([]int64, len(crs))
 		dupOf = make([]int64, len(crs))
 		sc.rec = true
 		emit = func(t rdf.Triple) {
 			if g.Has(t) {
 				dupOf[sc.cur.idx]++
+				// A duplicate firing is an independent derivation of an
+				// already-present triple. Record the first one observed as the
+				// triple's alternate — the counting-style fast path Retract
+				// consults — resolving premise offsets now, while the premises
+				// are guaranteed present. Steady state this costs two map
+				// lookups per duplicate; RecordAlt keeps only the first.
+				if np := len(sc.cur.body); np <= len(sc.prem) {
+					if off, ok := g.Offset(t); ok {
+						if _, have := prov.AltAt(off); !have {
+							d := rdf.Derivation{
+								Rule: provIDs[sc.cur.idx],
+								Prem: [3]uint32{rdf.NoPremise, rdf.NoPremise, rdf.NoPremise},
+							}
+							for i := 0; i < np; i++ {
+								if p, ok := g.Offset(sc.prem[i]); ok {
+									d.Prem[i] = p
+								}
+							}
+							prov.RecordAlt(off, d)
+						}
+					}
+				}
 				return
 			}
 			if _, ok := pending[t]; ok {
 				dupOf[sc.cur.idx]++
+				// Same-round duplicate: the triple has no offset yet, so
+				// buffer this firing's premises and record the alternate at
+				// the round flush, once the primary insert assigns one.
+				if _, have := pendAlt[t]; !have && len(sc.cur.body) <= len(sc.prem) {
+					pd := pendDeriv{rule: sc.cur}
+					np := len(sc.cur.body)
+					copy(pd.prem[:np], sc.prem[:np])
+					pd.np = uint8(np)
+					pendAlt[t] = pd
+				}
 				return
 			}
 			pending[t] = struct{}{}
@@ -157,7 +190,10 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 		delta = delta[:0]
 		if prov == nil {
 			for t := range pending {
-				if g.Add(t) {
+				// AddDerived rather than Add: even without provenance records
+				// the graph tracks which offsets are engine-derived, which is
+				// what lets Retract fall back to delete-and-rematerialize.
+				if g.AddDerived(t, rdf.Derivation{}) {
 					delta = append(delta, t)
 					added++
 				}
@@ -191,9 +227,25 @@ func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, d
 							sampler.Sample(pd.rule.name, round, off)
 						}
 					}
+					if pa, ok := pendAlt[t]; ok {
+						if off, ok := g.Offset(t); ok {
+							ad := rdf.Derivation{
+								Rule:  provIDs[pa.rule.idx],
+								Round: r16,
+								Prem:  [3]uint32{rdf.NoPremise, rdf.NoPremise, rdf.NoPremise},
+							}
+							for i := 0; i < int(pa.np); i++ {
+								if p, ok := g.Offset(pa.prem[i]); ok {
+									ad.Prem[i] = p
+								}
+							}
+							prov.RecordAlt(off, ad)
+						}
+					}
 				}
 			}
 			clear(pendProv)
+			clear(pendAlt)
 		}
 		clear(pending)
 	}

@@ -107,7 +107,9 @@ func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rul
 		}
 		for _, t := range pending {
 			if prov == nil {
-				if g.Add(t) {
+				// Derived-marking insert: keeps the graph's derived bitset
+				// accurate for the provenance-off Retract fallback.
+				if g.AddDerived(t, rdf.Derivation{}) {
 					added++
 				}
 			} else if s.addDerivedFromLin(provIDs, sampler, t) {
@@ -125,7 +127,7 @@ func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rul
 func (s *solver) addDerivedFromLin(provIDs []uint16, sampler *obs.DeriveSampler, t rdf.Triple) bool {
 	pd, ok := s.lin[t]
 	if !ok {
-		return s.g.Add(t)
+		return s.g.AddDerived(t, rdf.Derivation{})
 	}
 	d := rdf.Derivation{
 		Rule: provIDs[pd.rule.idx],

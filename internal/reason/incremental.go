@@ -146,7 +146,10 @@ func (h Hybrid) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules
 		for _, t := range pending {
 			ok := false
 			if prov == nil {
-				ok = g.Add(t)
+				// Mark derived even without records (see forward.go): the
+				// derived bit is what the provenance-off Retract fallback
+				// keys its delete-and-rematerialize on.
+				ok = g.AddDerived(t, rdf.Derivation{})
 			} else {
 				ok = s.addDerivedFromLin(provIDs, sampler, t)
 			}

@@ -28,14 +28,14 @@ func (Rete) Name() string { return "rete" }
 // log: the network's emits grow g past the view's end, which is safe — the
 // log is append-only, so the snapshot's contents never move.
 func (r Rete) Materialize(g *rdf.Graph, rs []rules.Rule) int {
-	n, _ := r.materialize(context.Background(), g, rs, g.TriplesSince(0))
+	n, _ := r.materialize(context.Background(), g, rs, g.Triples())
 	return n
 }
 
 // MaterializeCtx implements ContextEngine: the assert loop checks ctx
 // between assertions, so cancellation lands within one network activation.
 func (r Rete) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule) (int, error) {
-	return r.materialize(ctx, g, rs, g.TriplesSince(0))
+	return r.materialize(ctx, g, rs, g.Triples())
 }
 
 // MaterializeFrom implements Incremental: Rete is inherently incremental —
@@ -54,7 +54,7 @@ func (r Rete) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules.R
 	if len(seeds) == 0 {
 		return 0, ctx.Err()
 	}
-	return r.materialize(ctx, g, rs, g.TriplesSince(0))
+	return r.materialize(ctx, g, rs, g.Triples())
 }
 
 func (Rete) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, assertSet []rdf.Triple) (int, error) {
@@ -69,7 +69,7 @@ func (Rete) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, asse
 	added := 0
 	var queue []rdf.Triple
 	emit := func(t rdf.Triple) {
-		if g.Add(t) {
+		if g.AddDerived(t, rdf.Derivation{}) {
 			added++
 			queue = append(queue, t)
 		}

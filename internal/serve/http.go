@@ -42,6 +42,8 @@ type errorReply struct {
 //	                400 parse error, 500 panic.
 //	POST /insert  — body is N-Triples; 200 with the accepted count,
 //	                503 while draining.
+//	POST /delete  — body is N-Triples; the batch is retracted DRed-style
+//	                by the writer. Same statuses as /insert.
 //	POST /explain — body is one N-Triples statement; 200 with its
 //	                derivation DAG (?depth= bounds the premise depth),
 //	                404 when the triple is not in the served snapshot,
@@ -53,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /delete", s.handleDelete)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -95,6 +98,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.handleWrite(w, r, s.Insert)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.handleWrite(w, r, s.Delete)
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request, submit func(context.Context, []rdf.Triple) error) {
 	var ts []rdf.Triple
 	rd := ntriples.NewReader(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	for {
@@ -109,7 +120,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		d := s.kb.Dict
 		ts = append(ts, rdf.Triple{S: d.Intern(st.S), P: d.Intern(st.P), O: d.Intern(st.O)})
 	}
-	if err := s.Insert(r.Context(), ts); err != nil {
+	if err := submit(r.Context(), ts); err != nil {
 		if errors.Is(err, ErrDraining) {
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusServiceUnavailable, err)

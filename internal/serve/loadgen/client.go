@@ -37,8 +37,7 @@ func (l Local) Query(ctx context.Context, text string) (int, error) {
 	}
 }
 
-// Insert implements Client.
-func (l Local) Insert(ctx context.Context, nt string) error {
+func (l Local) parse(nt string) ([]rdf.Triple, error) {
 	var ts []rdf.Triple
 	rd := ntriples.NewReader(strings.NewReader(nt))
 	d := l.S.Dict()
@@ -48,11 +47,14 @@ func (l Local) Insert(ctx context.Context, nt string) error {
 			break
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ts = append(ts, rdf.Triple{S: d.Intern(st.S), P: d.Intern(st.P), O: d.Intern(st.O)})
 	}
-	err := l.S.Insert(ctx, ts)
+	return ts, nil
+}
+
+func mapWriteErr(err error) error {
 	switch {
 	case err == nil:
 		return nil
@@ -61,6 +63,24 @@ func (l Local) Insert(ctx context.Context, nt string) error {
 	default:
 		return err
 	}
+}
+
+// Insert implements Client.
+func (l Local) Insert(ctx context.Context, nt string) error {
+	ts, err := l.parse(nt)
+	if err != nil {
+		return err
+	}
+	return mapWriteErr(l.S.Insert(ctx, ts))
+}
+
+// Delete implements Client.
+func (l Local) Delete(ctx context.Context, nt string) error {
+	ts, err := l.parse(nt)
+	if err != nil {
+		return err
+	}
+	return mapWriteErr(l.S.Delete(ctx, ts))
 }
 
 // HTTP drives an owlserve instance over its HTTP surface — what the CI
@@ -123,7 +143,18 @@ func (h HTTP) Query(ctx context.Context, text string) (int, error) {
 
 // Insert implements Client.
 func (h HTTP) Insert(ctx context.Context, nt string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+"/insert", strings.NewReader(nt))
+	return h.write(ctx, "/insert", nt)
+}
+
+// Delete implements Client.
+func (h HTTP) Delete(ctx context.Context, nt string) error {
+	return h.write(ctx, "/delete", nt)
+}
+
+// write posts one N-Triples batch to path, mapping status codes onto the
+// outcome sentinels the same way for inserts and deletes.
+func (h HTTP) write(ctx context.Context, path, nt string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+path, strings.NewReader(nt))
 	if err != nil {
 		return err
 	}

@@ -1,4 +1,4 @@
-// Package loadgen drives mixed read/insert workloads against a serve.Server
+// Package loadgen drives mixed read/insert/delete workloads against a serve.Server
 // — in-process or over HTTP — with deliberate chaos: pathological slow
 // queries, arrival bursts that overflow admission, and (when the operator
 // kills the server mid-run) unavailability windows it rides out with
@@ -8,10 +8,12 @@
 // Correctness under churn works by namespace separation: every triple
 // loadgen inserts lives under http://loadgen.powl/, so the canonical
 // queries' answers over the base KB are invariant no matter how many insert
-// batches land, while a probe query over the loadgen namespace must observe
-// the writer's epochs advancing. A canonical query returning the wrong row
-// count — during bursts, drains, or right after a restart — is a
-// correctness failure, not noise.
+// or delete batches land, while a probe query over the loadgen namespace
+// must observe the writer's epochs advancing. A canonical query returning
+// the wrong row count — during bursts, drains, deletions, or right after a
+// restart — is a correctness failure, not noise. The probe namespace never
+// uses rdf:type or any canonical predicate, so even DISTINCT-class queries
+// stay invariant under churn.
 package loadgen
 
 import (
@@ -45,6 +47,8 @@ type Client interface {
 	Query(ctx context.Context, text string) (rows int, err error)
 	// Insert submits an N-Triples batch.
 	Insert(ctx context.Context, ntriples string) error
+	// Delete retracts an N-Triples batch.
+	Delete(ctx context.Context, ntriples string) error
 }
 
 // CheckedQuery is a canonical query with its invariant answer.
@@ -66,6 +70,15 @@ type Options struct {
 
 	InsertEvery int // insert a probe batch every n ops per worker; 0 = 10
 	InsertSize  int // triples per probe batch; 0 = 8
+
+	// DeleteEvery enables churn: every n ops per worker, retract the oldest
+	// probe batch this worker inserted beyond DeleteWindow. 0 disables
+	// deletion entirely. With churn on, probe batches use the churn
+	// predicate (see ChurnBatchPredicate) so a server seeded with the churn
+	// axiom derives one marker per inserted triple and must DRed-retract it
+	// on delete.
+	DeleteEvery  int
+	DeleteWindow int // live probe batches to keep per worker; 0 = 4
 
 	BurstEvery time.Duration // fire a burst every interval; 0 disables
 	BurstSize  int           // extra concurrent canonical queries per burst; 0 = 4×Workers
@@ -92,6 +105,9 @@ func (o Options) withDefaults() Options {
 	if o.BurstSize <= 0 {
 		o.BurstSize = 4 * o.Workers
 	}
+	if o.DeleteWindow <= 0 {
+		o.DeleteWindow = 4
+	}
 	if o.RetryWindow <= 0 {
 		o.RetryWindow = 10 * time.Second
 	}
@@ -111,14 +127,16 @@ type Report struct {
 	Failed     int64         `json:"failed"` // unavailable beyond RetryWindow, or unexpected error
 	Inserts    int64         `json:"insert_batches"`
 	InsertedNT int64         `json:"inserted_triples"`
+	Deletes    int64         `json:"delete_batches"`
+	DeletedNT  int64         `json:"deleted_triples"`
 	QPS        float64       `json:"qps"`
 	P50Millis  float64       `json:"p50_ms"`
 	P99Millis  float64       `json:"p99_ms"`
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("ops=%d ok=%d wrong=%d shed=%d timeout=%d retried=%d failed=%d inserts=%d qps=%.0f p50=%.2fms p99=%.2fms",
-		r.Ops, r.OK, r.Wrong, r.Shed, r.Timeout, r.Retried, r.Failed, r.Inserts, r.QPS, r.P50Millis, r.P99Millis)
+	return fmt.Sprintf("ops=%d ok=%d wrong=%d shed=%d timeout=%d retried=%d failed=%d inserts=%d deletes=%d qps=%.0f p50=%.2fms p99=%.2fms",
+		r.Ops, r.OK, r.Wrong, r.Shed, r.Timeout, r.Retried, r.Failed, r.Inserts, r.Deletes, r.QPS, r.P50Millis, r.P99Millis)
 }
 
 // Generator runs the workload.
@@ -141,14 +159,33 @@ func New(c Client, opts Options) *Generator {
 // intersects the canonical queries' answers.
 const ProbeQuery = `SELECT ?x ?b WHERE { ?x <http://loadgen.powl/marker> ?b . }`
 
+// ChurnBatchPredicate is the predicate churn-mode probe batches assert.
+// Pairing it with ChurnAxiom (on the server side) makes every churn insert
+// derive a marker triple, so every churn delete exercises real DRed
+// retraction — not just tombstoning an asserted leaf.
+const ChurnBatchPredicate = "http://loadgen.powl/sub"
+
+// ChurnMarkerPredicate is the probe marker predicate ProbeQuery counts.
+const ChurnMarkerPredicate = "http://loadgen.powl/marker"
+
+// ChurnAxiom is the schema triple an operator loads into the base KB to arm
+// the churn drill: it turns ChurnBatchPredicate into a subproperty of the
+// probe marker, so the reasoner derives one marker per churn triple.
+const ChurnAxiom = "<" + ChurnBatchPredicate + "> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <" + ChurnMarkerPredicate + "> .\n"
+
 // probeBatch renders one insert batch in the loadgen namespace. worker and
 // seq make every subject unique so each accepted batch grows the probe
-// answer by exactly size rows.
-func probeBatch(worker, seq, size int) string {
+// answer by exactly size rows. Churn batches assert ChurnBatchPredicate
+// instead of the marker directly.
+func probeBatch(worker, seq, size int, churn bool) string {
+	pred := "marker"
+	if churn {
+		pred = "sub"
+	}
 	var b []byte
 	for i := 0; i < size; i++ {
-		b = fmt.Appendf(b, "<http://loadgen.powl/w%d-s%d-i%d> <http://loadgen.powl/marker> <http://loadgen.powl/batch-%d-%d> .\n",
-			worker, seq, i, worker, seq)
+		b = fmt.Appendf(b, "<http://loadgen.powl/w%d-s%d-i%d> <http://loadgen.powl/%s> <http://loadgen.powl/batch-%d-%d> .\n",
+			worker, seq, i, pred, worker, seq)
 	}
 	return string(b)
 }
@@ -190,13 +227,23 @@ func (g *Generator) worker(ctx context.Context, wg *sync.WaitGroup, id int) {
 	defer wg.Done()
 	rng := rand.New(rand.NewSource(g.opts.Seed + int64(id)))
 	seq := 0
+	// live is this worker's FIFO of accepted churn batches; once it grows
+	// past DeleteWindow, delete ops retract the oldest.
+	var live []string
 	for op := 0; ctx.Err() == nil; op++ {
 		switch {
 		case g.opts.SlowQuery != "" && op%g.opts.SlowEvery == g.opts.SlowEvery-1:
 			g.runSlow(ctx)
+		case g.opts.DeleteEvery > 0 && op%g.opts.DeleteEvery == g.opts.DeleteEvery-1 &&
+			len(live) > g.opts.DeleteWindow:
+			batch := live[0]
+			live = live[1:]
+			g.runDelete(ctx, batch)
 		case op%g.opts.InsertEvery == g.opts.InsertEvery-1:
 			seq++
-			g.runInsert(ctx, id, seq)
+			if batch, ok := g.runInsert(ctx, id, seq); ok && g.opts.DeleteEvery > 0 {
+				live = append(live, batch)
+			}
 		default:
 			q := g.opts.Queries[rng.Intn(len(g.opts.Queries))]
 			g.runChecked(ctx, q)
@@ -280,9 +327,12 @@ func (g *Generator) runSlow(ctx context.Context) {
 	}
 }
 
-func (g *Generator) runInsert(ctx context.Context, worker, seq int) {
-	batch := probeBatch(worker, seq, g.opts.InsertSize)
-	err := g.insertRetry(ctx, batch)
+// runInsert submits one probe batch; it returns the batch text and whether
+// the server accepted it, so churn mode only ever deletes batches that
+// actually landed.
+func (g *Generator) runInsert(ctx context.Context, worker, seq int) (string, bool) {
+	batch := probeBatch(worker, seq, g.opts.InsertSize, g.opts.DeleteEvery > 0)
+	err := g.writeRetry(ctx, batch, g.c.Insert)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.rep.Ops++
@@ -290,6 +340,27 @@ func (g *Generator) runInsert(ctx context.Context, worker, seq int) {
 	case err == nil:
 		g.rep.Inserts++
 		g.rep.InsertedNT += int64(g.opts.InsertSize)
+		return batch, true
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrTimeout):
+		g.rep.Shed++
+	case ctx.Err() != nil:
+		g.rep.Ops--
+	default:
+		g.rep.Failed++
+	}
+	return batch, false
+}
+
+// runDelete retracts one previously accepted probe batch.
+func (g *Generator) runDelete(ctx context.Context, batch string) {
+	err := g.writeRetry(ctx, batch, g.c.Delete)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rep.Ops++
+	switch {
+	case err == nil:
+		g.rep.Deletes++
+		g.rep.DeletedNT += int64(g.opts.InsertSize)
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrTimeout):
 		g.rep.Shed++
 	case ctx.Err() != nil:
@@ -326,12 +397,14 @@ func (g *Generator) queryRetry(ctx context.Context, text string) (int, error) {
 	}
 }
 
-func (g *Generator) insertRetry(ctx context.Context, batch string) error {
+// writeRetry drives one write (insert or delete) through the same
+// unavailability-retry discipline as queryRetry.
+func (g *Generator) writeRetry(ctx context.Context, batch string, do func(context.Context, string) error) error {
 	deadline := time.NewTimer(g.opts.RetryWindow)
 	defer deadline.Stop()
 	backoff := 10 * time.Millisecond
 	for {
-		err := g.c.Insert(ctx, batch)
+		err := do(ctx, batch)
 		if !errors.Is(err, ErrUnavailable) {
 			return err
 		}

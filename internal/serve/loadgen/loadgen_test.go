@@ -97,6 +97,93 @@ func TestLoadgenChaos(t *testing.T) {
 	}
 }
 
+// churnKB is testKB plus the churn axiom: every probe triple asserted under
+// the churn predicate derives a marker triple, so loadgen deletes force real
+// DRed retraction cascades in the writer.
+func churnKB(nStudents int) *serve.KB {
+	dict := rdf.NewDict()
+	base := rdf.NewGraph()
+	typ := dict.InternIRI(vocab.RDFType)
+	sub := dict.InternIRI(vocab.RDFSSubClassOf)
+	student := dict.InternIRI("http://t/Student")
+	person := dict.InternIRI("http://t/Person")
+	base.Add(rdf.Triple{S: student, P: sub, O: person})
+	for i := 0; i < nStudents; i++ {
+		s := dict.InternIRI(fmt.Sprintf("http://t/s%d", i))
+		base.Add(rdf.Triple{S: s, P: typ, O: student})
+	}
+	base.Add(rdf.Triple{
+		S: dict.InternIRI(ChurnBatchPredicate),
+		P: dict.InternIRI(vocab.RDFSSubPropertyOf),
+		O: dict.InternIRI("http://loadgen.powl/marker"),
+	})
+	return serve.BuildKB(dict, base)
+}
+
+// TestLoadgenChurn is the sustained insert/delete churn drill: workers
+// interleave canonical reads with probe inserts and window-lagged deletes of
+// their own earlier batches, the churn axiom makes every insert derive a
+// marker (so every delete is a DRed cascade, not a leaf tombstone), and the
+// canonical answers must hold on every single read while the probe
+// namespace churns underneath them.
+func TestLoadgenChurn(t *testing.T) {
+	const n = 200
+	s := serve.New(churnKB(n), serve.Config{
+		MaxInflight: 4,
+		Deadline:    2 * time.Second,
+	})
+
+	g := New(Local{S: s}, Options{
+		Workers:      6,
+		Duration:     1500 * time.Millisecond,
+		Seed:         11,
+		Queries:      canonical(n),
+		InsertEvery:  4,
+		InsertSize:   6,
+		DeleteEvery:  7,
+		DeleteWindow: 2,
+	})
+	rep := g.Run(context.Background())
+	t.Logf("loadgen: %s", rep)
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st := s.Stats()
+
+	if rep.Wrong != 0 {
+		t.Fatalf("canonical answers wavered under churn: wrong=%d", rep.Wrong)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("unexpected failures under churn: %d", rep.Failed)
+	}
+	if rep.Deletes == 0 {
+		t.Fatal("churn drill never deleted — DeleteEvery/DeleteWindow misconfigured")
+	}
+	if st.DeleteBatches != rep.Deletes {
+		t.Fatalf("server applied %d delete batches, loadgen scored %d", st.DeleteBatches, rep.Deletes)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("server dropped %d writes under churn", st.Dropped)
+	}
+	// The axiom makes each deleted probe triple take a derived marker with
+	// it: retraction must exceed the asserted deletions alone.
+	if st.RetractedTriples <= st.DeletedTriples {
+		t.Fatalf("retracted %d <= deleted %d — DRed cascades never fired",
+			st.RetractedTriples, st.DeletedTriples)
+	}
+
+	// The drained server's probe namespace must be exactly the surviving
+	// batches: one derived marker per inserted-minus-deleted churn triple.
+	marker := s.Dict().InternIRI("http://loadgen.powl/marker")
+	got := s.Snapshot().Match(rdf.Wildcard, marker, rdf.Wildcard)
+	want := int(rep.InsertedNT - rep.DeletedNT)
+	if len(got) != want {
+		t.Fatalf("probe markers after drain = %d, want %d (inserted %d - deleted %d)",
+			len(got), want, rep.InsertedNT, rep.DeletedNT)
+	}
+}
+
 // swapClient routes to whichever server is currently alive; Swap models a
 // kill+restart. While the pointer is nil every call reports unavailability.
 type swapClient struct {
@@ -125,6 +212,14 @@ func (c *swapClient) Insert(ctx context.Context, nt string) error {
 		return err
 	}
 	return l.Insert(ctx, nt)
+}
+
+func (c *swapClient) Delete(ctx context.Context, nt string) error {
+	l, err := c.get()
+	if err != nil {
+		return err
+	}
+	return l.Delete(ctx, nt)
 }
 
 // TestLoadgenKillRestart drains the server mid-run and brings up a fresh

@@ -22,8 +22,18 @@
 //     in-flight query keep running.
 //   - Graceful drain: Shutdown stops admission (late arrivals get
 //     ErrDraining), lets every admitted query finish, then flushes the
-//     writer so no accepted insert is lost. Stats.Dropped is the drain
-//     contract: it must be zero after Shutdown returns.
+//     writer so no accepted insert — or delete — is lost. Stats.Dropped is
+//     the drain contract: it must be zero after Shutdown returns.
+//   - Writer survival: a panic while applying a batch is recovered on the
+//     writer goroutine itself; the half-applied state is repaired and
+//     rematerialized, the previously published snapshot stays untouched,
+//     and the batch queue keeps draining.
+//
+// Deletion goes through the same single writer as insertion: Delete ships a
+// batch that the writer retracts DRed-style (reason.Retractor) before
+// publishing the next epoch, and once tombstones pass the configured ratio
+// the writer compacts the log into a fresh graph — readers never pause,
+// because old snapshots pin the old, immutable graph.
 package serve
 
 import (
@@ -120,6 +130,13 @@ type Config struct {
 	// to 64. Insert blocks (honouring its ctx) when full — backpressure,
 	// not unbounded buffering.
 	InsertBuffer int
+	// CompactRatio triggers log compaction after a delete batch once
+	// dead/total exceeds it (and CompactMinDead is met). 0 defaults to
+	// 0.25; negative disables compaction.
+	CompactRatio float64
+	// CompactMinDead is the tombstone floor below which compaction never
+	// runs, whatever the ratio; 0 defaults to 4096.
+	CompactMinDead int
 	// Run receives journal events (may be nil). Reg receives metrics
 	// (may be nil); the server keeps its own authoritative counters
 	// either way.
@@ -140,25 +157,39 @@ func (c Config) withDefaults() Config {
 	if c.InsertBuffer <= 0 {
 		c.InsertBuffer = 64
 	}
+	if c.CompactRatio == 0 {
+		c.CompactRatio = 0.25
+	}
+	if c.CompactMinDead <= 0 {
+		c.CompactMinDead = 4096
+	}
 	return c
 }
 
 // Stats is the server's authoritative accounting, readable at any time and
 // final after Shutdown.
 type Stats struct {
-	Admitted          int64 `json:"admitted"`  // got an execution slot
-	Completed         int64 `json:"completed"` // admitted queries that returned (any outcome)
-	Shed              int64 `json:"shed"`      // rejected: slots and queue full
-	DrainRejected     int64 `json:"drain_rejected"`
-	QueueTimeout      int64 `json:"queue_timeout"` // gave up waiting in queue (ctx done)
-	Panicked          int64 `json:"panicked"`
-	WatchdogCancelled int64 `json:"watchdog_cancelled"`
-	DeadlineExceeded  int64 `json:"deadline_exceeded"`
-	InsertBatches     int64 `json:"insert_batches"`
-	InsertedTriples   int64 `json:"inserted_triples"` // seeds accepted (pre-dedup)
-	DerivedTriples    int64 `json:"derived_triples"`  // closure growth incl. seeds
-	Epoch             int64 `json:"epoch"`            // latest published watermark
-	Dropped           int64 `json:"dropped"`          // admitted - completed; must be 0 after drain
+	Admitted          int64   `json:"admitted"`  // got an execution slot
+	Completed         int64   `json:"completed"` // admitted queries that returned (any outcome)
+	Shed              int64   `json:"shed"`      // rejected: slots and queue full
+	DrainRejected     int64   `json:"drain_rejected"`
+	QueueTimeout      int64   `json:"queue_timeout"` // gave up waiting in queue (ctx done)
+	Panicked          int64   `json:"panicked"`
+	WatchdogCancelled int64   `json:"watchdog_cancelled"`
+	DeadlineExceeded  int64   `json:"deadline_exceeded"`
+	InsertBatches     int64   `json:"insert_batches"`
+	InsertedTriples   int64   `json:"inserted_triples"` // seeds accepted (pre-dedup)
+	DerivedTriples    int64   `json:"derived_triples"`  // closure growth incl. seeds
+	DeleteBatches     int64   `json:"delete_batches"`
+	DeletedTriples    int64   `json:"deleted_triples"`   // requested triples found and removed
+	RetractedTriples  int64   `json:"retracted_triples"` // total overdeleted (incl. cone)
+	RederivedTriples  int64   `json:"rederived_triples"` // restored after overdeletion
+	RetractTotalMs    float64 `json:"retract_total_ms"`  // cumulative writer time in Retract
+	Compactions       int64   `json:"compactions"`
+	CompactTotalMs    float64 `json:"compact_total_ms"` // cumulative writer pause compacting
+	WriterPanics      int64   `json:"writer_panics"`
+	Epoch             int64   `json:"epoch"`   // latest published watermark
+	Dropped           int64   `json:"dropped"` // admitted - completed; must be 0 after drain
 	// Query-latency percentiles in milliseconds, from the server's own
 	// log2-bucket histogram (upper estimates, clamped to observed min/max;
 	// see obs.HistSnapshot.Percentile). Zero until the first query.
@@ -184,12 +215,17 @@ type Server struct {
 	queries  sync.WaitGroup // admitted queries in flight
 	inserts  sync.WaitGroup // Insert calls in flight
 
-	batches  chan []rdf.Triple
+	batches  chan writeBatch
 	writerWG sync.WaitGroup
+	ret      *reason.Retractor // writer-goroutine only
 
 	admitted, completed, shed, drainRejected, queueTimeout  atomic.Int64
 	panicked, watchdogCancelled, deadlineExceeded           atomic.Int64
 	insertBatches, insertedTriples, derivedTriples, dropped atomic.Int64
+	deleteBatches, deletedTriples, retractedTriples         atomic.Int64
+	rederivedTriples, compactions, compactNanos             atomic.Int64
+	retractNanos                                            atomic.Int64
+	writerPanics                                            atomic.Int64
 
 	// registry mirrors (nil-safe no-ops when Reg is nil)
 	gQueue, gInflight, gEpoch *obs.Gauge
@@ -199,6 +235,16 @@ type Server struct {
 	// testHook, when non-nil, runs inside the query's execution slot
 	// before parsing — the seam the panic-isolation test injects through.
 	testHook func(text string)
+	// writerHook, when non-nil, runs on the writer goroutine after a
+	// batch's raw mutations but before closure and publication — the seam
+	// the writer-poisoning test injects through.
+	writerHook func(b writeBatch)
+}
+
+// writeBatch is one unit of writer work: an insert batch or a delete batch.
+type writeBatch struct {
+	ts  []rdf.Triple
+	del bool
 }
 
 // New starts a server over kb. The caller hands over ownership of kb.Graph:
@@ -210,7 +256,8 @@ func New(kb *KB, cfg Config) *Server {
 		kb:        kb,
 		sem:       make(chan struct{}, cfg.MaxInflight),
 		waiters:   make(chan struct{}, cfg.QueueDepth),
-		batches:   make(chan []rdf.Triple, cfg.InsertBuffer),
+		batches:   make(chan writeBatch, cfg.InsertBuffer),
+		ret:       reason.NewRetractor(kb.Rules),
 		gQueue:    cfg.Reg.Gauge("serve.queue_depth"),
 		gInflight: cfg.Reg.Gauge("serve.inflight"),
 		gEpoch:    cfg.Reg.Gauge("serve.epoch"),
@@ -261,6 +308,14 @@ func (s *Server) Stats() Stats {
 		InsertBatches:     s.insertBatches.Load(),
 		InsertedTriples:   s.insertedTriples.Load(),
 		DerivedTriples:    s.derivedTriples.Load(),
+		DeleteBatches:     s.deleteBatches.Load(),
+		DeletedTriples:    s.deletedTriples.Load(),
+		RetractedTriples:  s.retractedTriples.Load(),
+		RederivedTriples:  s.rederivedTriples.Load(),
+		RetractTotalMs:    float64(s.retractNanos.Load()) / float64(time.Millisecond),
+		Compactions:       s.compactions.Load(),
+		CompactTotalMs:    float64(s.compactNanos.Load()) / float64(time.Millisecond),
+		WriterPanics:      s.writerPanics.Load(),
 		Epoch:             int64(s.snap.Load().Watermark()),
 		Dropped:           s.admitted.Load() - s.completed.Load(),
 	}
@@ -420,7 +475,10 @@ func (s *Server) Explain(ctx context.Context, stmt string, maxDepth int) (Explai
 	}
 	defer release()
 
-	if s.kb.Graph.Prov() == nil {
+	// The snapshot is loaded before anything else: s.kb.Graph is swapped by
+	// the writer when it compacts, so all reads go through the pinned view.
+	sn := *s.snap.Load()
+	if !sn.ProvEnabled() {
 		s.journalQuery("explain_unavailable", start, 0)
 		return ExplainResponse{}, ErrNoProvenance
 	}
@@ -431,7 +489,6 @@ func (s *Server) Explain(ctx context.Context, stmt string, maxDepth int) (Explai
 	}
 	d := s.kb.Dict
 	t := rdf.Triple{S: d.Intern(st.S), P: d.Intern(st.P), O: d.Intern(st.O)}
-	sn := *s.snap.Load()
 	node, ok := sn.Explain(t, maxDepth)
 	if !ok {
 		s.journalQuery("explain_miss", start, 0)
@@ -459,6 +516,20 @@ func (s *Server) journalQuery(outcome string, start time.Time, rows int64) {
 // unbounded queueing. Accepted batches survive Shutdown: the writer drains
 // its channel before exiting.
 func (s *Server) Insert(ctx context.Context, ts []rdf.Triple) error {
+	return s.submit(ctx, ts, false)
+}
+
+// Delete hands a batch of triples to the writer for DRed retraction: the
+// requested triples are removed, inferences they supported are overdeleted,
+// and everything still derivable from the surviving asserted set is
+// restored before the next epoch is published. Same admission, drain and
+// backpressure contract as Insert — an accepted delete batch is flushed
+// before Shutdown returns.
+func (s *Server) Delete(ctx context.Context, ts []rdf.Triple) error {
+	return s.submit(ctx, ts, true)
+}
+
+func (s *Server) submit(ctx context.Context, ts []rdf.Triple, del bool) error {
 	if len(ts) == 0 {
 		return nil
 	}
@@ -474,15 +545,18 @@ func (s *Server) Insert(ctx context.Context, ts []rdf.Triple) error {
 	batch := make([]rdf.Triple, len(ts))
 	copy(batch, ts)
 	select {
-	case s.batches <- batch:
+	case s.batches <- writeBatch{ts: batch, del: del}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// writerLoop is the single mutator of kb.Graph: it applies each insert
-// batch through the incremental engine and publishes the new epoch.
+// writerLoop is the single mutator of kb.Graph: it applies each batch —
+// insert or delete — through the incremental engine and publishes the new
+// epoch. A batch that panics mid-apply is recovered here: the writer
+// repairs its private state, restores the closure fixpoint, and moves on to
+// the next batch without ever publishing the half-applied epoch.
 func (s *Server) writerLoop() {
 	defer s.writerWG.Done()
 	for batch := range s.batches {
@@ -490,29 +564,92 @@ func (s *Server) writerLoop() {
 	}
 }
 
-func (s *Server) apply(batch []rdf.Triple) {
+func (s *Server) apply(batch writeBatch) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.writerPanics.Add(1)
+			s.cfg.Run.Emit(obs.Event{Type: obs.EvServe, TS: s.cfg.Run.Now(),
+				Worker: obs.MasterWorker, Name: "writer_panic", N: 1})
+			s.recoverWriter()
+		}
+	}()
 	g := s.kb.Graph
 	before := g.Len()
-	seeds := batch[:0]
-	for _, t := range batch {
-		if g.Add(t) {
-			seeds = append(seeds, t)
+	if batch.del {
+		if s.writerHook != nil {
+			s.writerHook(batch)
 		}
+		//powl:ignore wallclock retraction pause measurement for the serve stats — telemetry only
+		t0 := time.Now()
+		st := s.ret.Retract(g, batch.ts)
+		//powl:ignore wallclock retraction pause measurement for the serve stats — telemetry only
+		s.retractNanos.Add(int64(time.Since(t0)))
+		s.deleteBatches.Add(1)
+		s.deletedTriples.Add(int64(st.Requested))
+		s.retractedTriples.Add(int64(st.Overdeleted))
+		s.rederivedTriples.Add(int64(st.Reinstated + st.Rederived + st.Propagated))
+		s.maybeCompact()
+	} else {
+		seeds := batch.ts[:0]
+		for _, t := range batch.ts {
+			if g.Add(t) {
+				seeds = append(seeds, t)
+			}
+		}
+		if s.writerHook != nil {
+			s.writerHook(batch)
+		}
+		if len(seeds) > 0 {
+			// The graph was at fixpoint before the seeds went in, so closing
+			// over just the seeds re-establishes it (semi-naive delta round).
+			reason.Forward{}.MaterializeFrom(g, s.kb.Rules, seeds)
+		}
+		s.insertBatches.Add(1)
+		s.insertedTriples.Add(int64(len(batch.ts)))
+		s.derivedTriples.Add(int64(s.kb.Graph.Len() - before))
 	}
-	if len(seeds) > 0 {
-		// The graph was at fixpoint before the seeds went in, so closing
-		// over just the seeds re-establishes it (semi-naive delta round).
-		reason.Forward{}.MaterializeFrom(g, s.kb.Rules, seeds)
-	}
-	sn := g.Snapshot()
+	sn := s.kb.Graph.Snapshot()
 	s.snap.Store(&sn)
-	s.insertBatches.Add(1)
-	s.insertedTriples.Add(int64(len(batch)))
-	s.derivedTriples.Add(int64(sn.Watermark() - before))
 	s.gEpoch.Set(int64(sn.Watermark()))
 	s.cfg.Run.Emit(obs.Event{Type: obs.EvEpoch, TS: s.cfg.Run.Now(),
 		Worker: obs.MasterWorker, N: int64(sn.Watermark()),
-		N2: int64(sn.Watermark() - before)})
+		N2: int64(s.kb.Graph.Len() - before)})
+}
+
+// maybeCompact rewrites the log without tombstones once the dead ratio
+// passes the configured threshold. The old graph is never mutated — every
+// snapshot pinned against it stays valid, and its memory is reclaimed when
+// the last such snapshot is dropped. Writer-goroutine only.
+func (s *Server) maybeCompact() {
+	g := s.kb.Graph
+	dead := g.Dead()
+	if s.cfg.CompactRatio < 0 || dead < s.cfg.CompactMinDead ||
+		float64(dead) < s.cfg.CompactRatio*float64(g.Len()) {
+		return
+	}
+	//powl:ignore wallclock compaction pause measurement for the serve stats — telemetry only
+	start := time.Now()
+	s.kb.Graph = g.Compact()
+	//powl:ignore wallclock compaction pause measurement for the serve stats — telemetry only
+	pause := time.Since(start)
+	s.compactions.Add(1)
+	s.compactNanos.Add(int64(pause))
+	s.cfg.Run.Emit(obs.Event{Type: obs.EvServe, TS: s.cfg.Run.Now(),
+		Worker: obs.MasterWorker, Name: "compact",
+		Dur: int64(pause), N: int64(dead)})
+}
+
+// recoverWriter repairs the graph after a mid-apply panic: the dedup map is
+// rebuilt from the log (the only writer-private structure a torn mutation
+// can corrupt — posting lists and the provenance column tolerate entries
+// above the watermark by design), and the closure fixpoint every later
+// batch assumes is restored by rematerializing. The previously published
+// snapshot is left exactly as it was; the repaired state is only visible
+// from the next successful batch's epoch on.
+func (s *Server) recoverWriter() {
+	g := s.kb.Graph
+	g.RepairDedup()
+	reason.Forward{}.Materialize(g, s.kb.Rules)
 }
 
 // Shutdown drains the server: new queries and inserts are refused with
