@@ -16,14 +16,23 @@
 //	-tests  include _test.go files in every analyzer (globalrand always
 //	        includes them)
 //	-list   print the analyzers and the invariant each enforces, then exit
+//	-debt   report suppression debt instead of findings: every //powl:ignore
+//	        directive grouped by check with counts, checked against the
+//	        module's budget file (exit 1 when a count exceeds its ceiling)
+//	-budget path of the budget file for -debt (default: owlvet.budget at the
+//	        module root, skipped silently when absent; an explicit path must
+//	        exist)
 //
-// Exit status: 0 clean, 1 findings, 2 operational failure.
+// Exit status: 0 clean, 1 findings (or budget exceeded), 2 operational
+// failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"powl/internal/analysis"
@@ -33,6 +42,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	tests := flag.Bool("tests", false, "include _test.go files in all analyzers")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	debt := flag.Bool("debt", false, "report suppression debt and check it against the budget")
+	budget := flag.String("budget", "", "budget file for -debt (default: owlvet.budget at the module root)")
 	flag.Parse()
 
 	suite := analysis.NewSuite()
@@ -58,6 +69,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "owlvet:", err)
 		os.Exit(2)
 	}
+
+	if *debt {
+		runDebt(mod, *budget, *jsonOut)
+		return
+	}
+
 	findings, err := suite.Run(mod)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "owlvet:", err)
@@ -77,6 +94,43 @@ func main() {
 	if len(findings) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(os.Stderr, "owlvet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// runDebt prints the suppression-debt report and enforces the budget. A
+// budget file given explicitly must exist; the default module-root
+// owlvet.budget is optional so the report stays usable in scratch modules.
+func runDebt(mod *analysis.Module, budgetPath string, jsonOut bool) {
+	report := analysis.CollectDebt(mod)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "owlvet:", err)
+			os.Exit(2)
+		}
+	} else if err := analysis.WriteDebt(os.Stdout, report); err != nil {
+		fmt.Fprintln(os.Stderr, "owlvet:", err)
+		os.Exit(2)
+	}
+
+	explicit := budgetPath != ""
+	if !explicit {
+		budgetPath = filepath.Join(mod.Root, analysis.DefaultBudgetFile)
+		if _, err := os.Stat(budgetPath); err != nil {
+			return // no budget checked in: report only
+		}
+	}
+	b, err := analysis.LoadBudget(budgetPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "owlvet:", err)
+		os.Exit(2)
+	}
+	if over := report.Exceeds(b); len(over) > 0 {
+		for _, msg := range over {
+			fmt.Fprintln(os.Stderr, "owlvet: debt:", msg)
 		}
 		os.Exit(1)
 	}

@@ -1,0 +1,364 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocFreeDirective marks a function whose transitive in-module call cone
+// must be free of allocating constructs.
+const AllocFreeDirective = "//powl:allocfree"
+
+// AllocFree statically verifies the zero-alloc join path. PR 5/6 made the
+// steady-state materialize and serve reads 0 allocs/op, and
+// TestJoinPathZeroAllocs pins that at runtime — but AllocsPerRun samples one
+// workload; a branch it never takes can still allocate. A function annotated
+//
+//	//powl:allocfree
+//
+// in its doc comment is verified structurally instead: the analyzer walks
+// its transitive in-module callees (over the module call graph) and flags
+// every allocating construct in the cone — make/new, slice/map composite
+// literals, &composite, growing append onto anything but a same-function
+// `buf[:0]` reslice, go/defer, string<->[]byte conversions, fmt calls,
+// interface boxing at resolved call sites, and closures that escape (a
+// FuncLit is allowed only as a direct argument to a call-only parameter of
+// a resolved callee — see callgraph.go for that fact). Calls that resolve
+// outside the module (stubbed stdlib) are skipped: the runtime test remains
+// the net for those.
+type AllocFree struct {
+	mod  *Module
+	pend map[*Package][]pendingFinding
+}
+
+type pendingFinding struct {
+	pos token.Pos
+	msg string
+}
+
+func (a *AllocFree) Name() string { return "allocfree" }
+
+func (a *AllocFree) Doc() string {
+	return "transitive callees of //powl:allocfree functions contain no allocating constructs (statically verifies the zero-alloc join path)"
+}
+
+func (a *AllocFree) Run(pass *Pass) error {
+	if pass.Mod == nil {
+		return nil
+	}
+	a.build(pass.Mod)
+	for _, f := range a.pend[pass.Pkg] {
+		pass.reportf(f.pos, "%s", f.msg)
+	}
+	return nil
+}
+
+// build computes the module-wide findings once and buckets them by package,
+// so the per-package Run calls report each finding exactly once.
+func (a *AllocFree) build(mod *Module) {
+	if a.mod == mod {
+		return
+	}
+	a.mod = mod
+	a.pend = map[*Package][]pendingFinding{}
+	cg := mod.CallGraph()
+
+	// Roots: declarations carrying the annotation in their doc comment.
+	var roots []*FuncInfo
+	for _, fi := range cg.Funcs {
+		if hasAllocFreeDirective(fi.Decl.Doc) {
+			roots = append(roots, fi)
+		}
+	}
+	// BFS the cone; remember how each function was reached for messages.
+	via := map[*FuncInfo]*FuncInfo{} // callee -> caller on first discovery
+	root := map[*FuncInfo]*FuncInfo{}
+	queue := append([]*FuncInfo{}, roots...)
+	for _, r := range roots {
+		root[r] = r
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, c := range fi.Callees {
+			if _, seen := root[c]; seen {
+				continue
+			}
+			via[c] = fi
+			root[c] = root[fi]
+			queue = append(queue, c)
+		}
+	}
+	// Scan every cone member (roots first, then discovery order is
+	// irrelevant: findings are position-sorted by the suite).
+	for _, fi := range cg.Funcs {
+		if _, in := root[fi]; in {
+			a.scanFunc(cg, fi, a.reachNote(fi, via, root))
+		}
+	}
+}
+
+// reachNote renders "in <fn>" for a root or "reachable from //powl:allocfree
+// <root> via <caller>" for cone members, so a finding names the hot path
+// that pulls the construct in.
+func (a *AllocFree) reachNote(fi *FuncInfo, via, root map[*FuncInfo]*FuncInfo) string {
+	r := root[fi]
+	if r == fi {
+		return "in //powl:allocfree " + fi.Name()
+	}
+	if caller := via[fi]; caller != nil && caller != r {
+		return "in " + fi.Name() + ", reachable from //powl:allocfree " + r.Name() + " via " + caller.Name()
+	}
+	return "in " + fi.Name() + ", reachable from //powl:allocfree " + r.Name()
+}
+
+func hasAllocFreeDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), AllocFreeDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanFunc flags the allocating constructs in one cone member's body.
+func (a *AllocFree) scanFunc(cg *CallGraph, fi *FuncInfo, note string) {
+	if fi.Decl.Body == nil {
+		return
+	}
+	pkg := fi.Pkg
+	report := func(pos token.Pos, msg string) {
+		a.pend[pkg] = append(a.pend[pkg], pendingFinding{pos, msg + " " + note})
+	}
+	file := fileOf(pkg, fi.Decl.Pos())
+	fmtName := ""
+	if file != nil {
+		fmtName, _ = importName(file, "fmt")
+	}
+
+	// Track locals bound from a zero-length reslice (`buf := sc.buf[:0]`):
+	// appending onto those reuses a persistent scratch buffer and is the
+	// sanctioned amortized-growth idiom.
+	reslice := map[types.Object]bool{}
+	markReslices := func(lhs, rhs []ast.Expr) {
+		for i, l := range lhs {
+			if i >= len(rhs) {
+				break
+			}
+			if !isZeroReslice(rhs[i]) {
+				continue
+			}
+			if id, ok := unparen(l).(*ast.Ident); ok && pkg.Info != nil {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					reslice[obj] = true
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					reslice[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			markReslices(as.Lhs, as.Rhs)
+		}
+		return true
+	})
+
+	// okLits are FuncLits sanctioned as non-escaping (direct argument to a
+	// call-only parameter of a resolved callee).
+	okLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := cg.Resolve(pkg, call)
+		if callee == nil {
+			return true
+		}
+		for ai, arg := range call.Args {
+			if lit, isLit := unparen(arg).(*ast.FuncLit); isLit {
+				if callee.CallOnlyParam(calleeParamIndex(callee, ai)) {
+					okLits[lit] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			report(x.Pos(), "defer allocates a deferred frame")
+		case *ast.FuncLit:
+			if !okLits[x] {
+				report(x.Pos(), "closure may escape and allocate (pass it to a call-only parameter or hoist it)")
+			}
+			// Keep descending: the closure body runs on the hot path too.
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := unparen(x.X).(*ast.CompositeLit); isLit {
+					report(x.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if isSliceOrMapLit(pkg, x) {
+				report(x.Pos(), "slice/map composite literal allocates")
+			}
+		case *ast.CallExpr:
+			a.checkCall(cg, pkg, x, fmtName, reslice, report)
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating call shapes: builtins, conversions, fmt, and
+// interface boxing at resolved call sites.
+func (a *AllocFree) checkCall(cg *CallGraph, pkg *Package, call *ast.CallExpr, fmtName string, reslice map[types.Object]bool, report func(token.Pos, string)) {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch fn.Name {
+		case "make", "new":
+			report(call.Pos(), fn.Name+"() allocates")
+			return
+		case "append":
+			if len(call.Args) > 0 && !isResliceTarget(pkg, call.Args[0], reslice) {
+				report(call.Pos(), "append may grow and allocate; append onto a `buf[:0]` reslice of a persistent scratch buffer")
+			}
+			return
+		case "string":
+			if len(call.Args) == 1 {
+				report(call.Pos(), "string conversion allocates")
+			}
+			return
+		}
+	case *ast.ArrayType:
+		// []byte(s) / []rune(s) conversion.
+		if fn.Len == nil {
+			report(call.Pos(), "slice conversion allocates")
+		}
+		return
+	case *ast.SelectorExpr:
+		if fmtName != "" {
+			if id, ok := fn.X.(*ast.Ident); ok && id.Name == fmtName {
+				if pkg.Info == nil || pkg.Info.Uses[id] == nil || isPkgName(pkg.Info.Uses[id]) {
+					report(call.Pos(), "fmt."+fn.Sel.Name+" allocates (boxing + buffering)")
+					return
+				}
+			}
+		}
+	}
+	// Interface boxing on resolved in-module calls: a concrete argument
+	// passed into an interface-typed parameter escapes.
+	callee := cg.Resolve(pkg, call)
+	if callee == nil || callee.Obj == nil {
+		return
+	}
+	sig, ok := callee.Obj.Type().(*types.Signature)
+	if !ok || pkg.Info == nil {
+		return
+	}
+	params := sig.Params()
+	for ai, arg := range call.Args {
+		pi := ai
+		if sig.Variadic() && pi >= params.Len() {
+			pi = params.Len() - 1
+		}
+		if pi < 0 || pi >= params.Len() {
+			continue
+		}
+		pt := params.At(pi).Type()
+		if sig.Variadic() && pi == params.Len()-1 {
+			if sl, ok := pt.(*types.Slice); ok && !call.Ellipsis.IsValid() {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pkg.Info.TypeOf(arg)
+		if at == nil || at == types.Typ[types.Invalid] || types.IsInterface(at) {
+			continue
+		}
+		if isNilIdent(arg) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "passing concrete value into interface parameter boxes (allocates)")
+	}
+}
+
+// isZeroReslice matches `x[:0]`.
+func isZeroReslice(e ast.Expr) bool {
+	se, ok := unparen(e).(*ast.SliceExpr)
+	if !ok || se.Low != nil || se.High == nil {
+		return false
+	}
+	lit, ok := se.High.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// isResliceTarget reports whether the append target is sanctioned: either a
+// local previously bound from a `[:0]` reslice, or an inline `x[:0]`.
+func isResliceTarget(pkg *Package, e ast.Expr, reslice map[types.Object]bool) bool {
+	if isZeroReslice(e) {
+		return true
+	}
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || pkg.Info == nil {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	return obj != nil && reslice[obj]
+}
+
+// isSliceOrMapLit reports whether the composite literal builds a slice or
+// map (array and struct literals are values and stay off the heap unless
+// their address is taken, which is flagged separately).
+func isSliceOrMapLit(pkg *Package, lit *ast.CompositeLit) bool {
+	switch t := lit.Type.(type) {
+	case *ast.ArrayType:
+		return t.Len == nil
+	case *ast.MapType:
+		return true
+	case nil:
+		return false // inner literal of an enclosing composite; typed by context
+	}
+	if pkg.Info != nil {
+		if t := pkg.Info.TypeOf(lit); t != nil && t != types.Typ[types.Invalid] {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+func isPkgName(obj types.Object) bool {
+	_, ok := obj.(*types.PkgName)
+	return ok
+}
+
+// fileOf returns the syntax file of pkg containing pos.
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

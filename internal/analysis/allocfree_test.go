@@ -1,0 +1,201 @@
+package analysis
+
+import "testing"
+
+// The allocfree corpus. Each module annotates a root with //powl:allocfree
+// and the analyzer must judge the whole in-module call cone.
+
+func TestAllocFreeFlagsMakeInRoot(t *testing.T) {
+	fs := runOne(t, &AllocFree{}, map[string]string{
+		"internal/core/j.go": `package core
+
+//powl:allocfree hot
+func Join(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}
+`,
+	})
+	wantFindings(t, fs, "j.go:5:9: [allocfree] make() allocates in //powl:allocfree Join")
+}
+
+func TestAllocFreeFlagsConstructsAcrossCone(t *testing.T) {
+	// The allocation sits two calls below the annotation, in another
+	// package — the finding names the root and the path into it.
+	fs := runOne(t, &AllocFree{}, map[string]string{
+		"internal/core/j.go": `package core
+
+import "scratch/internal/util"
+
+//powl:allocfree hot
+func Join(n int) int {
+	return step(n)
+}
+
+func step(n int) int {
+	return util.Leaf(n)
+}
+`,
+		"internal/util/u.go": `package util
+
+func Leaf(n int) int {
+	m := map[int]int{}
+	m[n] = n
+	return len(m)
+}
+`,
+	})
+	wantFindings(t, fs,
+		"u.go:4:7: [allocfree] slice/map composite literal allocates in Leaf, reachable from //powl:allocfree Join via step")
+}
+
+func TestAllocFreeAllowsResliceAppend(t *testing.T) {
+	// Appending onto a [:0] reslice of persistent scratch is the sanctioned
+	// amortized idiom; appending onto anything else is flagged.
+	fs := runOne(t, &AllocFree{}, map[string]string{
+		"internal/core/j.go": `package core
+
+type scratch struct {
+	rest []int
+	out  []int
+}
+
+//powl:allocfree hot
+func Fill(sc *scratch, n int) {
+	rest := sc.rest[:0]
+	for i := 0; i < n; i++ {
+		rest = append(rest, i)
+	}
+	sc.rest = rest
+	sc.out = append(sc.out, n)
+}
+`,
+	})
+	wantFindings(t, fs, "j.go:15:11: [allocfree] append may grow and allocate")
+}
+
+func TestAllocFreeClosureToCallOnlyParamAllowed(t *testing.T) {
+	// yield is only ever called by the callee (the call-only fact from the
+	// module call graph), so the closure literal does not escape. The
+	// recursive forwarding mirrors joinRest's shape.
+	fs := runOne(t, &AllocFree{}, map[string]string{
+		"internal/core/j.go": `package core
+
+//powl:allocfree hot
+func Join(n int) {
+	walk(n, func(int) {})
+}
+
+func walk(n int, yield func(int)) {
+	if n == 0 {
+		return
+	}
+	yield(n)
+	walk(n-1, yield)
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestAllocFreeFlagsEscapingClosure(t *testing.T) {
+	fs := runOne(t, &AllocFree{}, map[string]string{
+		"internal/core/j.go": `package core
+
+var hook func(int)
+
+//powl:allocfree hot
+func Join(n int) {
+	stash(func(int) {})
+}
+
+func stash(fn func(int)) {
+	hook = fn
+}
+`,
+	})
+	wantFindings(t, fs, "j.go:7:8: [allocfree] closure may escape and allocate")
+}
+
+func TestAllocFreeFlagsBoxingGoDeferFmt(t *testing.T) {
+	fs := runOne(t, &AllocFree{}, map[string]string{
+		"internal/core/j.go": `package core
+
+import "fmt"
+
+func sink(v any) {}
+
+//powl:allocfree hot
+func Join(n int) {
+	sink(n)
+	go func() {}()
+	defer fmt.Println(n)
+}
+`,
+	})
+	wantFindings(t, fs,
+		"j.go:9:7: [allocfree] passing concrete value into interface parameter boxes",
+		"j.go:10:2: [allocfree] go statement allocates",
+		"j.go:10:5: [allocfree] closure may escape",
+		"j.go:11:2: [allocfree] defer allocates",
+		"j.go:11:8: [allocfree] fmt.Println allocates",
+	)
+}
+
+func TestAllocFreeUnannotatedModuleClean(t *testing.T) {
+	// No annotation, no cone: the module may allocate freely.
+	fs := runOne(t, &AllocFree{}, map[string]string{
+		"internal/core/j.go": `package core
+
+func Build(n int) []int {
+	return make([]int, n)
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestAllocFreeValueLiteralAllowed(t *testing.T) {
+	// A struct/array value literal stays off the heap; only &lit and
+	// slice/map literals are allocations. Mirrors bindTriple's [3]struct
+	// pattern table.
+	fs := runOne(t, &AllocFree{}, map[string]string{
+		"internal/core/j.go": `package core
+
+type pair struct{ a, b int }
+
+//powl:allocfree hot
+func Join(x, y int) int {
+	for _, p := range [2]pair{{x, y}, {y, x}} {
+		if p.a < p.b {
+			return p.a
+		}
+	}
+	return 0
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestAllocFreeSuppressedByDirective(t *testing.T) {
+	// The arena-refill idiom: one make per block, suppressed with a reason.
+	fs := runAll(t, map[string]string{
+		"internal/core/j.go": `package core
+
+type arena struct{ buf []int }
+
+//powl:allocfree hot
+func Grab(a *arena, n int) []int {
+	if cap(a.buf)-len(a.buf) < n {
+		//powl:ignore allocfree amortized block refill, one make per 4096 elements
+		a.buf = make([]int, 0, 4096)
+	}
+	s := len(a.buf)
+	a.buf = a.buf[:s+n]
+	return a.buf[s : s+n]
+}
+`,
+	})
+	wantFindings(t, fs)
+}

@@ -65,6 +65,9 @@ type Pass struct {
 	// Files are the syntax trees the analyzer should inspect. Test files are
 	// excluded unless the suite was configured with Tests.
 	Files []*ast.File
+	// Mod is the whole loaded module, for analyzers that compose facts
+	// across packages (call graph, cross-package annotations).
+	Mod *Module
 
 	report func(Finding)
 }
@@ -99,6 +102,9 @@ func NewSuite() *Suite {
 		&GlobalRand{},
 		&CtxSpawn{},
 		&LockedSend{},
+		&AtomicPub{},
+		&AllocFree{},
+		&DegradeJournal{},
 	}}
 }
 
@@ -125,7 +131,7 @@ func (s *Suite) Run(mod *Module) ([]Finding, error) {
 			files = append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
 		}
 		for _, a := range s.Analyzers {
-			pass := &Pass{Fset: mod.Fset, Pkg: pkg, Files: files}
+			pass := &Pass{Fset: mod.Fset, Pkg: pkg, Files: files, Mod: mod}
 			if err := runAnalyzer(a, pass, &all); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name(), pkg.Path, err)
 			}

@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicPub enforces the copy-on-write discipline around the store's atomic
+// publication points. The MVCC substrate (PR 6) publishes posting-list
+// arrays, tombstone bitsets, and the prov name table by swapping an
+// atomic.Pointer: readers Load and walk a frozen value with no lock, so the
+// one rule that keeps them race-free is that a value, once Stored, is never
+// written through again — growth happens by cloning, mutating the clone,
+// and swapping. This analyzer proves the rule at the source level:
+//
+//   - post-publication mutation: any write through a variable that aliases a
+//     value already handed to Store/Swap, or obtained from Load, is flagged
+//     (the intra-procedural alias tracking lives in dataflow.go);
+//   - mixed access: an atomic field must only ever be used as the receiver
+//     of Load/Store/Swap/CompareAndSwap — indexing it, taking its address,
+//     or assigning it directly bypasses the happens-before edge the atomic
+//     provides.
+//
+// Atomic fields are collected module-wide and syntactically (struct fields
+// and package vars declared as atomic.Pointer[...]/atomic.Value): the loader
+// stubs sync/atomic, so their types are unresolved and the declaration shape
+// is the ground truth.
+type AtomicPub struct {
+	mod *Module
+	// fields are the declared atomic field/var objects.
+	fields map[types.Object]bool
+	// names is the fallback for uses the checker could not resolve to the
+	// declared object (e.g. through generic instantiation).
+	names map[string]bool
+}
+
+func (a *AtomicPub) Name() string { return "atomicpub" }
+
+func (a *AtomicPub) Doc() string {
+	return "values published via atomic.Pointer/atomic.Value follow COW discipline: no post-publication mutation, no mixed atomic/plain access"
+}
+
+// atomicMethods are the sanctioned operations on an atomic field.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "CompareAndDelete": true,
+	"Add": true, "And": true, "Or": true,
+}
+
+func (a *AtomicPub) Run(pass *Pass) error {
+	if pass.Mod == nil {
+		return nil
+	}
+	a.collect(pass.Mod)
+	if len(a.fields) == 0 && len(a.names) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if FileIsTest(pass.Fset, f.Pos()) {
+			// Test bodies mutate snapshots on purpose to prove detection;
+			// the shipped invariant lives in non-test code.
+			continue
+		}
+		a.checkMixedAccess(pass, f)
+		funcBodies(f, func(node ast.Node, body *ast.BlockStmt) {
+			if _, ok := node.(*ast.FuncLit); ok {
+				return // covered by the enclosing declaration's scan
+			}
+			a.checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+// collect gathers every atomic.Pointer/atomic.Value struct field and package
+// var in the module, once per loaded module.
+func (a *AtomicPub) collect(mod *Module) {
+	if a.mod == mod {
+		return
+	}
+	a.mod = mod
+	a.fields = map[types.Object]bool{}
+	a.names = map[string]bool{}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			atomicName, ok := importName(f, "sync/atomic")
+			if !ok {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.StructType:
+					for _, field := range x.Fields.List {
+						if !isAtomicType(field.Type, atomicName) {
+							continue
+						}
+						for _, name := range field.Names {
+							a.names[name.Name] = true
+							if pkg.Info != nil {
+								if obj := pkg.Info.Defs[name]; obj != nil {
+									a.fields[obj] = true
+								}
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					if !isAtomicType(x.Type, atomicName) {
+						return true
+					}
+					for _, name := range x.Names {
+						a.names[name.Name] = true
+						if pkg.Info != nil {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								a.fields[obj] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicType matches the declared type shapes atomic.Value,
+// atomic.Pointer[T], and *atomic.X.
+func isAtomicType(t ast.Expr, atomicName string) bool {
+	switch x := t.(type) {
+	case *ast.StarExpr:
+		return isAtomicType(x.X, atomicName)
+	case *ast.IndexExpr: // atomic.Pointer[T]
+		return isAtomicType(x.X, atomicName)
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && id.Name == atomicName
+	}
+	return false
+}
+
+// isAtomicField reports whether the identifier (field selector or package
+// var) denotes a collected atomic field. The identifier must resolve to an
+// object: a selector the checker could not resolve at all has an
+// unknown-typed receiver (typically a value that already flowed through the
+// stubbed atomic API), and judging those by bare name would flag every
+// method or field that happens to share one.
+func (a *AtomicPub) isAtomicField(pass *Pass, id *ast.Ident) bool {
+	if pass.Pkg.Info == nil {
+		return false
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if a.fields[obj] {
+		return true
+	}
+	// Generic instantiation can mint a distinct field object; fall back to
+	// the declared-name set only when the object's type is unresolved
+	// (which is what a stubbed atomic type looks like).
+	if obj.Type() != nil && obj.Type() != types.Typ[types.Invalid] {
+		return false
+	}
+	return a.names[id.Name]
+}
+
+// atomicFieldExpr reports whether e is an access to an atomic field: x.field
+// or a bare package-var identifier. Returns the rendered field path.
+func (a *AtomicPub) atomicFieldExpr(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if a.isAtomicField(pass, x.Sel) {
+			return exprString(x), true
+		}
+	case *ast.Ident:
+		if a.isAtomicField(pass, x) {
+			return x.Name, true
+		}
+	}
+	return "", false
+}
+
+// checkMixedAccess flags every use of an atomic field that is not the
+// receiver of a sanctioned atomic method call.
+func (a *AtomicPub) checkMixedAccess(pass *Pass, f *ast.File) {
+	// First mark the sanctioned receiver positions...
+	ok := map[ast.Expr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+		if !isSel || !atomicMethods[sel.Sel.Name] {
+			return true
+		}
+		if _, isAtomic := a.atomicFieldExpr(pass, sel.X); isAtomic {
+			ok[unparen(sel.X)] = true
+		}
+		return true
+	})
+	// ...then every remaining atomic-field access is a plain access.
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.StructType, *ast.Field:
+			return false // declarations, not accesses
+		case *ast.SelectorExpr:
+			if ok[x] {
+				return false
+			}
+			if field, isAtomic := a.atomicFieldExpr(pass, x); isAtomic {
+				pass.reportf(x.Pos(), "plain access to atomic field %s bypasses its happens-before edge; use %s.Load/Store", field, field)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkBody runs the publication-alias scan over one function body and
+// reports post-publication mutations.
+func (a *AtomicPub) checkBody(pass *Pass, body *ast.BlockStmt) {
+	tr := NewAliasTracker(pass.Pkg)
+	WalkStmts(body, func(s ast.Stmt) {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			a.checkPublish(pass, tr, st.X, nil)
+			a.checkMutatingBuiltins(pass, tr, st.X)
+		case *ast.AssignStmt:
+			a.assign(pass, tr, st.Lhs, st.Rhs)
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+						lhs := make([]ast.Expr, len(vs.Names))
+						for i, n := range vs.Names {
+							lhs[i] = n
+						}
+						a.assign(pass, tr, lhs, vs.Values)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if info := tr.Lookup(st.X); info != nil {
+				a.reportMutation(pass, st.X.Pos(), info)
+			}
+		case *ast.RangeStmt:
+			// `for i := range published` only reads; writes inside the loop
+			// body are seen as their own statements.
+		}
+	})
+}
+
+// assign processes one (possibly parallel) assignment: mutation checks on
+// path-writes, publication on Store results, alias propagation otherwise.
+func (a *AtomicPub) assign(pass *Pass, tr *AliasTracker, lhs, rhs []ast.Expr) {
+	for i, l := range lhs {
+		var r ast.Expr
+		if len(rhs) == len(lhs) {
+			r = rhs[i]
+		} else if len(rhs) == 1 {
+			r = rhs[0]
+		}
+		// Direct assignment TO an atomic field is mixed access, reported by
+		// checkMixedAccess; here we care about writes through aliases.
+		if !isBareIdent(l) {
+			if info := tr.Lookup(l); info != nil {
+				a.reportMutation(pass, l.Pos(), info)
+			}
+			continue
+		}
+		// Publication via x := field.Load() / Swap result.
+		if r != nil {
+			if call, ok := unparen(r).(*ast.CallExpr); ok {
+				if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Load" || sel.Sel.Name == "Swap") {
+					if field, isAtomic := a.atomicFieldExpr(pass, sel.X); isAtomic {
+						tr.Publish(tr.directObj(l), &PubInfo{Field: field, Pos: call.Pos()})
+						continue
+					}
+				}
+			}
+		}
+		tr.Assign(l, r)
+	}
+	// Store calls can also appear on the RHS of an assignment chain.
+	for _, r := range rhs {
+		a.checkPublish(pass, tr, r, nil)
+	}
+}
+
+// checkPublish finds field.Store(v) / field.Swap(v) calls in e and publishes
+// the stored value's base variable.
+func (a *AtomicPub) checkPublish(pass *Pass, tr *AliasTracker, e ast.Expr, _ ast.Stmt) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Store" && sel.Sel.Name != "Swap" && sel.Sel.Name != "CompareAndSwap") {
+			return true
+		}
+		field, isAtomic := a.atomicFieldExpr(pass, sel.X)
+		if !isAtomic || len(call.Args) == 0 {
+			return true
+		}
+		// The published value is the last argument (new value for CAS).
+		arg := call.Args[len(call.Args)-1]
+		if obj := tr.baseObj(arg); obj != nil {
+			tr.Publish(obj, &PubInfo{Field: field, Pos: call.Pos()})
+		}
+		return true
+	})
+}
+
+// checkMutatingBuiltins flags copy/clear into a published value.
+func (a *AtomicPub) checkMutatingBuiltins(pass *Pass, tr *AliasTracker, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || (id.Name != "copy" && id.Name != "clear") || len(call.Args) == 0 {
+			return true
+		}
+		if info := tr.Lookup(call.Args[0]); info != nil {
+			a.reportMutation(pass, call.Pos(), info)
+		}
+		return true
+	})
+}
+
+func (a *AtomicPub) reportMutation(pass *Pass, pos token.Pos, info *PubInfo) {
+	at := pass.Fset.Position(info.Pos)
+	pass.reportf(pos, "mutation of value published via %s (published at line %d); COW discipline: clone, mutate the clone, then Store", info.Field, at.Line)
+}
+
+func isBareIdent(e ast.Expr) bool {
+	_, ok := unparen(e).(*ast.Ident)
+	return ok
+}

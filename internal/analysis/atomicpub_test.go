@@ -1,0 +1,207 @@
+package analysis
+
+import "testing"
+
+// The atomicpub corpus: each case is the smallest module exhibiting one
+// publication shape the analyzer must judge. The struct under test mirrors
+// the rdf posting-list idiom (atomic.Pointer[[]T] + length).
+
+func TestAtomicPubFlagsStoreThenMutate(t *testing.T) {
+	fs := runOne(t, &AtomicPub{}, map[string]string{
+		"internal/core/p.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]int]
+}
+
+func (p *posting) grow(n, x int) {
+	na := make([]int, n*2)
+	p.arr.Store(&na)
+	na[n] = x
+}
+`,
+	})
+	wantFindings(t, fs, "p.go:12:2: [atomicpub] mutation of value published via p.arr")
+}
+
+func TestAtomicPubFlagsLoadThenMutate(t *testing.T) {
+	fs := runOne(t, &AtomicPub{}, map[string]string{
+		"internal/core/p.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]int]
+}
+
+func (p *posting) poke(n, x int) {
+	a := p.arr.Load()
+	(*a)[n] = x
+}
+`,
+	})
+	wantFindings(t, fs, "p.go:11:2: [atomicpub] mutation of value published via p.arr")
+}
+
+func TestAtomicPubFlagsAliasedMutation(t *testing.T) {
+	// Publication reaches the write through an alias chain:
+	// Store(&na) ... a = &na ... (*a)[i] = x.
+	fs := runOne(t, &AtomicPub{}, map[string]string{
+		"internal/core/p.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]int]
+}
+
+func (p *posting) append1(n, x int) {
+	a := p.arr.Load()
+	if a == nil {
+		na := make([]int, 8)
+		p.arr.Store(&na)
+		a = &na
+	}
+	(*a)[n] = x
+}
+`,
+	})
+	wantFindings(t, fs,
+		"p.go:16:2: [atomicpub] mutation of value published via p.arr")
+}
+
+func TestAtomicPubFlagsCopyIntoPublished(t *testing.T) {
+	fs := runOne(t, &AtomicPub{}, map[string]string{
+		"internal/core/p.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]int]
+}
+
+func (p *posting) refill(src []int) {
+	a := p.arr.Load()
+	copy(*a, src)
+}
+`,
+	})
+	wantFindings(t, fs, "p.go:11:2: [atomicpub] mutation of value published via p.arr")
+}
+
+func TestAtomicPubAllowsCOWPublish(t *testing.T) {
+	// The sanctioned discipline: clone, mutate the clone, then Store. No
+	// write after publication.
+	fs := runOne(t, &AtomicPub{}, map[string]string{
+		"internal/core/p.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]int]
+}
+
+func (p *posting) replace(n, x int) {
+	na := make([]int, n+1)
+	if old := p.arr.Load(); old != nil {
+		copy(na, *old)
+	}
+	na[n] = x
+	p.arr.Store(&na)
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestAtomicPubKillsAliasOnReassignment(t *testing.T) {
+	// Rebinding the alias to a fresh value ends the published association;
+	// writes through the fresh value are COW business as usual.
+	fs := runOne(t, &AtomicPub{}, map[string]string{
+		"internal/core/p.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]int]
+}
+
+func (p *posting) rebuild(n, x int) {
+	na := make([]int, 8)
+	p.arr.Store(&na)
+	na = make([]int, 16)
+	na[n] = x
+	p.arr.Store(&na)
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestAtomicPubFlagsMixedPlainAccess(t *testing.T) {
+	fs := runOne(t, &AtomicPub{}, map[string]string{
+		"internal/core/p.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]int]
+}
+
+func (p *posting) first() *[]int {
+	return p.arr.Load()
+}
+
+func (p *posting) raw() any {
+	return p.arr
+}
+`,
+	})
+	wantFindings(t, fs, "p.go:14:9: [atomicpub] plain access to atomic field p.arr")
+}
+
+func TestAtomicPubAllowsCounterMethods(t *testing.T) {
+	// Add/Load on numeric atomics is the sanctioned counter idiom, not
+	// mixed access.
+	fs := runOne(t, &AtomicPub{}, map[string]string{
+		"internal/core/c.go": `package core
+
+import "sync/atomic"
+
+type counters struct {
+	admitted atomic.Int64
+}
+
+func (c *counters) bump() int64 {
+	c.admitted.Add(1)
+	return c.admitted.Load()
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestAtomicPubSuppressedByDirective(t *testing.T) {
+	// The element-below-published-length idiom in rdf carries a reasoned
+	// ignore; the directive must suppress exactly that finding.
+	fs := runAll(t, map[string]string{
+		"internal/core/p.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]int]
+}
+
+func (p *posting) append1(n, x int) {
+	na := make([]int, n*2)
+	p.arr.Store(&na)
+	//powl:ignore atomicpub element write below the published length; the length store is the commit point
+	na[n] = x
+}
+`,
+	})
+	wantFindings(t, fs)
+}

@@ -1,0 +1,377 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the dataflow layer the PR-9 analyzers stand on: a module-wide
+// static call graph over go/types plus per-function facts that compose across
+// packages. The loader stubs everything outside the module, so the graph is
+// deliberately partial — calls into the stdlib and calls through function
+// values or interfaces stay unresolved — and every fact is computed to be
+// sound under that partiality: "call-only" starts optimistic and is demoted
+// by any use the analysis cannot prove harmless, while "emits" starts
+// pessimistic and is promoted only by an actual journal call.
+
+// FuncInfo is one declared function or method of the module, with its
+// resolved static callees and the facts analyzers compose over.
+type FuncInfo struct {
+	// Obj is the declared (generic-origin) object; methods of instantiated
+	// generics resolve back to it via types.Func.Origin.
+	Obj *types.Func
+	// Decl is the syntax, body included (nil for bodyless declarations).
+	Decl *ast.FuncDecl
+	// Pkg is the declaring package.
+	Pkg *Package
+
+	// Callees are the statically resolved in-module callees, in first-call
+	// source order; CallPos[f] is the first call site of callee f, for
+	// reporting reachability paths.
+	Callees []*FuncInfo
+	CallPos map[*FuncInfo]token.Pos
+
+	// Emits reports that the function's own body (closures included)
+	// contains a direct journal emit ((*obs.Run).Emit). Deliberately NOT
+	// closed transitively: almost everything eventually reaches some Emit
+	// through the instrumented engine, and a fact diluted that far would
+	// credit a degraded fallback for journal lines that say nothing about
+	// it. Callers that need one level of indirection (a journalDegrade-style
+	// wrapper) get it from the scope check, not from the fact.
+	Emits bool
+
+	// callOnly[i] is true when func-typed parameter i provably never escapes
+	// the callee: every use is a direct call, a nil comparison, or a pass
+	// into another call-only position. Closure literals handed to such a
+	// parameter need not be heap-allocated.
+	callOnly map[int]bool
+	// funcParams maps a func-typed parameter's object back to its index.
+	funcParams map[types.Object]int
+}
+
+// Name renders the function for messages: Recv.Method or pkg-local name.
+func (fi *FuncInfo) Name() string {
+	if fi.Decl != nil && fi.Decl.Recv != nil && len(fi.Decl.Recv.List) > 0 {
+		return exprString(fi.Decl.Recv.List[0].Type) + "." + fi.Decl.Name.Name
+	}
+	if fi.Decl != nil {
+		return fi.Decl.Name.Name
+	}
+	return fi.Obj.Name()
+}
+
+// CallGraph is the module-wide static call graph plus composed facts.
+type CallGraph struct {
+	Mod *Module
+	// Funcs is every declared function, sorted by source position for
+	// deterministic iteration.
+	Funcs []*FuncInfo
+
+	byObj  map[*types.Func]*FuncInfo
+	byDecl map[*ast.FuncDecl]*FuncInfo
+}
+
+// CallGraph builds (once) and returns the module's call graph. Test files
+// are excluded: facts describe the shipped code.
+func (m *Module) CallGraph() *CallGraph {
+	if m.cg != nil {
+		return m.cg
+	}
+	cg := &CallGraph{
+		Mod:    m,
+		byObj:  map[*types.Func]*FuncInfo{},
+		byDecl: map[*ast.FuncDecl]*FuncInfo{},
+	}
+	// Pass 1: one FuncInfo per declaration.
+	for _, pkg := range m.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg, CallPos: map[*FuncInfo]token.Pos{}}
+				cg.Funcs = append(cg.Funcs, fi)
+				cg.byDecl[fd] = fi
+				if obj != nil {
+					cg.byObj[obj] = fi
+				}
+			}
+		}
+	}
+	sort.Slice(cg.Funcs, func(i, j int) bool { return cg.Funcs[i].Decl.Pos() < cg.Funcs[j].Decl.Pos() })
+	// Pass 2: edges. A call through a FuncLit, parameter, field, or stubbed
+	// import resolves to nothing and simply contributes no edge.
+	for _, fi := range cg.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := cg.Resolve(fi.Pkg, call); callee != nil {
+				if _, seen := fi.CallPos[callee]; !seen {
+					fi.Callees = append(fi.Callees, callee)
+					fi.CallPos[callee] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	cg.computeCallOnly()
+	cg.computeEmits()
+	m.cg = cg
+	return cg
+}
+
+// Resolve returns the module function a call statically targets, or nil for
+// calls the type information cannot pin down (func values, interface
+// dispatch, stubbed imports). Methods of instantiated generics resolve to
+// their declared origin.
+func (cg *CallGraph) Resolve(pkg *Package, call *ast.CallExpr) *FuncInfo {
+	if pkg == nil || pkg.Info == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if o := obj.Origin(); o != nil {
+		obj = o
+	}
+	return cg.byObj[obj]
+}
+
+// ByDecl returns the FuncInfo of a declaration, or nil for declarations
+// outside the graph (test files).
+func (cg *CallGraph) ByDecl(fd *ast.FuncDecl) *FuncInfo { return cg.byDecl[fd] }
+
+// CallOnlyParam reports whether func-typed parameter index i of fi provably
+// never escapes fi.
+func (fi *FuncInfo) CallOnlyParam(i int) bool { return fi != nil && fi.callOnly[i] }
+
+// computeCallOnly runs the optimistic fixpoint for the call-only-parameter
+// fact: every func-typed parameter starts call-only; a use that is not a
+// direct call, a nil comparison, or a pass into a (currently) call-only
+// position demotes it, and demotions propagate until stable.
+func (cg *CallGraph) computeCallOnly() {
+	// Seed: collect func-typed parameters per function.
+	for _, fi := range cg.Funcs {
+		fi.callOnly = map[int]bool{}
+		fi.funcParams = map[types.Object]int{}
+		if fi.Decl.Type.Params == nil || fi.Pkg.Info == nil {
+			continue
+		}
+		idx := 0
+		for _, field := range fi.Decl.Type.Params.List {
+			names := field.Names
+			if len(names) == 0 {
+				idx++ // unnamed parameter cannot be used, let alone escape
+				continue
+			}
+			_, isFuncType := field.Type.(*ast.FuncType)
+			for _, name := range names {
+				if isFuncType {
+					fi.callOnly[idx] = true
+					if obj := fi.Pkg.Info.Defs[name]; obj != nil {
+						fi.funcParams[obj] = idx
+					}
+				}
+				idx++
+			}
+		}
+	}
+	// Iterate to fixpoint; the module is small, so a few whole-graph sweeps
+	// beat maintaining a worklist.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range cg.Funcs {
+			if len(fi.funcParams) == 0 || fi.Decl.Body == nil {
+				continue
+			}
+			if cg.demoteEscapingParams(fi) {
+				changed = true
+			}
+		}
+	}
+}
+
+// demoteEscapingParams re-examines every use of fi's func-typed parameters
+// and demotes those with an escaping use. Returns whether anything changed.
+func (cg *CallGraph) demoteEscapingParams(fi *FuncInfo) bool {
+	changed := false
+	demote := func(idx int) {
+		if fi.callOnly[idx] {
+			fi.callOnly[idx] = false
+			changed = true
+		}
+	}
+	var walk func(n ast.Node, parent ast.Node)
+	// A parent-aware walk: the verdict for an identifier depends on the
+	// node wrapping it.
+	paramIdx := func(e ast.Expr) (int, bool) {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		obj := fi.Pkg.Info.Uses[id]
+		if obj == nil {
+			return 0, false
+		}
+		idx, ok := fi.funcParams[obj]
+		return idx, ok
+	}
+	walk = func(n ast.Node, parent ast.Node) {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// The callee position is a safe use; arguments are safe only
+			// when the target parameter is itself call-only.
+			walk(x.Fun, x)
+			callee := cg.Resolve(fi.Pkg, x)
+			for ai, arg := range x.Args {
+				if idx, ok := paramIdx(arg); ok {
+					if callee == nil || !callee.callOnly[calleeParamIndex(callee, ai)] {
+						demote(idx)
+					}
+					continue
+				}
+				walk(arg, x)
+			}
+			return
+		case *ast.BinaryExpr:
+			// fn == nil / fn != nil guards are safe.
+			if idx, ok := paramIdx(x.X); ok && isNilIdent(x.Y) {
+				_ = idx
+				walk(x.Y, x)
+				return
+			}
+			if idx, ok := paramIdx(x.Y); ok && isNilIdent(x.X) {
+				_ = idx
+				walk(x.X, x)
+				return
+			}
+		case *ast.Ident:
+			if obj := fi.Pkg.Info.Uses[x]; obj != nil {
+				if idx, ok := fi.funcParams[obj]; ok {
+					// Bare use outside a call head: escapes unless the
+					// parent is the call's Fun (handled above).
+					if ce, isCall := parent.(*ast.CallExpr); !isCall || unparen(ce.Fun) != x {
+						demote(idx)
+					}
+				}
+			}
+			return
+		}
+		// Generic recursion over children.
+		children(n, func(c ast.Node) { walk(c, n) })
+	}
+	walk(fi.Decl.Body, fi.Decl)
+	return changed
+}
+
+// calleeParamIndex maps an argument position to the callee's parameter
+// index, folding variadic overflow onto the last parameter.
+func calleeParamIndex(callee *FuncInfo, argIdx int) int {
+	n := 0
+	if callee.Decl.Type.Params != nil {
+		for _, f := range callee.Decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				n++
+			} else {
+				n += len(f.Names)
+			}
+		}
+	}
+	if n > 0 && argIdx >= n {
+		return n - 1
+	}
+	return argIdx
+}
+
+// computeEmits seeds the journal-emit fact from direct (*obs.Run).Emit
+// calls. See the Emits field doc for why the fact is not transitive.
+func (cg *CallGraph) computeEmits() {
+	for _, fi := range cg.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isJournalEmit(fi.Pkg, call, cg.Mod.Path) {
+				fi.Emits = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isJournalEmit reports whether call is a journal emission: a call to Emit
+// resolving into the module's obs package, or — when the receiver's type is
+// unresolved — any .Emit(...) selector call (conservatively credited, so a
+// nil-safe obs.Run plumbed through an interface still counts).
+func isJournalEmit(pkg *Package, call *ast.CallExpr, modPath string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return false
+	}
+	if pkg.Info != nil {
+		if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+			p := obj.Pkg()
+			return p != nil && strings.HasSuffix(p.Path(), "/obs")
+		}
+	}
+	return true
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// children invokes fn on each direct child node of n, in source order.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if first {
+			first = false // n itself
+			return true
+		}
+		fn(c)
+		return false // fn recurses as it sees fit
+	})
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Intra-procedural reaching-writes support. The analyzers that enforce COW
+// discipline need to answer one question about a function body: "at this
+// write, does the written-through variable alias a value that was already
+// published?" The tracker below maintains that alias set over a source-order
+// scan of the body. Source order is an approximation of control flow — loops
+// are scanned once and branches are merged optimistically — which is the
+// right trade for an invariant checker: the sanctioned repo idioms publish
+// and mutate in straight-line code, and a back-edge false negative is
+// recoverable by the runtime race detector while a flow-join false positive
+// would train people to sprinkle ignores.
+
+// PubInfo describes one publication event: the atomic field (or value) the
+// object was published through, and where.
+type PubInfo struct {
+	Field string    // rendered field expression, e.g. "p.arr"
+	Pos   token.Pos // the Store/Load call that made the alias visible
+}
+
+// AliasTracker tracks which local objects alias published values inside one
+// function body.
+type AliasTracker struct {
+	pkg       *Package
+	published map[types.Object]*PubInfo
+}
+
+// NewAliasTracker returns an empty tracker for a body in pkg.
+func NewAliasTracker(pkg *Package) *AliasTracker {
+	return &AliasTracker{pkg: pkg, published: map[types.Object]*PubInfo{}}
+}
+
+// Publish records that obj now aliases a published value.
+func (t *AliasTracker) Publish(obj types.Object, info *PubInfo) {
+	if obj != nil {
+		t.published[obj] = info
+	}
+}
+
+// Lookup reports the publication info the base variable of e carries, or nil.
+// The base variable is found by stripping the write path: parens, *p, x[i],
+// x.f, &x — so `(*a)[n]`, `a.f.g`, and `&a` all resolve to `a`.
+func (t *AliasTracker) Lookup(e ast.Expr) *PubInfo {
+	obj := t.baseObj(e)
+	if obj == nil {
+		return nil
+	}
+	return t.published[obj]
+}
+
+// Assign updates the alias set for one assignment pair: lhs gains rhs's
+// publication (alias propagation through `a = b`, `a = &b`, `a, b := ...`)
+// or loses its own when rhs is unrelated (kill on wholesale reassignment).
+// Writes through lhs (index/selector/star targets) are mutations, not
+// rebindings, and leave the alias set alone — the caller reports those.
+func (t *AliasTracker) Assign(lhs, rhs ast.Expr) {
+	obj := t.directObj(lhs)
+	if obj == nil {
+		return // not a rebinding of a tracked variable
+	}
+	if rhs != nil {
+		if info := t.Lookup(rhs); info != nil {
+			t.published[obj] = info
+			return
+		}
+	}
+	delete(t.published, obj)
+}
+
+// directObj returns the object of a bare identifier target (possibly
+// parenthesized); writes through a path return nil.
+func (t *AliasTracker) directObj(e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || t.pkg.Info == nil {
+		return nil
+	}
+	if obj := t.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return t.pkg.Info.Uses[id]
+}
+
+// baseObj strips the access path off e and returns the base variable's
+// object: parens, &x, *p, x[i], x.f, x[i:j].
+func (t *AliasTracker) baseObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// Stop at a qualified package identifier: pkg.V is not a path
+			// through a local.
+			if id, ok := x.X.(*ast.Ident); ok && t.pkg.Info != nil {
+				if _, isPkg := t.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+					return nil
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			if t.pkg.Info == nil {
+				return nil
+			}
+			if obj := t.pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return t.pkg.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// WalkStmts visits every statement in body in source order, calling fn for
+// each. Nested function literals are included: a goroutine or deferred
+// closure mutating a published value is still a post-publication write.
+func WalkStmts(body *ast.BlockStmt, fn func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			fn(s)
+		}
+		return true
+	})
+}

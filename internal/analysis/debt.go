@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Suppression debt. Every //powl:ignore directive is a standing exception to
+// an invariant — individually justified, collectively a liability: ignores
+// accrete one reasonable decision at a time until the analyzer is decoration.
+// The debt report makes the total visible (`owlvet -debt`), and the budget
+// file pins it: CI fails when the count grows past the checked-in ceiling,
+// so adding an ignore costs a same-PR budget bump that a reviewer sees.
+
+// DebtEntry is one ignore directive, attributed to one check it names.
+type DebtEntry struct {
+	Check  string `json:"check"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+}
+
+// DebtReport is the module's suppression debt grouped by check.
+type DebtReport struct {
+	// Entries are sorted by check, then file, then line. A directive naming
+	// n checks contributes n entries but counts once toward Total.
+	Entries []DebtEntry `json:"entries"`
+	// PerCheck counts entries per check.
+	PerCheck map[string]int `json:"per_check"`
+	// Total is the number of ignore directives in the module.
+	Total int `json:"total"`
+}
+
+// CollectDebt gathers every ignore directive in the module (test files
+// included — a suppression in a test is still debt).
+func CollectDebt(mod *Module) *DebtReport {
+	r := &DebtReport{PerCheck: map[string]int{}}
+	for _, d := range collectDirectives(mod) {
+		r.Total++
+		file := d.file
+		if rel, err := filepath.Rel(mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		for _, check := range d.checks {
+			r.PerCheck[check]++
+			r.Entries = append(r.Entries, DebtEntry{Check: check, File: file, Line: d.pos.Line, Reason: d.reason})
+		}
+	}
+	sort.Slice(r.Entries, func(i, j int) bool {
+		a, b := r.Entries[i], r.Entries[j]
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return r
+}
+
+// WriteDebt renders the report grouped by check with counts.
+func WriteDebt(w io.Writer, r *DebtReport) error {
+	checks := make([]string, 0, len(r.PerCheck))
+	for c := range r.PerCheck {
+		checks = append(checks, c)
+	}
+	sort.Strings(checks)
+	for _, c := range checks {
+		if _, err := fmt.Fprintf(w, "%s: %d\n", c, r.PerCheck[c]); err != nil {
+			return err
+		}
+		for _, e := range r.Entries {
+			if e.Check != c {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %s:%d  %s\n", e.File, e.Line, e.Reason); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "total: %d directive(s)\n", r.Total)
+	return err
+}
+
+// Budget is the checked-in suppression ceiling: per-check maxima plus the
+// special key "total" for the directive count.
+type Budget map[string]int
+
+// DefaultBudgetFile is the budget's path relative to the module root.
+const DefaultBudgetFile = "owlvet.budget"
+
+// LoadBudget parses a budget file: one `<check> <max>` pair per line,
+// #-comments and blank lines ignored.
+func LoadBudget(path string) (Budget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := Budget{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("analysis: %s:%d: want `<check> <max>`, got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("analysis: %s:%d: bad max %q", path, i+1, fields[1])
+		}
+		b[fields[0]] = n
+	}
+	return b, nil
+}
+
+// Exceeds returns one message per budget violation: the total over its
+// ceiling, a check over its ceiling, or a check with suppressions but no
+// budget line at all (every named check must be budgeted explicitly).
+func (r *DebtReport) Exceeds(b Budget) []string {
+	var out []string
+	if max, ok := b["total"]; ok && r.Total > max {
+		out = append(out, fmt.Sprintf("total suppressions %d exceed budget %d", r.Total, max))
+	}
+	checks := make([]string, 0, len(r.PerCheck))
+	for c := range r.PerCheck {
+		checks = append(checks, c)
+	}
+	sort.Strings(checks)
+	for _, c := range checks {
+		max, ok := b[c]
+		if !ok {
+			out = append(out, fmt.Sprintf("check %s has %d suppression(s) but no budget line", c, r.PerCheck[c]))
+			continue
+		}
+		if r.PerCheck[c] > max {
+			out = append(out, fmt.Sprintf("check %s suppressions %d exceed budget %d", c, r.PerCheck[c], max))
+		}
+	}
+	return out
+}

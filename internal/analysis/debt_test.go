@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCollectDebtCountsAndGroups(t *testing.T) {
+	mod := writeModule(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+//powl:ignore wallclock,mapiter one directive, two checks
+var T = time.Now()
+
+var U = time.Now() //powl:ignore wallclock second stamp
+`,
+	})
+	r := CollectDebt(mod)
+	if r.Total != 2 {
+		t.Errorf("Total = %d, want 2 (a multi-check directive counts once)", r.Total)
+	}
+	if r.PerCheck["wallclock"] != 2 || r.PerCheck["mapiter"] != 1 {
+		t.Errorf("PerCheck = %v, want wallclock:2 mapiter:1", r.PerCheck)
+	}
+	if len(r.Entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(r.Entries))
+	}
+	// Sorted by check then file then line; paths are module-relative.
+	want := []DebtEntry{
+		{Check: "mapiter", File: "internal/core/x.go", Line: 5, Reason: "one directive, two checks"},
+		{Check: "wallclock", File: "internal/core/x.go", Line: 5, Reason: "one directive, two checks"},
+		{Check: "wallclock", File: "internal/core/x.go", Line: 8, Reason: "second stamp"},
+	}
+	for i, w := range want {
+		if r.Entries[i] != w {
+			t.Errorf("entry %d = %+v, want %+v", i, r.Entries[i], w)
+		}
+	}
+}
+
+func TestCollectDebtIncludesTestFiles(t *testing.T) {
+	mod := writeModule(t, map[string]string{
+		"internal/core/x.go": "package core\n",
+		"internal/core/x_test.go": `package core
+
+import "testing"
+
+//powl:ignore globalrand deliberately unseeded fuzz corpus
+func TestNoop(t *testing.T) {}
+`,
+	})
+	r := CollectDebt(mod)
+	if r.Total != 1 || r.PerCheck["globalrand"] != 1 {
+		t.Errorf("Total=%d PerCheck=%v, want the test-file directive counted", r.Total, r.PerCheck)
+	}
+}
+
+func TestWriteDebtRendersGroupedReport(t *testing.T) {
+	mod := writeModule(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+var T = time.Now() //powl:ignore wallclock startup stamp
+`,
+	})
+	var b strings.Builder
+	if err := WriteDebt(&b, CollectDebt(mod)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"wallclock: 1\n",
+		"  internal/core/x.go:5  startup stamp\n",
+		"total: 1 directive(s)\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadBudget(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "owlvet.budget")
+	if err := os.WriteFile(path, []byte("# ceilings\n\nwallclock 3\ntotal 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b["wallclock"] != 3 || b["total"] != 5 || len(b) != 2 {
+		t.Errorf("budget = %v, want wallclock:3 total:5", b)
+	}
+}
+
+func TestLoadBudgetRejectsMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"wallclock\n",        // missing max
+		"wallclock three\n",  // non-numeric
+		"wallclock -1\n",     // negative
+		"wallclock 1 more\n", // trailing junk
+	} {
+		path := filepath.Join(t.TempDir(), "owlvet.budget")
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBudget(path); err == nil {
+			t.Errorf("LoadBudget accepted %q, want error", bad)
+		}
+	}
+}
+
+func TestExceeds(t *testing.T) {
+	r := &DebtReport{
+		PerCheck: map[string]int{"wallclock": 2, "mapiter": 1},
+		Total:    3,
+	}
+	if msgs := r.Exceeds(Budget{"wallclock": 2, "mapiter": 1, "total": 3}); len(msgs) != 0 {
+		t.Errorf("at-ceiling budget violated: %v", msgs)
+	}
+	msgs := r.Exceeds(Budget{"wallclock": 1, "mapiter": 1, "total": 3})
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "check wallclock suppressions 2 exceed budget 1") {
+		t.Errorf("per-check overrun: %v", msgs)
+	}
+	msgs = r.Exceeds(Budget{"wallclock": 2, "total": 2})
+	if len(msgs) != 2 ||
+		!strings.Contains(msgs[0], "total suppressions 3 exceed budget 2") ||
+		!strings.Contains(msgs[1], "check mapiter has 1 suppression(s) but no budget line") {
+		t.Errorf("total overrun + unbudgeted check: %v", msgs)
+	}
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// DegradeJournal enforces the repo's degradation contract: whenever the
+// system falls back to a weaker mode — replaying a batch without its lineage
+// sidecar, rebuilding a retraction without provenance, adopting a partition
+// past a missing checkpoint — it must say so in the obs journal before
+// continuing, and it must not swallow the error that put it there. PR 7/8
+// established the convention ("degrade to asserted, journal the decision");
+// this analyzer makes it checkable:
+//
+//   - a function whose doc comment documents a degradation must reach a
+//     journal emit ((*obs.Run).Emit, directly or through a callee — the
+//     Emits fact from callgraph.go) somewhere in its body;
+//   - a degradation documented by a comment inside a body must emit within
+//     the innermost enclosing block, so the journal line sits on the
+//     degraded path itself rather than a sibling branch;
+//   - inside any degrade scope, discarding an error with a blank identifier
+//     is flagged: a degraded path that also eats its error is invisible at
+//     the worst possible time.
+//
+// The trigger is the documentation itself (any comment matching
+// /\bdegrad/i): the repo consistently narrates its fallbacks, so the prose
+// is a reliable index of exactly the seams this check must guard.
+type DegradeJournal struct{}
+
+func (d *DegradeJournal) Name() string { return "degradejournal" }
+
+func (d *DegradeJournal) Doc() string {
+	return "documented degraded fallbacks emit an obs journal event before continuing and do not swallow errors on the degraded path"
+}
+
+var degradeRE = regexp.MustCompile(`(?i)\bdegrad`)
+
+func (d *DegradeJournal) Run(pass *Pass) error {
+	if pass.Mod == nil || pass.Pkg == nil {
+		return nil
+	}
+	// The analysis framework and its tests talk about degradation as a
+	// subject, not as a runtime state; analyzing the analyzer would make the
+	// trigger word unwritable.
+	if strings.Contains(pass.Pkg.Path, "internal/analysis") {
+		return nil
+	}
+	cg := pass.Mod.CallGraph()
+	for _, f := range pass.Files {
+		if FileIsTest(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			d.checkFunc(pass, cg, f, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc evaluates the degrade scopes of one function: the whole body
+// when the doc comment documents a degradation, plus the innermost enclosing
+// block of every in-body degradation comment.
+func (d *DegradeJournal) checkFunc(pass *Pass, cg *CallGraph, f *ast.File, fd *ast.FuncDecl) {
+	emitters := localEmitterFuncs(pass, fd)
+	type scope struct {
+		block ast.Node  // subtree that must journal
+		pos   token.Pos // where to report a missing emit
+		what  string
+	}
+	var scopes []scope
+	if fd.Doc != nil && degradeRE.MatchString(fd.Doc.Text()) {
+		scopes = append(scopes, scope{fd.Body, fd.Name.Pos(), "function documents a degraded fallback"})
+	}
+	for _, cg2 := range f.Comments {
+		if cg2.Pos() <= fd.Body.Pos() || cg2.End() >= fd.Body.End() {
+			continue
+		}
+		if !degradeRE.MatchString(cg2.Text()) {
+			continue
+		}
+		if hasIgnoreDirective(cg2) {
+			continue // an ignore directive mentioning the word is not prose
+		}
+		block := innermostBlock(fd.Body, cg2.Pos())
+		scopes = append(scopes, scope{block, cg2.Pos(), "comment documents a degraded fallback"})
+	}
+	for _, sc := range scopes {
+		if !d.scopeEmits(pass, cg, sc.block, emitters) {
+			pass.reportf(sc.pos, "%s but the scope never emits an obs journal event; emit (e.g. obs.EvWarn) before continuing degraded", sc.what)
+		}
+		d.checkSwallowedErrors(pass, cg, sc.block)
+	}
+}
+
+// hasIgnoreDirective reports whether the comment group is (or contains) a
+// powl directive rather than prose.
+func hasIgnoreDirective(g *ast.CommentGroup) bool {
+	for _, c := range g.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//powl:") {
+			return true
+		}
+	}
+	return false
+}
+
+// innermostBlock returns the smallest BlockStmt in body containing pos
+// (body itself when the comment sits between statements at the top level).
+func innermostBlock(body *ast.BlockStmt, pos token.Pos) ast.Node {
+	var best ast.Node = body
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		if b.Pos() <= pos && pos <= b.End() {
+			// Inspect visits outer blocks first; the last hit is innermost.
+			best = b
+		}
+		return true
+	})
+	return best
+}
+
+// scopeEmits reports whether the scope subtree reaches a journal emission:
+// a direct .Emit call, a statically resolved callee carrying the Emits fact,
+// or a call to a local closure that itself emits.
+func (d *DegradeJournal) scopeEmits(pass *Pass, cg *CallGraph, scope ast.Node, emitters map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isJournalEmit(pass.Pkg, call, pass.Mod.Path) {
+			found = true
+			return false
+		}
+		if callee := cg.Resolve(pass.Pkg, call); callee != nil && callee.Emits {
+			found = true
+			return false
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && pass.Pkg.Info != nil {
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil && emitters[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// localEmitterFuncs collects the function's `warn := func(...) { o.Emit(...) }`
+// style locals: closure-typed variables whose literal body emits.
+func localEmitterFuncs(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if pass.Pkg.Info == nil {
+		return out
+	}
+	bind := func(nameExpr ast.Expr, val ast.Expr) {
+		lit, ok := unparen(val).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		hasEmit := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isJournalEmit(pass.Pkg, call, "") {
+				hasEmit = true
+				return false
+			}
+			return true
+		})
+		if !hasEmit {
+			return
+		}
+		if id, ok := unparen(nameExpr).(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			bind(as.Lhs[i], as.Rhs[i])
+		}
+		return true
+	})
+	return out
+}
+
+// checkSwallowedErrors flags blank-identifier discards of (possible) errors
+// inside a degrade scope.
+func (d *DegradeJournal) checkSwallowedErrors(pass *Pass, cg *CallGraph, scope ast.Node) {
+	ast.Inspect(scope, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := unparen(l).(*ast.Ident)
+			if !ok || id.Name != "_" {
+				continue
+			}
+			if d.discardsError(pass, cg, call, i, len(as.Lhs)) {
+				pass.reportf(l.Pos(), "error discarded on a degraded path; handle it or journal it — a degraded path that eats its error is invisible")
+			}
+		}
+		return true
+	})
+}
+
+// discardsError decides whether blank position i of an n-result assignment
+// from call drops an error. With resolved types the result type answers
+// exactly; unresolved calls fall back to the Go convention that the error is
+// the final result.
+func (d *DegradeJournal) discardsError(pass *Pass, cg *CallGraph, call *ast.CallExpr, i, n int) bool {
+	if t := pass.TypeOf(call); t != nil {
+		switch rt := t.(type) {
+		case *types.Tuple:
+			if i < rt.Len() {
+				return isErrorType(rt.At(i).Type())
+			}
+			return false
+		default:
+			return n == 1 && isErrorType(rt)
+		}
+	}
+	// Unresolved (stubbed) callee: assume the trailing result is an error.
+	return i == n-1
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

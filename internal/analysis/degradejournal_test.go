@@ -1,0 +1,171 @@
+package analysis
+
+import "testing"
+
+// The degradejournal corpus. Each scratch module carries its own /obs
+// package so journal emission resolves the same way powl/internal/obs does.
+
+const corpusObs = `package obs
+
+type Event struct {
+	Type int
+	Name string
+}
+
+const EvWarn = 1
+
+type Run struct{}
+
+func (r *Run) Emit(e Event) {}
+`
+
+func TestDegradeJournalFlagsDocWithoutEmit(t *testing.T) {
+	fs := runOne(t, &DegradeJournal{}, map[string]string{
+		"internal/obs/obs.go": corpusObs,
+		"internal/core/r.go": `package core
+
+// Recover replays the log; when the sidecar is missing it degrades to
+// plain asserted adds.
+func Recover(n int) int {
+	return n
+}
+`,
+	})
+	wantFindings(t, fs,
+		"r.go:5:6: [degradejournal] function documents a degraded fallback but the scope never emits an obs journal event")
+}
+
+func TestDegradeJournalDirectEmitPasses(t *testing.T) {
+	fs := runOne(t, &DegradeJournal{}, map[string]string{
+		"internal/obs/obs.go": corpusObs,
+		"internal/core/r.go": `package core
+
+import "scratch/internal/obs"
+
+// Recover degrades to plain asserted adds when the sidecar is missing.
+func Recover(o *obs.Run) {
+	o.Emit(obs.Event{Type: obs.EvWarn, Name: "sidecar missing"})
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestDegradeJournalEmittingCalleePasses(t *testing.T) {
+	// The emit sits one call away in another package; the Emits fact on the
+	// resolved callee satisfies the scope.
+	fs := runOne(t, &DegradeJournal{}, map[string]string{
+		"internal/obs/obs.go": corpusObs,
+		"internal/warnx/w.go": `package warnx
+
+import "scratch/internal/obs"
+
+func Warn(o *obs.Run, msg string) {
+	o.Emit(obs.Event{Type: obs.EvWarn, Name: msg})
+}
+`,
+		"internal/core/r.go": `package core
+
+import (
+	"scratch/internal/obs"
+	"scratch/internal/warnx"
+)
+
+// Recover degrades to plain asserted adds when the sidecar is missing.
+func Recover(o *obs.Run) {
+	warnx.Warn(o, "sidecar missing")
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestDegradeJournalInnermostBlockScope(t *testing.T) {
+	// A body comment scopes to its innermost block: emitting after the if
+	// does not journal the degraded branch itself.
+	fs := runOne(t, &DegradeJournal{}, map[string]string{
+		"internal/obs/obs.go": corpusObs,
+		"internal/core/r.go": `package core
+
+import "scratch/internal/obs"
+
+func Recover(o *obs.Run, ok bool) {
+	if !ok {
+		// sidecar missing; degrade to plain asserted adds
+		_ = ok
+	}
+	o.Emit(obs.Event{Type: obs.EvWarn})
+}
+`,
+	})
+	wantFindings(t, fs,
+		"r.go:7:3: [degradejournal] comment documents a degraded fallback but the scope never emits an obs journal event")
+}
+
+func TestDegradeJournalWarnClosurePasses(t *testing.T) {
+	// The `warn := func(...) { o.Emit(...) }` idiom from fscluster: calling
+	// the local emitter closure inside the degraded branch counts.
+	fs := runOne(t, &DegradeJournal{}, map[string]string{
+		"internal/obs/obs.go": corpusObs,
+		"internal/core/r.go": `package core
+
+import "scratch/internal/obs"
+
+func Recover(o *obs.Run, ok bool) {
+	warn := func(msg string) {
+		o.Emit(obs.Event{Type: obs.EvWarn, Name: msg})
+	}
+	if !ok {
+		// sidecar missing; degrade to plain asserted adds
+		warn("sidecar missing")
+	}
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestDegradeJournalFlagsSwallowedError(t *testing.T) {
+	// The in-module callee resolves, so the error position is exact: the
+	// blank on the error result inside a degrade scope is flagged even
+	// though the scope journals.
+	fs := runOne(t, &DegradeJournal{}, map[string]string{
+		"internal/obs/obs.go": corpusObs,
+		"internal/core/r.go": `package core
+
+import "scratch/internal/obs"
+
+func load(path string) (int, error) { return 0, nil }
+
+func Recover(o *obs.Run, path string) {
+	// checkpoint missing; degrade to full replay
+	n, _ := load(path)
+	o.Emit(obs.Event{Type: obs.EvWarn, Name: "full replay"})
+	_ = n
+}
+`,
+	})
+	wantFindings(t, fs,
+		"r.go:9:5: [degradejournal] error discarded on a degraded path")
+}
+
+func TestDegradeJournalDirectiveCommentIsNotProse(t *testing.T) {
+	// A //powl: directive mentioning "degraded" in its reason text is not a
+	// degradation narrative and must not open a scope. Full suite: the
+	// directive suppresses only the wallclock finding it names, so a
+	// wrongly-opened degradejournal scope would still surface.
+	fs := runAll(t, map[string]string{
+		"internal/obs/obs.go": corpusObs,
+		"internal/core/r.go": `package core
+
+import "time"
+
+func Recover(n int) int {
+	//powl:ignore wallclock measured duration on the degraded replay path
+	_ = time.Now()
+	return n
+}
+`,
+	})
+	wantFindings(t, fs)
+}

@@ -22,6 +22,9 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages are sorted by import path for deterministic analysis order.
 	Packages []*Package
+
+	// cg memoizes the module-wide call graph (built on first use).
+	cg *CallGraph
 }
 
 // Package is one directory's worth of parsed Go files.

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Seeded-violation end-to-end tests for the dataflow analyzers: each plants
+// one deliberate violation in a scratch module and runs the real cmd/owlvet
+// binary, asserting exit code 1 and the exact file:line — the same contract
+// the CI lint job consumes.
+
+// seedAndRunOwlvet lays files out as a scratch module and runs owlvet over it
+// from the repo root, returning combined output and exit code.
+func seedAndRunOwlvet(t *testing.T, files map[string]string, extraArgs ...string) (string, int) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	args := append([]string{"run", "./cmd/owlvet"}, extraArgs...)
+	args = append(args, dir)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = mod.Root
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running owlvet: %v\n%s", err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+func wantSeededFinding(t *testing.T, out string, code int, want string) {
+	t.Helper()
+	if code != 1 {
+		t.Fatalf("owlvet exit code = %d, want 1 (findings); output:\n%s", code, out)
+	}
+	if !strings.Contains(out, want) {
+		t.Errorf("owlvet output missing %q:\n%s", want, out)
+	}
+}
+
+func TestSeededAtomicPubViolation(t *testing.T) {
+	out, code := seedAndRunOwlvet(t, map[string]string{
+		"go.mod": "module seeded\n\ngo 1.22\n",
+		"internal/core/bad.go": `package core
+
+import "sync/atomic"
+
+type posting struct {
+	arr atomic.Pointer[[]uint32]
+}
+
+func (p *posting) grow(n int, x uint32) {
+	na := make([]uint32, n*2)
+	p.arr.Store(&na)
+	na[n] = x
+}
+`,
+	})
+	wantSeededFinding(t, out, code, "internal/core/bad.go:12:2: [atomicpub]")
+}
+
+func TestSeededAllocFreeViolation(t *testing.T) {
+	out, code := seedAndRunOwlvet(t, map[string]string{
+		"go.mod": "module seeded\n\ngo 1.22\n",
+		"internal/core/bad.go": `package core
+
+//powl:allocfree hot join path
+func Join(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}
+`,
+	})
+	wantSeededFinding(t, out, code, "internal/core/bad.go:5:9: [allocfree]")
+}
+
+func TestSeededDegradeJournalViolation(t *testing.T) {
+	out, code := seedAndRunOwlvet(t, map[string]string{
+		"go.mod": "module seeded\n\ngo 1.22\n",
+		"internal/core/bad.go": `package core
+
+// Recover replays the log; when the sidecar is missing it degrades to
+// plain asserted adds.
+func Recover(n int) int {
+	return n
+}
+`,
+	})
+	wantSeededFinding(t, out, code, "internal/core/bad.go:5:6: [degradejournal]")
+}
+
+func TestSeededDebtBudgetExceeded(t *testing.T) {
+	out, code := seedAndRunOwlvet(t, map[string]string{
+		"go.mod":        "module seeded\n\ngo 1.22\n",
+		"owlvet.budget": "wallclock 1\ntotal 1\n",
+		"internal/core/x.go": `package core
+
+import "time"
+
+var T = time.Now() //powl:ignore wallclock startup stamp
+var U = time.Now() //powl:ignore wallclock second stamp
+`,
+	}, "-debt")
+	if code != 1 {
+		t.Fatalf("owlvet -debt exit code = %d, want 1 (budget exceeded); output:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"owlvet: debt: total suppressions 2 exceed budget 1",
+		"owlvet: debt: check wallclock suppressions 2 exceed budget 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("owlvet -debt output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeededDebtWithinBudgetPasses(t *testing.T) {
+	out, code := seedAndRunOwlvet(t, map[string]string{
+		"go.mod":        "module seeded\n\ngo 1.22\n",
+		"owlvet.budget": "wallclock 1\ntotal 1\n",
+		"internal/core/x.go": `package core
+
+import "time"
+
+var T = time.Now() //powl:ignore wallclock startup stamp
+`,
+	}, "-debt")
+	if code != 0 {
+		t.Fatalf("owlvet -debt exit code = %d, want 0 (within budget); output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "total: 1 directive(s)") {
+		t.Errorf("owlvet -debt output missing report total:\n%s", out)
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import "testing"
+
+// Edge cases of the //powl:ignore grammar: one directive naming several
+// checks, and doc-comment scope on methods (receiver declarations).
+
+func TestSuppressionMultiCheckDirective(t *testing.T) {
+	// One line violates two checks; a single comma-separated directive
+	// suppresses both.
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import (
+	"fmt"
+	"time"
+)
+
+func dump(m map[int]int) {
+	//powl:ignore mapiter,wallclock operator debug dump, order and stamp irrelevant
+	for k := range m { fmt.Println(k, time.Now()) }
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestSuppressionMultiCheckWithUnknownSuppressesNothing(t *testing.T) {
+	// A directive is all-or-nothing: naming one unknown check invalidates it,
+	// so the real finding surfaces alongside the directive finding.
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+//powl:ignore wallclock,bogus half of this directive is wrong
+var T = time.Now()
+`,
+	})
+	wantFindings(t, fs,
+		"[powlignore] ignore directive names unknown check bogus",
+		"[wallclock]")
+}
+
+func TestSuppressionDocCommentCoversMethodBody(t *testing.T) {
+	// Directive in a method's doc comment covers the whole declaration, so a
+	// violation several lines into the body is still in scope.
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "fmt"
+
+type store struct {
+	m map[int]int
+}
+
+// dump prints the table for operator debugging.
+//
+//powl:ignore mapiter operator debug dump, row order irrelevant
+func (s *store) dump() {
+	for k, v := range s.m {
+		if v > 0 {
+			fmt.Println(k, v)
+		}
+	}
+}
+`,
+	})
+	wantFindings(t, fs)
+}
+
+func TestSuppressionDocCommentDoesNotLeakPastDeclaration(t *testing.T) {
+	// The doc-comment scope ends with the declaration it documents: the next
+	// function's violation is not covered.
+	fs := runAll(t, map[string]string{
+		"internal/core/x.go": `package core
+
+import "time"
+
+//powl:ignore wallclock measured duration feeds the cost model
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func stamp() time.Time {
+	return time.Now()
+}
+`,
+	})
+	wantFindings(t, fs, "internal/core/x.go:12:9: [wallclock]")
+}

@@ -374,7 +374,7 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			// false — the first round after a rejoin re-reasons over the
 			// reconstructed graph, which is safe because forward inference is
 			// deterministic and monotone over the same inputs.
-			linMap, err := loadLineageSidecars(n.l, cfg.ID, n.dict, n.g)
+			linMap, err := loadLineageSidecars(n.l, cfg.ID, n.dict, n.g, cfg.Obs, cfg.ID, last)
 			if err != nil {
 				return nil, fmt.Errorf("fscluster: node %d rejoining lineage: %w", cfg.ID, err)
 			}
@@ -598,14 +598,25 @@ func RunNodeContext(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 				// provenance and the sender wrote one. Records match triples
 				// by value; a missing sidecar (lineage-free sender, or a
 				// crash between message and sidecar) degrades the batch to
-				// asserted tuples.
+				// asserted tuples, and that decision is journaled — prov-on
+				// senders always write the sidecar, so absence is never the
+				// benign all-asserted case.
 				var linMap map[rdf.Triple]rdf.Lineage
 				if n.g.Prov() != nil {
-					lins, lerr := readLineageFile(n.l.LinMsgFile(round, from, to), n.dict)
-					if lerr != nil {
-						return nil, lerr
+					linPath := n.l.LinMsgFile(round, from, to)
+					if _, statErr := os.Stat(linPath); statErr != nil {
+						if in.Len() > 0 {
+							o := n.cfg.Obs
+							o.Emit(obs.Event{Type: obs.EvWarn, TS: o.Now(), Worker: to, Round: round,
+								Name: fmt.Sprintf("lineage sidecar missing for message %d->%d; batch of %d degraded to asserted tuples", from, to, in.Len())})
+						}
+					} else {
+						lins, lerr := readLineageFile(linPath, n.dict)
+						if lerr != nil {
+							return nil, lerr
+						}
+						linMap = lineageByTriple(lins)
 					}
-					linMap = lineageByTriple(lins)
 				}
 				for _, t := range in.TriplesSince(0) {
 					delete(n.reship, t)
@@ -815,7 +826,10 @@ func readGraphFile(path string, dict *rdf.Dict, g *rdf.Graph) error {
 // atomically like writeGraphFile. An empty record set writes nothing: readers
 // treat a missing sidecar as lineage-free.
 func writeLineageFile(path string, dict *rdf.Dict, lins []rdf.Lineage) error {
-	if len(lins) == 0 {
+	// nil means "sender records no provenance" and writes nothing; an empty
+	// non-nil set still writes the (empty) sidecar so receivers can tell a
+	// recordless batch from a missing file.
+	if lins == nil {
 		return nil
 	}
 	var buf bytes.Buffer
@@ -881,7 +895,12 @@ func applyDelSidecars(l Layout, id int, dict *rdf.Dict, g *rdf.Graph, o *obs.Run
 	warn := func(msg string) {
 		o.Emit(obs.Event{Type: obs.EvWarn, TS: o.Now(), Worker: worker, Round: round, Name: msg})
 	}
-	if ckpts, _ := filepath.Glob(l.ckptGlob(id)); len(ckpts) > 0 {
+	ckpts, err := filepath.Glob(l.ckptGlob(id))
+	if err != nil {
+		// Freshness cannot be verified; the replay below still proceeds on
+		// the newest tombstone sidecar, so say so rather than guess silently.
+		warn(fmt.Sprintf("node %d checkpoint glob failed (%v); tombstone sidecar freshness unverified", id, err))
+	} else if len(ckpts) > 0 {
 		sort.Strings(ckpts)
 		if cr, dr := sidecarRound(ckpts[len(ckpts)-1]), sidecarRound(newest); cr > dr {
 			warn(fmt.Sprintf("node %d tombstone sidecar missing for round %d; replaying deletions as of round %d", id, cr, dr))
@@ -925,7 +944,12 @@ func lineageOfAll(g *rdf.Graph, ts []rdf.Triple) []rdf.Lineage {
 	if g.Prov() == nil {
 		return nil
 	}
-	var out []rdf.Lineage
+	// Non-nil even when empty: a prov-on sender always has a lineage set
+	// (possibly zero records, when every shipped triple is asserted), and
+	// writeLineageFile materializes non-nil sets as a sidecar file. That
+	// keeps "sidecar absent" unambiguous for the receiver — it means a
+	// lineage-free sender or a crash, never a quiet all-asserted batch.
+	out := make([]rdf.Lineage, 0, len(ts))
 	for _, t := range ts {
 		if lin, ok := g.LineageOf(t); ok {
 			out = append(out, lin)

@@ -257,7 +257,7 @@ func (n *node) adopt(id, round int) error {
 	absorbed := 0
 	// With provenance on, replay the victim's lineage sidecars alongside its
 	// tuple files so the adopted partition keeps its derivation records.
-	linMap, err := loadLineageSidecars(n.l, id, n.dict, n.g)
+	linMap, err := loadLineageSidecars(n.l, id, n.dict, n.g, n.cfg.Obs, n.cfg.ID, round)
 	if err != nil {
 		return fmt.Errorf("fscluster: node %d adopting %d lineage: %w", n.cfg.ID, id, err)
 	}
@@ -347,12 +347,16 @@ func reconstruct(l Layout, id int, dict *rdf.Dict, g *rdf.Graph, visit func(t rd
 // sidecars into one triple-keyed map (first record wins, checkpoints first —
 // the node's own derivations beat relayed copies). Returns nil without
 // touching disk when g does not record provenance: replay then degrades to
-// plain Add, matching a lineage-free run.
-func loadLineageSidecars(l Layout, id int, dict *rdf.Dict, g *rdf.Graph) (map[rdf.Triple]rdf.Lineage, error) {
+// plain Add, matching a lineage-free run. A prov-on node whose sidecars are
+// all gone (crash before the first sidecar write) degrades the same way,
+// and journals that through o before continuing — worker and round stamp
+// the event with who is replaying and when.
+func loadLineageSidecars(l Layout, id int, dict *rdf.Dict, g *rdf.Graph, o *obs.Run, worker, round int) (map[rdf.Triple]rdf.Lineage, error) {
 	if g.Prov() == nil {
 		return nil, nil
 	}
 	merged := make(map[rdf.Triple]rdf.Lineage)
+	files := 0
 	for _, glob := range []string{l.linCkptGlob(id), l.linMsgGlob(id)} {
 		paths, err := filepath.Glob(glob)
 		if err != nil {
@@ -364,12 +368,17 @@ func loadLineageSidecars(l Layout, id int, dict *rdf.Dict, g *rdf.Graph) (map[rd
 			if err != nil {
 				return nil, err
 			}
+			files++
 			for _, lin := range lins {
 				if _, ok := merged[lin.T]; !ok {
 					merged[lin.T] = lin
 				}
 			}
 		}
+	}
+	if files == 0 {
+		o.Emit(obs.Event{Type: obs.EvWarn, TS: o.Now(), Worker: worker, Round: round,
+			Name: fmt.Sprintf("node %d has no lineage sidecars; replay degraded to plain asserted adds", id)})
 	}
 	return merged, nil
 }

@@ -260,6 +260,8 @@ func (g *Graph) Clone() *Graph {
 // false. Iteration order is the insertion order of the matching triples. The
 // graph must not be mutated during iteration; writer-only (the fully-bound
 // case consults the dedup map) — concurrent readers use Snapshot.
+//
+//powl:allocfree every join probe of every engine lands here
 func (g *Graph) ForEachMatch(s, p, o ID, fn func(Triple) bool) {
 	dead := g.dead.Load()
 	switch {
@@ -384,6 +386,8 @@ func (g *Graph) Match(s, p, o ID) []Triple {
 // extent annihilates the join" early exit, which only needs that a zero is
 // never reported for a nonempty extent. The fully-bound and (s,·,o) shapes
 // stay exact.
+//
+//powl:allocfree selectivity ranking runs before every join level
 func (g *Graph) CountMatch(s, p, o ID) int {
 	switch {
 	case s != Wildcard && p != Wildcard && o != Wildcard:

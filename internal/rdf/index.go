@@ -54,6 +54,7 @@ func (p *posting[T]) append1(x T) {
 		p.arr.Store(&na)
 		a = &na
 	}
+	//powl:ignore atomicpub element write lands below the published length n; readers only walk arr[:n.Load()], so the length store below is the commit point
 	(*a)[n] = x
 	p.n.Store(uint32(n + 1))
 }
@@ -262,6 +263,7 @@ func (l *tripleLog) append1(t Triple) {
 		l.grow(1)
 		a = l.arr.Load()
 	}
+	//powl:ignore atomicpub element write lands below the published length n; view() slices arr[:n.Load()], so the length store below is the commit point
 	(*a)[n] = t
 	l.n.Store(uint32(n + 1))
 }

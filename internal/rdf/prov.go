@@ -76,6 +76,7 @@ func (l *provLog) append1(d Derivation) {
 		l.grow(1)
 		a = l.arr.Load()
 	}
+	//powl:ignore atomicpub element write lands below the published length n; readers slice arr[:n.Load()], so the length store below is the commit point
 	(*a)[n] = d
 	l.n.Store(uint32(n + 1))
 }
@@ -112,6 +113,8 @@ type Prov struct {
 // RuleID interns name and returns its compact id. Writer-only. Returns
 // NoRule if the 16-bit id space is exhausted (the record then degrades to
 // "derived by an unnamed rule").
+//
+//powl:ignore degradejournal rdf sits below obs; id-space exhaustion is a data property surfaced as NoRule, which Explain renders and callers may journal
 func (p *Prov) RuleID(name string) uint16 {
 	if id, ok := p.byName[name]; ok {
 		return id

@@ -136,6 +136,8 @@ func (s Snapshot) Has(t Triple) bool {
 // Wildcard in any position matches all terms. Iteration stops early if fn
 // returns false; order is log insertion order. Safe concurrently with the
 // writer and with other readers.
+//
+//powl:allocfree the serve read path probes here per query row
 func (s Snapshot) ForEachMatch(sub, p, o ID, fn func(Triple) bool) {
 	w := uint32(len(s.log))
 	switch {
@@ -239,6 +241,8 @@ func (s Snapshot) Match(sub, p, o ID) []Triple {
 // With pinned tombstones the index-backed shapes become upper bounds, the
 // same soundness contract as Graph.CountMatch (never zero for a nonempty
 // extent); the fully-bound, (s,·,o), and unbound shapes stay exact.
+//
+//powl:allocfree query-planner selectivity ranking per join level
 func (s Snapshot) CountMatch(sub, p, o ID) int {
 	w := uint32(len(s.log))
 	switch {

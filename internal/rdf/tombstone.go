@@ -222,6 +222,8 @@ func (g *Graph) RepairDedup() {
 // forever; the owner swaps the fresh graph in (a single pointer publish in
 // the serving layer) and the old epoch chain is garbage-collected once the
 // last pinned snapshot is dropped. Writer-only on g.
+//
+//powl:ignore degradejournal rdf sits below obs; the NoPremise remap is a transient data property of the copy, and the serving layer journals every compaction it triggers
 func (g *Graph) Compact() *Graph {
 	dead := g.dead.Load()
 	logv := g.log.view()

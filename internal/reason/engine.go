@@ -153,6 +153,8 @@ func (e env) resolve(t slotTerm) rdf.ID {
 // returns a bitmask of the slots newly bound (for undoing) and whether the
 // match is consistent. The mask representation keeps the hot join path free
 // of per-bind slice allocations; compileRules enforces nslot <= maxSlots.
+//
+//powl:allocfree per-candidate bind/unbind must stay mask-only
 func (e env) bindTriple(a cAtom, t rdf.Triple) (uint64, bool) {
 	var bound uint64
 	for _, pv := range [3]struct {

@@ -303,6 +303,8 @@ func newScratch(crs []cRule) *scratch {
 // joins the remaining body atoms against the full graph, and emits every
 // resulting head instantiation. It reports the complete body matches and
 // head emissions it produced, for the per-rule profile.
+//
+//powl:allocfree steady-state join path: all scratch comes from sc
 func fireOn(g *rdf.Graph, sc *scratch, tr trigger, t rdf.Triple, emit func(rdf.Triple)) (matches, firings int64) {
 	r := tr.rule
 	e := sc.env[:r.nslot]
@@ -343,6 +345,8 @@ func fireOn(g *rdf.Graph, sc *scratch, tr trigger, t rdf.Triple, emit func(rdf.T
 // the rule-body ordering RORS and the dynamic-exchange Datalog stores
 // attribute their throughput to. Selection reorders rest in place, so the
 // whole join runs on the caller's scratch buffer with no per-level copies.
+//
+//powl:allocfree the innermost loop of every engine
 func joinRest(g *rdf.Graph, sc *scratch, r *cRule, rest []int, e env, yield func()) {
 	if len(rest) == 0 {
 		yield()

@@ -227,6 +227,7 @@ func (a *envArena) alloc(n int) env {
 		if n > size {
 			size = n
 		}
+		//powl:ignore allocfree amortized block refill: one make per 4096 IDs of successful beta matches, not per trial; AllocsPerRun pins the steady state at zero
 		a.buf = make([]rdf.ID, 0, size)
 	}
 	start := len(a.buf)
@@ -359,6 +360,8 @@ func (n *network) rightActivate(a *alphaNode, t rdf.Triple, emit func(rdf.Triple
 // base environment (nil means all-unbound). The trial happens in the shared
 // scratch buffer; only a successful binding is copied into a persistent
 // arena env, so the (dominant) failing joins are allocation-free.
+//
+//powl:allocfree rete beta-join trial; only arena.alloc amortizes
 func (n *network) tryExtend(base env, r *cRule, atomIdx int, t rdf.Triple) (env, bool) {
 	sc := n.scratch[:r.nslot]
 	if base == nil {

@@ -3,6 +3,7 @@ package reason
 import (
 	"sort"
 
+	"powl/internal/obs"
 	"powl/internal/rdf"
 	"powl/internal/rules"
 )
@@ -80,6 +81,11 @@ type headTrigger struct {
 // inserts pay nothing for it; binding follows the graph identity, so
 // swapping in a compacted graph resets the index automatically.
 type Retractor struct {
+	// Obs, when set, receives an EvWarn journal event whenever a retraction
+	// runs without provenance and degrades to delete-and-rematerialize.
+	// Nil-safe: a nil Run swallows the emit.
+	Obs *obs.Run
+
 	rs      []rules.Rule
 	crs     []cRule
 	byHead  map[rdf.ID][]headTrigger
@@ -387,6 +393,10 @@ func (r *Retractor) joinAll(g *rdf.Graph, cr *cRule, i int, e env) bool {
 // asserted triples. Mirrors the degradation rule of the lineage sidecars —
 // missing metadata costs performance, never correctness.
 func (r *Retractor) retractRebuild(g *rdf.Graph, dels []rdf.Triple) RetractStats {
+	r.Obs.Emit(obs.Event{
+		Type: obs.EvWarn, TS: r.Obs.Now(), Worker: obs.MasterWorker,
+		Name: "retract: graph has no provenance; degraded to delete-and-rematerialize",
+	})
 	var st RetractStats
 	offs := make([]uint32, 0, len(dels))
 	for _, t := range dels {

@@ -270,6 +270,9 @@ func New(kb *KB, cfg Config) *Server {
 		// one even without a registry.
 		s.hLatency = &obs.Histogram{}
 	}
+	// A prov-free KB makes every DELETE fall back to delete-and-
+	// rematerialize; the retractor journals each such degradation.
+	s.ret.Obs = cfg.Run
 	sn := kb.Graph.Snapshot()
 	s.snap.Store(&sn)
 	s.gEpoch.Set(int64(sn.Watermark()))
