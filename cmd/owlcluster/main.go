@@ -45,6 +45,7 @@ func main() {
 		run       = flag.Bool("run", false, "spawn owlnode processes locally and merge the closures")
 		nodeBin   = flag.String("node-bin", "", "owlnode binary for -run ('' = go run ./cmd/owlnode)")
 		engine    = flag.String("engine", "forward", "engine passed to the nodes")
+		threads   = flag.Int("threads", 0, "intra-worker parallel rule-firing goroutines per node (0 or 1 = serial)")
 		transport = flag.String("transport", "file", "cluster transport: file (owlnode processes over the shared work dir), tcp or mem (in-process workers with transport-generic recovery)")
 		out       = flag.String("o", "", "merged closure output file (with -run)")
 		fault     = flag.String("fault", "", "fault-injection spec, e.g. \"crash=2\" or \"crash=2,drop=2,dropfrom=0,dropto=1\" (see internal/faultinject); crash targets -fault-node, the rest hits the transport")
@@ -97,7 +98,7 @@ func main() {
 		}
 		runInProcess(dict, g, inProcOpts{
 			in: *in, dir: *dir, k: *k, policy: *policy, seed: *seed,
-			engine: *engine, transport: *transport, out: *out,
+			engine: *engine, transport: *transport, out: *out, threads: *threads,
 			fault: *fault, faultNode: *faultNode, deadline: *deadline,
 			journal: *journal, trace: *trace, report: *report,
 		})
@@ -130,6 +131,9 @@ func main() {
 			if *fault != "" && i == *faultNode {
 				extra = " -fault " + *fault
 			}
+			if *threads > 1 {
+				extra += fmt.Sprintf(" -threads %d", *threads)
+			}
 			fmt.Printf("  owlnode -dir %s -id %d -engine %s%s\n", *dir, i, *engine, extra)
 		}
 		return
@@ -143,6 +147,9 @@ func main() {
 	procs := make([]*exec.Cmd, *k)
 	for i := 0; i < *k; i++ {
 		args := []string{"-dir", *dir, "-id", fmt.Sprint(i), "-engine", *engine}
+		if *threads > 1 {
+			args = append(args, "-threads", fmt.Sprint(*threads))
+		}
 		if obsWanted {
 			args = append(args, "-journal", layout.JournalFile(i))
 		}
@@ -270,7 +277,7 @@ func main() {
 // inProcOpts carries the flag values the in-process path consumes.
 type inProcOpts struct {
 	in, dir, policy, engine, transport, out, journal, trace string
-	k, faultNode                                            int
+	k, faultNode, threads                                   int
 	seed                                                    int64
 	deadline                                                time.Duration
 	fault                                                   string
@@ -325,6 +332,7 @@ func runInProcess(dict *rdf.Dict, g *rdf.Graph, o inProcOpts) {
 		Workers:        o.k,
 		Policy:         core.PolicyKind(o.policy),
 		Engine:         core.EngineKind(o.engine),
+		Threads:        o.threads,
 		Transport:      core.TransportKind(o.transport),
 		Seed:           o.seed,
 		Obs:            orun,

@@ -50,6 +50,7 @@ func main() {
 		journal  = flag.String("journal", "", "JSONL journal path (empty = no journal)")
 		statsOut = flag.String("stats-out", "", "write final stats JSON here (empty = stderr)")
 		prov     = flag.Bool("prov", false, "record derivation provenance and serve POST /explain")
+		threads  = flag.Int("threads", 0, "intra-worker parallel rule-firing goroutines for writer-side closures (0 or 1 = serial)")
 		churn    = flag.Bool("churn-axiom", false, "arm the loadgen churn drill: make the churn predicate a subproperty of the probe marker")
 		cratio   = flag.Float64("compact-ratio", 0, "compact when dead/log exceeds this (0 = default, negative = never)")
 		cmin     = flag.Int("compact-min-dead", 0, "never compact below this many tombstones (0 = default)")
@@ -76,11 +77,7 @@ func main() {
 		})
 	}
 	start := time.Now()
-	build := serve.BuildKB
-	if *prov {
-		build = serve.BuildKBProv
-	}
-	kb := build(dict, base)
+	kb := serve.Build(dict, base, serve.BuildConfig{Prov: *prov, Threads: *threads})
 	fmt.Fprintf(os.Stderr, "owlserve: materialized %d -> %d triples in %v\n",
 		base.Len(), kb.Graph.Len(), time.Since(start).Round(time.Millisecond))
 
@@ -96,7 +93,7 @@ func main() {
 		run = obs.NewRun(sink, nil)
 	}
 
-	srv := serve.New(kb, serve.Config{
+	srv, err := serve.New(kb, serve.Config{
 		MaxInflight:    *inflight,
 		QueueDepth:     *queue,
 		Deadline:       *deadline,
@@ -105,6 +102,9 @@ func main() {
 		CompactMinDead: *cmin,
 		Run:            run,
 	})
+	if err != nil {
+		fatal(err)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

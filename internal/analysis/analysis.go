@@ -105,6 +105,7 @@ func NewSuite() *Suite {
 		&AtomicPub{},
 		&AllocFree{},
 		&DegradeJournal{},
+		&SharedScratch{},
 	}}
 }
 

@@ -156,3 +156,34 @@ var T = time.Now() //powl:ignore wallclock startup stamp
 		t.Errorf("owlvet -debt output missing report total:\n%s", out)
 	}
 }
+
+func TestSeededSharedScratchViolation(t *testing.T) {
+	out, code := seedAndRunOwlvet(t, map[string]string{
+		"go.mod": "module seeded\n\ngo 1.22\n",
+		"internal/core/bad.go": `package core
+
+// scratch is a per-goroutine join buffer.
+//
+//powl:goroutinelocal
+type scratch struct {
+	env []uint64
+}
+
+func fire(n int) {
+	sc := &scratch{env: make([]uint64, 8)}
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			sc.env[0] = 1
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+`,
+	})
+	wantSeededFinding(t, out, code,
+		`bad.go:15:4: [sharedscratch] go closure captures "sc" involving //powl:goroutinelocal seeded/internal/core.scratch`)
+}

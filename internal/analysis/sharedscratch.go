@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLocalDirective marks a type whose values must stay confined to
+// the goroutine that created them.
+const GoroutineLocalDirective = "//powl:goroutinelocal"
+
+// SharedScratch enforces goroutine confinement for types annotated
+//
+//	//powl:goroutinelocal
+//
+// in their declaration's doc comment — the reason engines' scratch being
+// the motivating case: its env slice and join buffers are reused across
+// firings with no synchronization, so a scratch visible to two goroutines
+// is a data race the race detector only catches on the schedules it
+// happens to see. The parallel fire loop's contract is structural — each
+// worker goroutine creates its own scratch — and this analyzer verifies
+// the structure: a value whose type involves an annotated type must not be
+// captured by a `go` closure, passed as a `go` call argument, or sent on a
+// channel. Plain (synchronous) calls and returns are fine; confinement is
+// about crossing a goroutine boundary, not about aliasing within one.
+type SharedScratch struct {
+	mod       *Module
+	annotated map[string]bool // qualified "pkgpath.Name" of annotated types
+}
+
+// Name implements Analyzer.
+func (*SharedScratch) Name() string { return "sharedscratch" }
+
+// Doc implements Analyzer.
+func (*SharedScratch) Doc() string {
+	return "values of //powl:goroutinelocal types never cross a goroutine boundary (go-closure capture, go-call argument, channel send)"
+}
+
+// Run implements Analyzer.
+func (a *SharedScratch) Run(pass *Pass) error {
+	if pass.Mod == nil {
+		return nil
+	}
+	a.collect(pass.Mod)
+	if len(a.annotated) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		a.scanFile(pass, f)
+	}
+	return nil
+}
+
+// collect gathers the module's annotated type names once; the directive may
+// sit on the GenDecl (shared by a grouped declaration) or on an individual
+// TypeSpec.
+func (a *SharedScratch) collect(mod *Module) {
+	if a.mod == mod {
+		return
+	}
+	a.mod = mod
+	a.annotated = map[string]bool{}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				declWide := hasDirective(gd.Doc, GoroutineLocalDirective)
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if declWide || hasDirective(ts.Doc, GoroutineLocalDirective) {
+						a.annotated[pkg.Path+"."+ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanFile flags the three goroutine-boundary crossings in one file.
+func (a *SharedScratch) scanFile(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	if info == nil {
+		return
+	}
+	involves := func(t types.Type) (string, bool) {
+		return a.typeInvolves(t, map[types.Type]bool{})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if t := info.TypeOf(x.Value); t != nil {
+				if name, bad := involves(t); bad {
+					pass.reportf(x.Arrow,
+						"channel send shares a value involving //powl:goroutinelocal %s across goroutines", name)
+				}
+			}
+		case *ast.GoStmt:
+			a.checkGoCall(pass, info, x, involves)
+		}
+		return true
+	})
+}
+
+// checkGoCall flags annotated-type-involving values handed to the spawned
+// goroutine: call arguments, the method receiver, and — for a closure
+// literal — every free variable the body captures.
+func (a *SharedScratch) checkGoCall(pass *Pass, info *types.Info, g *ast.GoStmt, involves func(types.Type) (string, bool)) {
+	call := g.Call
+	for _, arg := range call.Args {
+		if t := info.TypeOf(arg); t != nil {
+			if name, bad := involves(t); bad {
+				pass.reportf(arg.Pos(),
+					"goroutine argument shares a value involving //powl:goroutinelocal %s; create it inside the goroutine", name)
+			}
+		}
+	}
+	fun := unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		// `go sc.fire()` smuggles sc just as surely as `go fire(sc)`.
+		if t := info.TypeOf(sel.X); t != nil {
+			if _, isPkg := info.Uses[firstIdent(sel.X)].(*types.PkgName); !isPkg {
+				if name, bad := involves(t); bad {
+					pass.reportf(sel.X.Pos(),
+						"goroutine method receiver shares a value involving //powl:goroutinelocal %s", name)
+				}
+			}
+		}
+	}
+	lit, ok := fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// Free variables: identifiers used in the body but declared outside the
+	// literal. Parameters and locals of the literal itself have positions
+	// inside it and are skipped.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // declared inside the closure: confined
+		}
+		if name, bad := involves(obj.Type()); bad {
+			pass.reportf(id.Pos(),
+				"go closure captures %q involving //powl:goroutinelocal %s; create it inside the goroutine", id.Name, name)
+		}
+		return true
+	})
+}
+
+// firstIdent returns the leftmost identifier of a selector chain, or nil.
+func firstIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// typeInvolves reports whether t is, contains, or points at an annotated
+// type, returning the qualified name that matched. The visited set breaks
+// recursive types (a struct holding a pointer to itself).
+func (a *SharedScratch) typeInvolves(t types.Type, visited map[types.Type]bool) (string, bool) {
+	if t == nil || visited[t] {
+		return "", false
+	}
+	visited[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			q := obj.Pkg().Path() + "." + obj.Name()
+			if a.annotated[q] {
+				return q, true
+			}
+		}
+		return a.typeInvolves(named.Underlying(), visited)
+	}
+	switch u := t.(type) {
+	case *types.Pointer:
+		return a.typeInvolves(u.Elem(), visited)
+	case *types.Slice:
+		return a.typeInvolves(u.Elem(), visited)
+	case *types.Array:
+		return a.typeInvolves(u.Elem(), visited)
+	case *types.Map:
+		if name, ok := a.typeInvolves(u.Key(), visited); ok {
+			return name, true
+		}
+		return a.typeInvolves(u.Elem(), visited)
+	case *types.Chan:
+		return a.typeInvolves(u.Elem(), visited)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := a.typeInvolves(u.Field(i).Type(), visited); ok {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}

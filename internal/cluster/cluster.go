@@ -362,8 +362,10 @@ type worker struct {
 //powl:ignore wallclock measures the real phase duration that feeds Timings and, in Simulated mode, the reconstructed clock — an input to the cost model, not a timestamp in its output.
 func (w *worker) phaseReason(ctx context.Context, cfg Config) (time.Duration, error) {
 	// Attach the worker's rule collector so the engines profile per-rule
-	// work; with Obs nil this returns ctx unchanged.
+	// work, and its piece collector so the parallel fire loop journals one
+	// span per stratum firing; with Obs nil both return ctx unchanged.
 	ctx = obs.ContextWithRules(ctx, cfg.Obs.Rules(w.id))
+	ctx = obs.ContextWithPieces(ctx, cfg.Obs.Pieces(w.id))
 	t0 := time.Now()
 	var n int
 	var err error

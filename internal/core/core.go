@@ -89,6 +89,15 @@ type Config struct {
 	Policy PolicyKind
 	// Engine defaults to ForwardEngine.
 	Engine EngineKind
+	// Threads fans rule firing inside each worker out over this many
+	// goroutines (reason.Forward.Threads): piecewise stratified scheduling
+	// with per-goroutine scratches, merged through the single-writer
+	// commit. 0 or 1 keeps every worker's fixpoint serial. Orthogonal to
+	// Workers: Workers partitions the KB across processes, Threads fans the
+	// fixpoint out inside each one. The hybrid engines apply it to their
+	// incremental closes only; Rete ignores it (its memories are one
+	// mutable network).
+	Threads int
 	// Transport defaults to MemTransport.
 	Transport TransportKind
 	// Seed drives the deterministic pseudo-random choices of the graph
@@ -182,8 +191,11 @@ func Materialize(ds *datagen.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	compiled := owlhorst.Compile(ds.Dict, ds.Graph)
 	instance := owlhorst.SplitInstance(ds.Dict, ds.Graph)
-	engine, err := engineFor(cfg.Engine)
+	engine, err := engineFor(cfg.Engine, cfg.Threads)
 	if err != nil {
+		return nil, err
+	}
+	if err := reason.ValidateRules(compiled.InstanceRules); err != nil {
 		return nil, err
 	}
 
@@ -314,7 +326,7 @@ type SerialResult struct {
 //
 //powl:ignore wallclock the serial baseline's Elapsed is the paper's wall-clock measurement (Table I).
 func MaterializeSerial(ds *datagen.Dataset, kind EngineKind) (*SerialResult, error) {
-	engine, err := engineFor(kind)
+	engine, err := engineFor(kind, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -367,14 +379,14 @@ func (r ownerRouter) Destinations(t rdf.Triple, from int) []int {
 	return out
 }
 
-func engineFor(kind EngineKind) (reason.Engine, error) {
+func engineFor(kind EngineKind, threads int) (reason.Engine, error) {
 	switch kind {
 	case ForwardEngine, "":
-		return reason.Forward{}, nil
+		return reason.Forward{Threads: threads}, nil
 	case HybridEngine:
-		return reason.Hybrid{}, nil
+		return reason.Hybrid{Threads: threads}, nil
 	case HybridSharedEngine:
-		return reason.Hybrid{SharedTable: true}, nil
+		return reason.Hybrid{SharedTable: true, Threads: threads}, nil
 	case ReteEngine:
 		return reason.Rete{}, nil
 	default:

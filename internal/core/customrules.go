@@ -8,6 +8,7 @@ import (
 	"powl/internal/datagen"
 	"powl/internal/gpart"
 	"powl/internal/partition"
+	"powl/internal/reason"
 	"powl/internal/rulepart"
 	"powl/internal/rules"
 )
@@ -41,8 +42,11 @@ func MaterializeRules(ds *datagen.Dataset, rs []rules.Rule, cfg Config) (*Result
 		}
 	}
 
-	engine, err := engineFor(cfg.Engine)
+	engine, err := engineFor(cfg.Engine, cfg.Threads)
 	if err != nil {
+		return nil, err
+	}
+	if err := reason.ValidateRules(rs); err != nil {
 		return nil, err
 	}
 	instance := ds.Graph.Triples()
@@ -166,8 +170,11 @@ func sharesOwnedVariable(r rules.Rule) bool {
 //
 //powl:ignore wallclock serial baseline Elapsed is a wall-clock measurement, mirroring MaterializeSerial.
 func SerialRules(ds *datagen.Dataset, rs []rules.Rule, kind EngineKind) (*SerialResult, error) {
-	engine, err := engineFor(kind)
+	engine, err := engineFor(kind, 0)
 	if err != nil {
+		return nil, err
+	}
+	if err := reason.ValidateRules(rs); err != nil {
 		return nil, err
 	}
 	g := ds.Graph.Clone()

@@ -22,6 +22,7 @@ type Run struct {
 
 	mu         sync.Mutex
 	collectors map[int]*RuleCollector
+	pieces     map[int]*PieceCollector
 }
 
 // NewRun returns an observer journaling to sink (nil = journal discarded)
@@ -69,6 +70,26 @@ func (r *Run) Rules(worker int) *RuleCollector {
 	return c
 }
 
+// Pieces returns worker's piece-span collector, creating it on first use.
+// The cluster layer attaches it to the worker's context; the parallel
+// engine records one span per stratum firing into it.
+func (r *Run) Pieces(worker int) *PieceCollector {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pieces == nil {
+		r.pieces = map[int]*PieceCollector{}
+	}
+	c := r.pieces[worker]
+	if c == nil {
+		c = &PieceCollector{}
+		r.pieces[worker] = c
+	}
+	return c
+}
+
 // Transport returns the run's transport recorder for attaching to
 // transports (nil on a nil run).
 func (r *Run) Transport() *TransportRecorder {
@@ -95,6 +116,15 @@ func (r *Run) FlushProfiles(ts int64) {
 	for i, w := range workers {
 		collectors[i] = r.collectors[w]
 	}
+	pieceWorkers := make([]int, 0, len(r.pieces))
+	for w := range r.pieces {
+		pieceWorkers = append(pieceWorkers, w)
+	}
+	sort.Ints(pieceWorkers)
+	pieceCollectors := make([]*PieceCollector, len(pieceWorkers))
+	for i, w := range pieceWorkers {
+		pieceCollectors[i] = r.pieces[w]
+	}
 	r.mu.Unlock()
 
 	for i, w := range workers {
@@ -106,6 +136,17 @@ func (r *Run) FlushProfiles(ts int64) {
 				Dur: int64(p.Time),
 			})
 			r.Registry.Counter("rules." + p.Name + ".firings").Add(p.Firings)
+		}
+	}
+	for i, w := range pieceWorkers {
+		for _, sp := range pieceCollectors[i].Snapshot() {
+			r.Emit(Event{
+				Type: EvPiece, TS: ts, Worker: w,
+				Name:  fmt.Sprintf("stratum-%d/%dp", sp.Stratum, sp.Pieces),
+				Round: sp.Sweep,
+				N:     int64(sp.Delta), N2: int64(sp.Derived), N3: int64(sp.Threads),
+				Dur: int64(sp.Dur),
+			})
 		}
 	}
 	r.transport.flush(r, ts)

@@ -1,0 +1,82 @@
+package rdf
+
+// DeltaStage is the sharded staging area for concurrently produced delta
+// triples: one shard per firing goroutine, each an append buffer with a
+// local dedup set. It is how the parallel fire loop keeps the graph's
+// single-writer contract intact — goroutines never touch the graph's
+// mutable state, they stage into their own shard, and the coordinator
+// drains every shard into the log after the fork joins.
+//
+// Ownership protocol (not locked — the structure has no synchronization of
+// its own):
+//
+//   - between two coordinator sync points, shard i is written by exactly
+//     one goroutine;
+//   - Triples, Reset, and Len on any shard are coordinator-only, after the
+//     firing goroutines have been joined.
+//
+// Shards dedup only their own triples; the same triple staged by two
+// shards is resolved at drain time by the graph insert itself (AddDerived
+// reports whether the triple was new).
+type DeltaStage struct {
+	shards []StageShard
+}
+
+// NewDeltaStage returns a stage with n shards (n < 1 is treated as 1).
+func NewDeltaStage(n int) *DeltaStage {
+	if n < 1 {
+		n = 1
+	}
+	s := &DeltaStage{shards: make([]StageShard, n)}
+	for i := range s.shards {
+		s.shards[i].seen = map[Triple]struct{}{}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (d *DeltaStage) Shards() int { return len(d.shards) }
+
+// Shard returns shard i for the goroutine that owns it.
+func (d *DeltaStage) Shard(i int) *StageShard { return &d.shards[i] }
+
+// Len sums the staged triple counts across shards (coordinator-only).
+func (d *DeltaStage) Len() int {
+	n := 0
+	for i := range d.shards {
+		n += len(d.shards[i].buf)
+	}
+	return n
+}
+
+// StageShard is one goroutine's staging buffer.
+type StageShard struct {
+	seen map[Triple]struct{}
+	buf  []Triple
+}
+
+// Add stages t unless this shard already holds it, reporting whether it was
+// staged. At a materialization's fixpoint nothing is staged, so the
+// steady-state cost is one map probe — no allocation.
+func (s *StageShard) Add(t Triple) bool {
+	if _, ok := s.seen[t]; ok {
+		return false
+	}
+	s.seen[t] = struct{}{}
+	s.buf = append(s.buf, t)
+	return true
+}
+
+// Len returns the staged triple count.
+func (s *StageShard) Len() int { return len(s.buf) }
+
+// Triples returns the staged triples in insertion order. The slice is a
+// view into the shard's buffer — valid until the next Add or Reset.
+func (s *StageShard) Triples() []Triple { return s.buf }
+
+// Reset empties the shard, keeping its map and buffer capacity so a reused
+// stage stops allocating once it has seen its high-water mark.
+func (s *StageShard) Reset() {
+	clear(s.seen)
+	s.buf = s.buf[:0]
+}

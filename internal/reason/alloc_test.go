@@ -65,7 +65,7 @@ func TestJoinPathZeroAllocs(t *testing.T) {
 	// path (steady state: re-deriving known triples).
 	Forward{}.Materialize(g, rs)
 
-	crs := compileRules(rs)
+	crs := mustCompileRules(rs)
 	byPred := map[rdf.ID][]trigger{}
 	for i := range crs {
 		r := &crs[i]
@@ -123,7 +123,7 @@ func TestJoinPathZeroAllocsWithDeletions(t *testing.T) {
 	}
 	deltas = deltas[40:]
 
-	crs := compileRules(rs)
+	crs := mustCompileRules(rs)
 	byPred := map[rdf.ID][]trigger{}
 	for i := range crs {
 		r := &crs[i]
@@ -160,12 +160,59 @@ func TestJoinPathZeroAllocsWithDeletions(t *testing.T) {
 	}
 }
 
+// TestJoinPathZeroAllocsParallelShard pins the steady-state property for
+// the parallel fire loop's per-shard path: a firing goroutine's emit stages
+// into its own DeltaStage shard instead of the round's pending map, and at
+// fixpoint (every conclusion already in the graph) the g.Has probe plus the
+// shard's dedup probe must not allocate. This is the per-goroutine mirror
+// of TestJoinPathZeroAllocs — one scratch, one shard, exactly what each
+// worker of fireShard owns.
+func TestJoinPathZeroAllocsParallelShard(t *testing.T) {
+	g, rs, deltas := allocFixture()
+	Forward{Threads: 4}.Materialize(g, rs)
+
+	crs := mustCompileRules(rs)
+	byPred := map[rdf.ID][]trigger{}
+	for i := range crs {
+		r := &crs[i]
+		for j, a := range r.body {
+			byPred[a.p.id] = append(byPred[a.p.id], trigger{r, j})
+		}
+	}
+	sc := newScratch(crs)
+	sh := rdf.NewDeltaStage(1).Shard(0)
+	emit := func(tr rdf.Triple) {
+		if !g.Has(tr) {
+			sh.Add(tr)
+		}
+	}
+	fired := 0
+	run := func() {
+		for _, d := range deltas {
+			for _, tr := range byPred[d.P] {
+				m, _ := fireOn(g, sc, tr, d, emit)
+				fired += int(m)
+			}
+		}
+	}
+	run()
+	if fired == 0 {
+		t.Fatal("fixture produced no body matches; the test would measure nothing")
+	}
+	if sh.Len() != 0 {
+		t.Fatalf("graph not at fixpoint: %d staged emits", sh.Len())
+	}
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Errorf("per-shard join path allocates %.1f times per %d delta firings, want 0", avg, len(deltas))
+	}
+}
+
 // TestBindTripleNoAlloc pins the binding primitive itself: bitmask
 // bind/unbind over a scratch environment must be allocation-free.
 func TestBindTripleNoAlloc(t *testing.T) {
 	g, rs, deltas := allocFixture()
 	_ = g
-	crs := compileRules(rs)
+	crs := mustCompileRules(rs)
 	sc := newScratch(crs)
 	r := &crs[0]
 	if avg := testing.AllocsPerRun(100, func() {

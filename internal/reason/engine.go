@@ -100,9 +100,31 @@ type cRule struct {
 // most a handful of variables, so the bound is far from any real rule set.
 const maxSlots = 64
 
+// ValidateRules reports whether the engines can execute every rule in rs —
+// today the only way a parsed rule can be inexecutable is by exceeding
+// maxSlots variables. It is the construction-time validation entry:
+// core.Config paths and serve.New call it up front so a bad ruleset
+// surfaces as an error when the KB is built, not as a panic at materialize
+// time inside a live server.
+func ValidateRules(rs []rules.Rule) error {
+	_, err := compileRules(rs)
+	return err
+}
+
+// mustCompileRules is compileRules for construction-time callers whose rule
+// set was already validated (ValidateRules); it panics on a rule the
+// engines cannot execute.
+func mustCompileRules(rs []rules.Rule) []cRule {
+	crs, err := compileRules(rs)
+	if err != nil {
+		panic(err)
+	}
+	return crs
+}
+
 // compileRules lowers parsed rules into slot-indexed form. Variable names are
 // assigned dense slots per rule.
-func compileRules(rs []rules.Rule) []cRule {
+func compileRules(rs []rules.Rule) ([]cRule, error) {
 	out := make([]cRule, 0, len(rs))
 	for _, r := range rs {
 		slots := map[string]int{}
@@ -129,11 +151,11 @@ func compileRules(rs []rules.Rule) []cRule {
 		}
 		cr.nslot = len(slots)
 		if cr.nslot > maxSlots {
-			panic(fmt.Sprintf("reason: rule %q uses %d variables; the engines support at most %d", r.Name, cr.nslot, maxSlots))
+			return nil, fmt.Errorf("reason: rule %q uses %d variables; the engines support at most %d", r.Name, cr.nslot, maxSlots)
 		}
 		out = append(out, cr)
 	}
-	return out
+	return out, nil
 }
 
 // env is a per-rule binding environment: env[slot] == 0 means unbound

@@ -12,7 +12,17 @@ import (
 // Forward is the semi-naive bottom-up datalog engine. Each round joins the
 // previous round's delta against the full graph, so every derivation is
 // performed once; rounds continue until no new triples appear.
-type Forward struct{}
+type Forward struct {
+	// Threads fans rule firing out over this many goroutines inside one
+	// materialization (see parallel.go): the compiled rule set is stratified
+	// into dependency pieces and each stratum's delta is fired across
+	// per-goroutine scratches and staging shards, merged back through the
+	// single-writer commit so the graph's MVCC publication invariants hold.
+	// 0 or 1 selects the serial loop. The closure (and, with provenance on,
+	// the derived-triple set) is identical to the serial run; only firing
+	// order may differ.
+	Threads int
+}
 
 // Name implements Engine.
 func (Forward) Name() string { return "forward" }
@@ -24,9 +34,15 @@ type trigger struct {
 	atomIdx int
 }
 
-// Materialize implements Engine.
+// Materialize implements Engine. The rule set must be executable
+// (ValidateRules): the int-only Engine interface has nowhere to surface a
+// compile error, so an invalid set panics here — callers that accept rules
+// from outside validate first.
 func (f Forward) Materialize(g *rdf.Graph, rs []rules.Rule) int {
-	n, _ := f.materialize(context.Background(), g, rs, g.Triples())
+	n, err := f.materialize(context.Background(), g, rs, g.Triples())
+	if err != nil {
+		panic(err)
+	}
 	return n
 }
 
@@ -40,8 +56,14 @@ func (f Forward) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Ru
 // materialize runs semi-naive evaluation with the given initial delta.
 //
 //powl:ignore wallclock per-rule profiling accumulates real durations into RuleStats; disabled entirely when no collector is attached.
-func (Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) (int, error) {
-	crs := compileRules(rs)
+func (f Forward) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, delta []rdf.Triple) (int, error) {
+	if f.Threads > 1 {
+		return f.materializeParallel(ctx, g, rs, delta)
+	}
+	crs, err := compileRules(rs)
+	if err != nil {
+		return 0, err
+	}
 	prof := newRuleProf(ctx, crs)
 	defer prof.flush()
 
@@ -278,6 +300,13 @@ type pendDeriv struct {
 // joinRest additionally track the firing rule and the triples bound to the
 // first three body atoms, so emit can read the premises of the current
 // firing straight out of the scratch — still no per-firing allocation.
+//
+// The buffers are reused across firings with no synchronization, so a
+// scratch must never be visible to two goroutines: the parallel fire loop
+// creates one per worker inside the goroutine (see fireShard), and owlvet's
+// sharedscratch analyzer enforces the confinement via the directive below.
+//
+//powl:goroutinelocal
 type scratch struct {
 	env  env
 	rest []int

@@ -34,6 +34,12 @@ type Hybrid struct {
 	// backward queries instead of delegating to the forward engine; see
 	// that method's documentation.
 	FrontierDelta bool
+	// Threads is forwarded to the forward engine MaterializeFrom delegates
+	// to (see Forward.Threads). The full per-resource backward driver stays
+	// single-threaded: its table is one mutable structure per
+	// materialization, and its sequential per-query cost is the behaviour
+	// the paper's experiments measure.
+	Threads int
 }
 
 // Name implements Engine.
@@ -44,9 +50,13 @@ func (h Hybrid) Name() string {
 	return "hybrid"
 }
 
-// Materialize implements Engine.
+// Materialize implements Engine. Like Forward.Materialize it panics on a
+// rule set that fails ValidateRules — validate caller-supplied rules first.
 func (h Hybrid) Materialize(g *rdf.Graph, rs []rules.Rule) int {
-	n, _ := h.MaterializeCtx(context.Background(), g, rs)
+	n, err := h.MaterializeCtx(context.Background(), g, rs)
+	if err != nil {
+		panic(err)
+	}
 	return n
 }
 
@@ -54,7 +64,10 @@ func (h Hybrid) Materialize(g *rdf.Graph, rs []rules.Rule) int {
 // checks ctx before each resource, so cancellation lands within one
 // backward query.
 func (h Hybrid) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule) (int, error) {
-	crs := compileRules(rs)
+	crs, err := compileRules(rs)
+	if err != nil {
+		return 0, err
+	}
 	prof := newRuleProf(ctx, crs)
 	defer prof.flush()
 

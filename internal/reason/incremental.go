@@ -28,7 +28,13 @@ type Incremental interface {
 // derivation joins at least one seed, so seeding the delta with the seeds is
 // complete.
 func (f Forward) MaterializeFrom(g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) int {
-	n, _ := f.MaterializeFromCtx(context.Background(), g, rs, seeds)
+	n, err := f.MaterializeFromCtx(context.Background(), g, rs, seeds)
+	if err != nil {
+		// Background ctx never expires, so the only error here is an
+		// inexecutable rule set — a caller-side validation bug (see
+		// Materialize).
+		panic(err)
+	}
 	return n
 }
 
@@ -68,9 +74,12 @@ func (h Hybrid) MaterializeFromCtx(ctx context.Context, g *rdf.Graph, rs []rules
 		return 0, ctx.Err()
 	}
 	if !h.FrontierDelta {
-		return Forward{}.MaterializeFromCtx(ctx, g, rs, seeds)
+		return Forward{Threads: h.Threads}.MaterializeFromCtx(ctx, g, rs, seeds)
 	}
-	crs := compileRules(rs)
+	crs, err := compileRules(rs)
+	if err != nil {
+		return 0, err
+	}
 	prof := newRuleProf(ctx, crs)
 	defer prof.flush()
 	queried := map[rdf.ID]struct{}{}

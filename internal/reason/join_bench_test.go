@@ -14,7 +14,7 @@ import (
 func BenchmarkJoinFireOn(b *testing.B) {
 	g, rs, deltas := allocFixture()
 	Forward{}.Materialize(g, rs)
-	crs := compileRules(rs)
+	crs := mustCompileRules(rs)
 	byPred := map[rdf.ID][]trigger{}
 	for i := range crs {
 		r := &crs[i]

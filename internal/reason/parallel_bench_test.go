@@ -1,0 +1,37 @@
+// Threads-scaling benchmark for the intra-worker parallel fire loop. CI's
+// bench-smoke job parses the threads=1/2/4 rows into BENCH_10.json and
+// records speedup@4 = t1/t4 — the artifact the ≥2× acceptance gate reads on
+// multi-core runners (a single-core container reports ~1×; the equality
+// tests, not this benchmark, are the correctness net there).
+package reason_test
+
+import (
+	"fmt"
+	"testing"
+
+	"powl/internal/datagen"
+	"powl/internal/owlhorst"
+	"powl/internal/rdf"
+	"powl/internal/reason"
+)
+
+func BenchmarkMaterializeThreads(b *testing.B) {
+	ds := datagen.LUBM(datagen.LUBMConfig{Universities: 1, Seed: 7})
+	compiled := owlhorst.Compile(ds.Dict, ds.Graph)
+	instance := owlhorst.SplitInstance(ds.Dict, ds.Graph)
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := rdf.NewGraphCap(2 * (len(instance) + compiled.Schema.Len()))
+				g.AddAll(instance)
+				g.Union(compiled.Schema)
+				b.StartTimer()
+				if (reason.Forward{Threads: threads}).Materialize(g, compiled.InstanceRules) == 0 {
+					b.Fatal("fixture derived nothing")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,312 @@
+// Equality and accounting tests for the intra-worker parallel fire loop.
+// Run them under -race (the CI race job does): the fire phase's concurrent
+// graph reads against the coordinator-only commit phase is precisely the
+// discipline the race detector can falsify.
+//
+// External test package: owlhorst imports reason, so importing owlhorst
+// from package reason would cycle.
+package reason_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"powl/internal/datagen"
+	"powl/internal/obs"
+	"powl/internal/owlhorst"
+	"powl/internal/rdf"
+	"powl/internal/reason"
+	"powl/internal/rules"
+)
+
+// parallelFixture is one dataset the equality tests close: base builds a
+// fresh unclosed graph (instance + schema) so every engine run starts from
+// an identical state.
+type parallelFixture struct {
+	name  string
+	rs    []rules.Rule
+	base  func(prov bool) *rdf.Graph
+	seeds []rdf.Triple
+}
+
+func parallelFixtures(t *testing.T) []parallelFixture {
+	t.Helper()
+	var out []parallelFixture
+	build := func(name string, ds *datagen.Dataset) {
+		compiled := owlhorst.Compile(ds.Dict, ds.Graph)
+		instance := owlhorst.SplitInstance(ds.Dict, ds.Graph)
+		out = append(out, parallelFixture{
+			name: name,
+			rs:   compiled.InstanceRules,
+			base: func(prov bool) *rdf.Graph {
+				g := rdf.NewGraph()
+				if prov {
+					g.EnableProv()
+				}
+				g.AddAll(instance)
+				g.Union(compiled.Schema)
+				return g
+			},
+			seeds: instance,
+		})
+	}
+	build("lubm", datagen.LUBM(datagen.LUBMConfig{Universities: 1, Seed: 7, DeptsPerUniv: 2}))
+	build("uobm", datagen.UOBM(datagen.UOBMConfig{Universities: 1, Seed: 7, DeptsPerUniv: 2}))
+	return out
+}
+
+// closureSet maps every live triple to whether the engine derived it — the
+// two facts the determinism contract fixes. Log order and premise choice
+// are free to differ (they differ between serial runs already).
+func closureSet(g *rdf.Graph) map[rdf.Triple]bool {
+	out := make(map[rdf.Triple]bool, g.Len())
+	for off, t := range g.Triples() {
+		out[t] = g.IsDerivedOffset(uint32(off))
+	}
+	return out
+}
+
+func diffClosure(t *testing.T, label string, want, got map[rdf.Triple]bool) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: closure size %d, serial %d", label, len(got), len(want))
+	}
+	missing, extra, flipped := 0, 0, 0
+	for tr, derived := range want {
+		gd, ok := got[tr]
+		switch {
+		case !ok:
+			missing++
+		case gd != derived:
+			flipped++
+		}
+		_ = gd
+	}
+	for tr := range got {
+		if _, ok := want[tr]; !ok {
+			extra++
+		}
+	}
+	if missing != 0 || extra != 0 || flipped != 0 {
+		t.Errorf("%s: closure diverges from serial: %d missing, %d extra, %d derived-bit flips",
+			label, missing, extra, flipped)
+	}
+}
+
+// TestParallelMaterializeEquivalence closes lubm and uobm Quick at
+// Threads ∈ {1, 2, 4}, with and without provenance, and checks the closure
+// (and derived partition) is set-identical to the serial engine's. With
+// provenance on, every parallel-recorded derivation must also round-trip
+// through the verifier — "provenance set-identical" in the contract's
+// sense: same derived set, every record valid.
+func TestParallelMaterializeEquivalence(t *testing.T) {
+	for _, fx := range parallelFixtures(t) {
+		for _, prov := range []bool{false, true} {
+			serial := fx.base(prov)
+			sn := reason.Forward{}.Materialize(serial, fx.rs)
+			want := closureSet(serial)
+			for _, threads := range []int{1, 2, 4} {
+				label := fmt.Sprintf("%s/prov=%v/threads=%d", fx.name, prov, threads)
+				g := fx.base(prov)
+				n := reason.Forward{Threads: threads}.Materialize(g, fx.rs)
+				if n != sn {
+					t.Errorf("%s: added %d triples, serial added %d", label, n, sn)
+				}
+				diffClosure(t, label, want, closureSet(g))
+				if prov {
+					verifyAllDerived(t, g, fx.rs)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelIncrementalEquivalence exercises the MaterializeFrom path the
+// live-serving writer uses: close a graph missing a slice of its instance
+// triples, then insert the slice and close incrementally at each thread
+// count. The fixpoint must match the all-at-once serial closure.
+func TestParallelIncrementalEquivalence(t *testing.T) {
+	fx := parallelFixtures(t)[0] // lubm
+	full := fx.base(true)
+	reason.Forward{}.Materialize(full, fx.rs)
+	want := len(closureSet(full))
+
+	hold := len(fx.seeds) / 10
+	for _, threads := range []int{1, 2, 4} {
+		g := rdf.NewGraph()
+		g.EnableProv()
+		g.AddAll(fx.seeds[hold:])
+		ds := datagen.LUBM(datagen.LUBMConfig{Universities: 1, Seed: 7, DeptsPerUniv: 2})
+		compiled := owlhorst.Compile(ds.Dict, ds.Graph)
+		g.Union(compiled.Schema)
+		f := reason.Forward{Threads: threads}
+		f.Materialize(g, fx.rs)
+		seeds := make([]rdf.Triple, 0, hold)
+		for _, tr := range fx.seeds[:hold] {
+			if g.Add(tr) {
+				seeds = append(seeds, tr)
+			}
+		}
+		f.MaterializeFrom(g, fx.rs, seeds)
+		if got := len(closureSet(g)); got != want {
+			t.Errorf("threads=%d: incremental close reached %d triples, full serial closure has %d", threads, got, want)
+		}
+		verifyAllDerived(t, g, fx.rs)
+	}
+}
+
+// TestParallelProfileReconciles pins the journal-count side of the
+// contract: with a rule collector and piece collector attached, the
+// per-rule derived tallies must sum to the triples actually added, and the
+// per-piece spans must account for the same total.
+func TestParallelProfileReconciles(t *testing.T) {
+	fx := parallelFixtures(t)[0] // lubm
+	g := fx.base(true)
+	rc := &obs.RuleCollector{}
+	pc := &obs.PieceCollector{}
+	ctx := obs.ContextWithPieces(obs.ContextWithRules(context.Background(), rc), pc)
+	added, err := reason.Forward{Threads: 4}.MaterializeCtx(ctx, g, fx.rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("fixture derived nothing; the test would measure nothing")
+	}
+	var derived, firings int64
+	for _, st := range rc.Snapshot() {
+		derived += st.Derived
+		firings += st.Firings
+	}
+	if derived != int64(added) {
+		t.Errorf("rule profiles report %d derived, engine added %d", derived, added)
+	}
+	if firings < derived {
+		t.Errorf("rule profiles report %d firings < %d derived", firings, derived)
+	}
+	spans := pc.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("no piece spans recorded")
+	}
+	spanDerived := 0
+	for _, sp := range spans {
+		spanDerived += sp.Derived
+		if sp.Threads != 4 {
+			t.Errorf("span records %d threads, want 4", sp.Threads)
+		}
+	}
+	if spanDerived != added {
+		t.Errorf("piece spans account for %d derived, engine added %d", spanDerived, added)
+	}
+}
+
+// wideRule returns a rule with more variables than the engines' maxSlots
+// (64): 22 three-variable atoms bind 66 distinct variables.
+func wideRule() rules.Rule {
+	r := rules.Rule{Name: "too-wide"}
+	v := 0
+	for i := 0; i < 22; i++ {
+		r.Body = append(r.Body, rules.Atom{
+			S: rules.Var(fmt.Sprintf("v%d", v)),
+			P: rules.Var(fmt.Sprintf("v%d", v+1)),
+			O: rules.Var(fmt.Sprintf("v%d", v+2)),
+		})
+		v += 3
+	}
+	r.Head = append(r.Head, rules.Atom{
+		S: rules.Var("v0"), P: rules.Var("v1"), O: rules.Var("v2"),
+	})
+	return r
+}
+
+// TestValidateRulesTooWide pins the satellite bugfix: a rule exceeding
+// maxSlots variables must surface as an error from validation and from the
+// cancellable materialize entry points — not as a panic inside a live
+// server's writer loop.
+func TestValidateRulesTooWide(t *testing.T) {
+	bad := []rules.Rule{wideRule()}
+	if err := reason.ValidateRules(bad); err == nil {
+		t.Fatal("ValidateRules accepted a 66-variable rule")
+	}
+	if err := reason.ValidateRules(nil); err != nil {
+		t.Fatalf("ValidateRules rejected an empty rule set: %v", err)
+	}
+	g := rdf.NewGraph()
+	g.Add(rdf.Triple{S: 1, P: 2, O: 3})
+	if _, err := (reason.Forward{}).MaterializeCtx(context.Background(), g, bad); err == nil {
+		t.Error("Forward.MaterializeCtx accepted the rule set")
+	}
+	if _, err := (reason.Forward{Threads: 4}).MaterializeCtx(context.Background(), g, bad); err == nil {
+		t.Error("parallel Forward.MaterializeCtx accepted the rule set")
+	}
+	if _, err := (reason.Hybrid{}).MaterializeCtx(context.Background(), g, bad); err == nil {
+		t.Error("Hybrid.MaterializeCtx accepted the rule set")
+	}
+	if _, err := (reason.Rete{}).MaterializeCtx(context.Background(), g, bad); err == nil {
+		t.Error("Rete.MaterializeCtx accepted the rule set")
+	}
+}
+
+// TestRetractorSetRules pins the scratch-sizing regression: a Retractor
+// built for a narrow rule set, rebound to a wider one with SetRules, must
+// rederive through the wider rules without indexing past its environment.
+// Before SetRules existed the Retractor's env was sized once at
+// construction, so a rederive after a rule-set change could index past it.
+func TestRetractorSetRules(t *testing.T) {
+	const (
+		pLink = rdf.ID(1)
+		pNear = rdf.ID(2)
+		pFar  = rdf.ID(3)
+	)
+	narrow := []rules.Rule{{
+		Name: "near",
+		Body: []rules.Atom{{S: rules.Var("x"), P: rules.Const(pLink), O: rules.Var("y")}},
+		Head: []rules.Atom{{S: rules.Var("x"), P: rules.Const(pNear), O: rules.Var("y")}},
+	}}
+	// Wider: three variables and a two-atom body, so both the binding env
+	// and the head-index shape change.
+	wide := append(narrow, rules.Rule{
+		Name: "far",
+		Body: []rules.Atom{
+			{S: rules.Var("x"), P: rules.Const(pLink), O: rules.Var("y")},
+			{S: rules.Var("y"), P: rules.Const(pLink), O: rules.Var("z")},
+		},
+		Head: []rules.Atom{{S: rules.Var("x"), P: rules.Const(pFar), O: rules.Var("z")}},
+	})
+
+	g := rdf.NewGraph()
+	g.EnableProv()
+	asserted := []rdf.Triple{
+		{S: 10, P: pLink, O: 11},
+		{S: 11, P: pLink, O: 12},
+		{S: 12, P: pLink, O: 13},
+	}
+	g.AddAll(asserted)
+	ret := reason.NewRetractor(narrow)
+	reason.Forward{}.Materialize(g, narrow)
+
+	if err := ret.SetRules(wide); err != nil {
+		t.Fatal(err)
+	}
+	reason.Forward{}.Materialize(g, wide)
+	if !g.Has(rdf.Triple{S: 10, P: pFar, O: 12}) {
+		t.Fatal("wide closure missing far(10,12)")
+	}
+
+	// Deleting link(11,12) must drop far(10,12) and far(11,13) — the
+	// rederive joins the wide rule's two-atom body through the env sized by
+	// SetRules.
+	st := ret.Retract(g, []rdf.Triple{{S: 11, P: pLink, O: 12}})
+	if st.Requested != 1 {
+		t.Fatalf("retract found %d of 1 requested", st.Requested)
+	}
+	if g.Has(rdf.Triple{S: 10, P: pFar, O: 12}) || g.Has(rdf.Triple{S: 11, P: pFar, O: 13}) {
+		t.Error("far conclusions of the deleted link survived")
+	}
+	if !g.Has(rdf.Triple{S: 12, P: pNear, O: 13}) {
+		t.Error("near(12,13) should survive: its premise is live")
+	}
+	if err := ret.SetRules([]rules.Rule{wideRule()}); err == nil {
+		t.Error("SetRules accepted a 66-variable rule")
+	}
+}

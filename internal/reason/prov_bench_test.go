@@ -15,7 +15,7 @@ func TestJoinPathZeroAllocsProvCapture(t *testing.T) {
 	g, rs, deltas := allocFixture()
 	Forward{}.Materialize(g, rs)
 
-	crs := compileRules(rs)
+	crs := mustCompileRules(rs)
 	byPred := map[rdf.ID][]trigger{}
 	for i := range crs {
 		r := &crs[i]

@@ -28,7 +28,12 @@ func (Rete) Name() string { return "rete" }
 // log: the network's emits grow g past the view's end, which is safe — the
 // log is append-only, so the snapshot's contents never move.
 func (r Rete) Materialize(g *rdf.Graph, rs []rules.Rule) int {
-	n, _ := r.materialize(context.Background(), g, rs, g.Triples())
+	n, err := r.materialize(context.Background(), g, rs, g.Triples())
+	if err != nil {
+		// Background ctx never expires; the only error is an inexecutable
+		// rule set the caller should have run through ValidateRules.
+		panic(err)
+	}
 	return n
 }
 
@@ -45,7 +50,10 @@ func (r Rete) MaterializeCtx(ctx context.Context, g *rdf.Graph, rs []rules.Rule)
 // a long-lived network handle would amortize it, but the cluster worker API
 // exchanges plain graphs.)
 func (r Rete) MaterializeFrom(g *rdf.Graph, rs []rules.Rule, seeds []rdf.Triple) int {
-	n, _ := r.MaterializeFromCtx(context.Background(), g, rs, seeds)
+	n, err := r.MaterializeFromCtx(context.Background(), g, rs, seeds)
+	if err != nil {
+		panic(err)
+	}
 	return n
 }
 
@@ -61,7 +69,10 @@ func (Rete) materialize(ctx context.Context, g *rdf.Graph, rs []rules.Rule, asse
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	crs := compileRules(rs)
+	crs, err := compileRules(rs)
+	if err != nil {
+		return 0, err
+	}
 	net := buildNetwork(crs)
 	net.prof = newRuleProf(ctx, crs)
 	defer net.prof.flush()

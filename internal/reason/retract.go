@@ -86,6 +86,12 @@ type Retractor struct {
 	// Nil-safe: a nil Run swallows the emit.
 	Obs *obs.Run
 
+	// Threads is forwarded to the forward engine runs Retract seeds (the
+	// closing semi-naive pass and the provenance-off rematerialization); see
+	// Forward.Threads. The overdelete/rederive phases themselves stay on the
+	// single writer goroutine.
+	Threads int
+
 	rs      []rules.Rule
 	crs     []cRule
 	byHead  map[rdf.ID][]headTrigger
@@ -104,15 +110,33 @@ type Retractor struct {
 }
 
 // NewRetractor compiles rs once and returns a Retractor for graphs closed
-// under it.
+// under it. The rule set must be executable (ValidateRules) — callers that
+// accept rules from outside validate before constructing the Retractor.
 func NewRetractor(rs []rules.Rule) *Retractor {
-	crs := compileRules(rs)
-	r := &Retractor{
-		rs:      rs,
-		crs:     crs,
-		byHead:  map[rdf.ID][]headTrigger{},
-		bodyLen: make(map[string]int, len(crs)),
+	r := &Retractor{}
+	if err := r.SetRules(rs); err != nil {
+		panic(err)
 	}
+	return r
+}
+
+// SetRules replaces the Retractor's rule set: the rules are recompiled, the
+// head index and binding environment are rebuilt (sized for the widest rule
+// of the *new* set — the regression this guards is a rederive after a
+// rule-set change indexing past an env sized for the old set), and the
+// per-graph provenance caches are reset so records resolve against the new
+// rules' body lengths. The graph itself is untouched; the caller re-runs
+// Materialize if the new rules derive more.
+func (r *Retractor) SetRules(rs []rules.Rule) error {
+	crs, err := compileRules(rs)
+	if err != nil {
+		return err
+	}
+	r.rs = rs
+	r.crs = crs
+	r.byHead = map[rdf.ID][]headTrigger{}
+	r.anyHead = nil
+	r.bodyLen = make(map[string]int, len(crs))
 	maxSlot := 1
 	for i := range crs {
 		cr := &crs[i]
@@ -129,7 +153,11 @@ func NewRetractor(rs []rules.Rule) *Retractor {
 		}
 	}
 	r.env = make(env, maxSlot)
-	return r
+	// Drop per-graph state: the rule-name → body-length cache and the
+	// fragility classification both depend on the rule set, so the next
+	// Retract rebuilds them from scratch.
+	r.g = nil
+	return nil
 }
 
 // rebind resets the per-graph state for g.
@@ -285,7 +313,7 @@ func (r *Retractor) Retract(g *rdf.Graph, dels []rdf.Triple) RetractStats {
 	// of still-dead cone members); the graph minus the cone was closed, so
 	// seeding the semi-naive delta with the restorations is complete.
 	if len(seeds) > 0 {
-		st.Propagated = Forward{}.MaterializeFrom(g, r.rs, seeds)
+		st.Propagated = Forward{Threads: r.Threads}.MaterializeFrom(g, r.rs, seeds)
 	}
 	return st
 }
@@ -323,6 +351,13 @@ func (r *Retractor) altDerivation(g *rdf.Graph, logv []rdf.Triple, alt rdf.Deriv
 func (r *Retractor) deriveOnce(g *rdf.Graph, t rdf.Triple) (rdf.Derivation, bool) {
 	tryHead := func(ht headTrigger) (rdf.Derivation, bool) {
 		cr := ht.rule
+		if cr.nslot > len(r.env) {
+			// Defensive: SetRules sizes env for the widest rule, so this only
+			// trips if crs and env ever get out of sync again. Growing is
+			// off the steady path (deriveOnce already allocates nothing only
+			// per-candidate, not per-call).
+			r.env = make(env, cr.nslot)
+		}
 		e := r.env[:cr.nslot]
 		for i := range e {
 			e[i] = 0
@@ -416,6 +451,6 @@ func (r *Retractor) retractRebuild(g *rdf.Graph, dels []rdf.Triple) RetractStats
 		}
 	}
 	st.Overdeleted = g.DeleteOffsets(offs)
-	st.Propagated = Forward{}.Materialize(g, r.rs)
+	st.Propagated = Forward{Threads: r.Threads}.Materialize(g, r.rs)
 	return st
 }

@@ -30,7 +30,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // snapshot pinned before the delete keeps answering its original epoch.
 func TestServeDeleteVisibility(t *testing.T) {
 	kb := testKB(5)
-	s := New(kb, Config{})
+	s := newTestServer(t, kb, Config{})
 	defer s.Shutdown(context.Background())
 	d := kb.Dict
 	typ := d.InternIRI(vocab.RDFType)
@@ -78,7 +78,7 @@ func TestServeDeleteVisibility(t *testing.T) {
 // still satisfy the drain contract.
 func TestServeWriterPanicRecovery(t *testing.T) {
 	kb := testKB(3)
-	s := New(kb, Config{})
+	s := newTestServer(t, kb, Config{})
 	d := kb.Dict
 	typ := d.InternIRI(vocab.RDFType)
 	student := d.InternIRI("http://t/Student")
@@ -148,7 +148,7 @@ func TestServeCompaction(t *testing.T) {
 		base.Add(rdf.Triple{S: dict.InternIRI(fmt.Sprintf("http://t/s%d", i)), P: typ, O: student})
 	}
 	kb := BuildKBProv(dict, base)
-	s := New(kb, Config{CompactRatio: 0.1, CompactMinDead: 1})
+	s := newTestServer(t, kb, Config{CompactRatio: 0.1, CompactMinDead: 1})
 	defer s.Shutdown(context.Background())
 
 	var batch []rdf.Triple
@@ -192,7 +192,7 @@ func TestServeCompaction(t *testing.T) {
 // surface reports it.
 func TestHTTPDeleteEndpoint(t *testing.T) {
 	kb := testKB(4)
-	s := New(kb, Config{})
+	s := newTestServer(t, kb, Config{})
 	defer s.Shutdown(context.Background())
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()

@@ -33,7 +33,7 @@ func testKBProv(nStudents int) *KB {
 }
 
 func TestServeExplainDerivedTriple(t *testing.T) {
-	s := New(testKBProv(3), Config{})
+	s := newTestServer(t, testKBProv(3), Config{})
 	defer s.Shutdown(context.Background())
 
 	resp, err := s.Explain(context.Background(),
@@ -70,7 +70,7 @@ func TestServeExplainDerivedTriple(t *testing.T) {
 }
 
 func TestServeExplainMissAndNoProv(t *testing.T) {
-	s := New(testKBProv(1), Config{})
+	s := newTestServer(t, testKBProv(1), Config{})
 	defer s.Shutdown(context.Background())
 	if _, err := s.Explain(context.Background(),
 		`<http://t/absent> <http://t/p> <http://t/absent> .`, 0); !errors.Is(err, ErrNotFound) {
@@ -81,7 +81,7 @@ func TestServeExplainMissAndNoProv(t *testing.T) {
 		t.Fatalf("malformed statement: err = %v, want parse error", err)
 	}
 
-	plain := New(testKB(1), Config{})
+	plain := newTestServer(t, testKB(1), Config{})
 	defer plain.Shutdown(context.Background())
 	if _, err := plain.Explain(context.Background(),
 		`<http://t/s0> <`+vocab.RDFType+`> <http://t/Person> .`, 0); !errors.Is(err, ErrNoProvenance) {
@@ -92,7 +92,7 @@ func TestServeExplainMissAndNoProv(t *testing.T) {
 // TestServeExplainCoversInserts: a triple derived by the live writer path
 // (incremental engine) must be explainable once its epoch is published.
 func TestServeExplainCoversInserts(t *testing.T) {
-	s := New(testKBProv(1), Config{})
+	s := newTestServer(t, testKBProv(1), Config{})
 	defer s.Shutdown(context.Background())
 	d := s.Dict()
 	typ := d.InternIRI(vocab.RDFType)
@@ -122,7 +122,7 @@ func TestServeExplainCoversInserts(t *testing.T) {
 }
 
 func TestHTTPExplainEndpoint(t *testing.T) {
-	s := New(testKBProv(2), Config{})
+	s := newTestServer(t, testKBProv(2), Config{})
 	defer s.Shutdown(context.Background())
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -171,7 +171,7 @@ func TestHTTPExplainEndpoint(t *testing.T) {
 // from real traffic without a registry, be ordered, and round-trip through
 // the /stats JSON.
 func TestStatsLatencyPercentiles(t *testing.T) {
-	s := New(testKB(10), Config{})
+	s := newTestServer(t, testKB(10), Config{})
 	defer s.Shutdown(context.Background())
 	for i := 0; i < 20; i++ {
 		if _, err := s.Query(context.Background(), personQuery); err != nil {

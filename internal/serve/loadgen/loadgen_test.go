@@ -28,6 +28,17 @@ func testKB(nStudents int) *serve.KB {
 	return serve.BuildKB(dict, base)
 }
 
+// newTestServer wraps serve.New, failing the test on a validation error —
+// the fixture rule set is expected to compile.
+func newTestServer(t *testing.T, kb *serve.KB, cfg serve.Config) *serve.Server {
+	t.Helper()
+	s, err := serve.New(kb, cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	return s
+}
+
 func canonical(n int) []CheckedQuery {
 	return []CheckedQuery{
 		{Name: "persons", Text: `SELECT ?x WHERE { ?x a <http://t/Person> . }`, Want: n},
@@ -43,7 +54,7 @@ func canonical(n int) []CheckedQuery {
 // have wavered.
 func TestLoadgenChaos(t *testing.T) {
 	const n = 300
-	s := serve.New(testKB(n), serve.Config{
+	s := newTestServer(t, testKB(n), serve.Config{
 		MaxInflight: 4,
 		QueueDepth:  2, // tiny on purpose: bursts must shed
 		Deadline:    2 * time.Second,
@@ -128,7 +139,7 @@ func churnKB(nStudents int) *serve.KB {
 // namespace churns underneath them.
 func TestLoadgenChurn(t *testing.T) {
 	const n = 200
-	s := serve.New(churnKB(n), serve.Config{
+	s := newTestServer(t, churnKB(n), serve.Config{
 		MaxInflight: 4,
 		Deadline:    2 * time.Second,
 	})
@@ -229,7 +240,7 @@ func (c *swapClient) Delete(ctx context.Context, nt string) error {
 func TestLoadgenKillRestart(t *testing.T) {
 	const n = 200
 	cfg := serve.Config{MaxInflight: 4, Deadline: 2 * time.Second}
-	first := serve.New(testKB(n), cfg)
+	first := newTestServer(t, testKB(n), cfg)
 	var c swapClient
 	c.cur.Store(first)
 
@@ -253,7 +264,12 @@ func TestLoadgenKillRestart(t *testing.T) {
 			t.Errorf("first shutdown: %v", err)
 		}
 		time.Sleep(200 * time.Millisecond) // outage window
-		second = serve.New(testKB(n), cfg)
+		s2, err := serve.New(testKB(n), cfg)
+		if err != nil {
+			t.Errorf("restart: %v", err)
+			return
+		}
+		second = s2
 		c.cur.Store(second)
 	}()
 

@@ -80,33 +80,49 @@ type KB struct {
 	Dict  *rdf.Dict
 	Graph *rdf.Graph
 	Rules []rules.Rule
+	// Threads is the intra-worker fan-out every writer-side closure
+	// (load-time materialize, insert close, retraction rederive, crash
+	// recovery) runs at. 0 or 1 keeps the serial engine.
+	Threads int
 }
 
 // BuildKB compiles base's ontology, materializes the OWL-Horst closure, and
 // returns the servable KB — the load-time reasoning the paper trades for
 // cheap queries, packaged for serving.
 func BuildKB(dict *rdf.Dict, base *rdf.Graph) *KB {
-	return buildKB(dict, base, false)
+	return Build(dict, base, BuildConfig{})
 }
 
 // BuildKBProv is BuildKB with the derivation side-column enabled before
 // materialization: every inferred triple (load-time and live-insert alike)
 // records its rule, round and premises, and the server can answer Explain.
 func BuildKBProv(dict *rdf.Dict, base *rdf.Graph) *KB {
-	return buildKB(dict, base, true)
+	return Build(dict, base, BuildConfig{Prov: true})
 }
 
-func buildKB(dict *rdf.Dict, base *rdf.Graph, prov bool) *KB {
+// BuildConfig tunes KB construction.
+type BuildConfig struct {
+	// Prov enables the derivation side-column before materialization, so
+	// the server can answer Explain and serve provenance-guided deletes.
+	Prov bool
+	// Threads is the intra-worker parallel fan-out for the load-time
+	// materialize, carried into the KB for every later writer-side
+	// closure. 0 or 1 keeps the serial engine.
+	Threads int
+}
+
+// Build is the general KB constructor behind BuildKB/BuildKBProv.
+func Build(dict *rdf.Dict, base *rdf.Graph, bc BuildConfig) *KB {
 	compiled := owlhorst.Compile(dict, base)
 	instance := owlhorst.SplitInstance(dict, base)
 	g := rdf.NewGraphCap(2 * (len(instance) + compiled.Schema.Len()))
-	if prov {
+	if bc.Prov {
 		g.EnableProv()
 	}
 	g.AddAll(instance)
 	g.Union(compiled.Schema)
-	reason.Forward{}.Materialize(g, compiled.InstanceRules)
-	return &KB{Dict: dict, Graph: g, Rules: compiled.InstanceRules}
+	reason.Forward{Threads: bc.Threads}.Materialize(g, compiled.InstanceRules)
+	return &KB{Dict: dict, Graph: g, Rules: compiled.InstanceRules, Threads: bc.Threads}
 }
 
 // Config tunes the server's robustness envelope.
@@ -248,8 +264,14 @@ type writeBatch struct {
 }
 
 // New starts a server over kb. The caller hands over ownership of kb.Graph:
-// from here on only the server's writer goroutine mutates it.
-func New(kb *KB, cfg Config) *Server {
+// from here on only the server's writer goroutine mutates it. The rule set
+// is validated up front: a rule the engines cannot compile (e.g. one
+// exceeding their variable-slot budget) is an error here, not a panic in
+// the writer loop after the server is live.
+func New(kb *KB, cfg Config) (*Server, error) {
+	if err := reason.ValidateRules(kb.Rules); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
@@ -273,6 +295,7 @@ func New(kb *KB, cfg Config) *Server {
 	// A prov-free KB makes every DELETE fall back to delete-and-
 	// rematerialize; the retractor journals each such degradation.
 	s.ret.Obs = cfg.Run
+	s.ret.Threads = kb.Threads
 	sn := kb.Graph.Snapshot()
 	s.snap.Store(&sn)
 	s.gEpoch.Set(int64(sn.Watermark()))
@@ -280,7 +303,7 @@ func New(kb *KB, cfg Config) *Server {
 	go s.writerLoop()
 	s.cfg.Run.Emit(obs.Event{Type: obs.EvServe, TS: s.cfg.Run.Now(),
 		Worker: obs.MasterWorker, Name: "start", N: int64(sn.Watermark())})
-	return s
+	return s, nil
 }
 
 // Snapshot returns the latest published epoch view — what a query admitted
@@ -605,7 +628,7 @@ func (s *Server) apply(batch writeBatch) {
 		if len(seeds) > 0 {
 			// The graph was at fixpoint before the seeds went in, so closing
 			// over just the seeds re-establishes it (semi-naive delta round).
-			reason.Forward{}.MaterializeFrom(g, s.kb.Rules, seeds)
+			reason.Forward{Threads: s.kb.Threads}.MaterializeFrom(g, s.kb.Rules, seeds)
 		}
 		s.insertBatches.Add(1)
 		s.insertedTriples.Add(int64(len(batch.ts)))
@@ -652,7 +675,7 @@ func (s *Server) maybeCompact() {
 func (s *Server) recoverWriter() {
 	g := s.kb.Graph
 	g.RepairDedup()
-	reason.Forward{}.Materialize(g, s.kb.Rules)
+	reason.Forward{Threads: s.kb.Threads}.Materialize(g, s.kb.Rules)
 }
 
 // Shutdown drains the server: new queries and inserts are refused with

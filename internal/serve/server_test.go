@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"powl/internal/rdf"
+	"powl/internal/rules"
 	"powl/internal/vocab"
 )
 
@@ -32,6 +33,17 @@ func testKB(nStudents int) *KB {
 	return BuildKB(dict, base)
 }
 
+// newTestServer wraps New, failing the test on a validation error — every
+// fixture rule set in this package is expected to compile.
+func newTestServer(t *testing.T, kb *KB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(kb, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 const (
 	personQuery = `SELECT ?x WHERE { ?x a <http://t/Person> . }`
 	// crossQuery is pathological: two patterns sharing no variable — a
@@ -40,7 +52,7 @@ const (
 )
 
 func TestServeBasicQueryAndStats(t *testing.T) {
-	s := New(testKB(10), Config{})
+	s := newTestServer(t, testKB(10), Config{})
 	defer s.Shutdown(context.Background())
 
 	resp, err := s.Query(context.Background(), personQuery)
@@ -60,7 +72,7 @@ func TestServeBasicQueryAndStats(t *testing.T) {
 // and queue depth 1, a slot-holder plus a queued waiter means every further
 // arrival must shed immediately — not block, not queue.
 func TestServeShedsUnderBurst(t *testing.T) {
-	s := New(testKB(4), Config{MaxInflight: 1, QueueDepth: 1, Deadline: 5 * time.Second})
+	s := newTestServer(t, testKB(4), Config{MaxInflight: 1, QueueDepth: 1, Deadline: 5 * time.Second})
 	defer s.Shutdown(context.Background())
 
 	block := make(chan struct{})
@@ -120,7 +132,7 @@ func TestServeShedsUnderBurst(t *testing.T) {
 // tight watchdog while healthy queries run alongside: the offender must be
 // cancelled, the healthy queries unaffected.
 func TestServeWatchdogCancelsSlowQuery(t *testing.T) {
-	s := New(testKB(2000), Config{
+	s := newTestServer(t, testKB(2000), Config{
 		MaxInflight: 4, Deadline: 30 * time.Second, SlowQuery: 30 * time.Millisecond,
 	})
 	defer s.Shutdown(context.Background())
@@ -156,7 +168,7 @@ func TestServeWatchdogCancelsSlowQuery(t *testing.T) {
 // TestServePanicIsolation injects a panic into one query; the server, its
 // accounting, and concurrent queries must all survive.
 func TestServePanicIsolation(t *testing.T) {
-	s := New(testKB(10), Config{MaxInflight: 4})
+	s := newTestServer(t, testKB(10), Config{MaxInflight: 4})
 	defer s.Shutdown(context.Background())
 	s.testHook = func(text string) {
 		if strings.Contains(text, "BOOM") {
@@ -182,7 +194,7 @@ func TestServePanicIsolation(t *testing.T) {
 // Student must become a Person via the compiled rules).
 func TestServeInsertVisibility(t *testing.T) {
 	kb := testKB(3)
-	s := New(kb, Config{})
+	s := newTestServer(t, kb, Config{})
 	defer s.Shutdown(context.Background())
 	d := kb.Dict
 	typ := d.InternIRI(vocab.RDFType)
@@ -208,12 +220,72 @@ func TestServeInsertVisibility(t *testing.T) {
 	}
 }
 
+// TestServeRejectsUncompilableRules pins the validation contract: a KB
+// whose rule set the engines cannot compile (here a rule binding more
+// variables than the 64 join slots) must be refused by New with an error —
+// not crash the writer loop after the server is live.
+func TestServeRejectsUncompilableRules(t *testing.T) {
+	kb := testKB(1)
+	wide := rules.Rule{Name: "too-wide"}
+	for v := 0; v < 66; v += 3 {
+		wide.Body = append(wide.Body, rules.Atom{
+			S: rules.Var(fmt.Sprintf("v%d", v)),
+			P: rules.Var(fmt.Sprintf("v%d", v+1)),
+			O: rules.Var(fmt.Sprintf("v%d", v+2)),
+		})
+	}
+	wide.Head = []rules.Atom{{S: rules.Var("v0"), P: rules.Var("v1"), O: rules.Var("v2")}}
+	kb.Rules = append(kb.Rules, wide)
+	if _, err := New(kb, Config{}); err == nil {
+		t.Fatal("New accepted a rule set the engines cannot compile")
+	}
+}
+
+// TestServeInsertVisibilityThreaded is TestServeInsertVisibility with the
+// writer's closures running the parallel fire loop: the KB carries
+// Threads=4 into every MaterializeFrom the writer issues, and the derived
+// triple must become visible exactly as in the serial case.
+func TestServeInsertVisibilityThreaded(t *testing.T) {
+	dict := rdf.NewDict()
+	base := rdf.NewGraph()
+	typ := dict.InternIRI(vocab.RDFType)
+	sub := dict.InternIRI(vocab.RDFSSubClassOf)
+	student := dict.InternIRI("http://t/Student")
+	person := dict.InternIRI("http://t/Person")
+	base.Add(rdf.Triple{S: student, P: sub, O: person})
+	for i := 0; i < 3; i++ {
+		base.Add(rdf.Triple{S: dict.InternIRI(fmt.Sprintf("http://t/s%d", i)), P: typ, O: student})
+	}
+	kb := Build(dict, base, BuildConfig{Threads: 4})
+	s := newTestServer(t, kb, Config{})
+	defer s.Shutdown(context.Background())
+	novel := dict.InternIRI("http://t/novel")
+	if err := s.Insert(context.Background(), []rdf.Triple{{S: novel, P: typ, O: student}}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		resp, err := s.Query(context.Background(), personQuery)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		if len(resp.Result.Rows) == 4 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("derived triple never became visible; rows=%d", len(resp.Result.Rows))
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
 // TestServeDrain starts in-flight queries and inserts, shuts down, and
 // checks the drain contract: everything admitted completes (Dropped == 0),
 // accepted inserts are applied, late arrivals get ErrDraining.
 func TestServeDrain(t *testing.T) {
 	kb := testKB(50)
-	s := New(kb, Config{MaxInflight: 4, Deadline: 10 * time.Second})
+	s := newTestServer(t, kb, Config{MaxInflight: 4, Deadline: 10 * time.Second})
 
 	release := make(chan struct{})
 	started := make(chan struct{}, 4)
@@ -299,7 +371,7 @@ func TestServeDrain(t *testing.T) {
 // expires before a slot frees must leave with the ctx error and be counted,
 // not linger in the queue.
 func TestServeQueueTimeout(t *testing.T) {
-	s := New(testKB(4), Config{MaxInflight: 1, QueueDepth: 4, Deadline: 50 * time.Millisecond})
+	s := newTestServer(t, testKB(4), Config{MaxInflight: 1, QueueDepth: 4, Deadline: 50 * time.Millisecond})
 	defer s.Shutdown(context.Background())
 	block := make(chan struct{})
 	occupied := make(chan struct{})
